@@ -1,0 +1,70 @@
+//! Ablation study (beyond the paper's figures): isolate each Fork Path
+//! technique — merging, scheduling, dummy replacing, MAC — and measure its
+//! marginal contribution to ORAM latency.
+
+use fp_bench::{print_cols, print_row, print_title};
+use fp_core::{CacheChoice, ForkConfig};
+use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::metrics::geomean;
+use fp_sim::{Scheme, SystemConfig};
+
+fn variant(merging: bool, scheduling: bool, replacing: bool, mac: bool) -> Scheme {
+    Scheme::Fork(ForkConfig {
+        merging,
+        scheduling,
+        replacing,
+        cache: if mac {
+            CacheChoice::MergingAware { bytes: 1 << 20, ways: 4 }
+        } else {
+            CacheChoice::None
+        },
+        ..ForkConfig::default()
+    })
+}
+
+fn with_plb(blocks: usize) -> Scheme {
+    Scheme::Fork(ForkConfig {
+        cache: CacheChoice::MergingAware { bytes: 1 << 20, ways: 4 },
+        plb_blocks: blocks,
+        ..ForkConfig::default()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+    let cfg = SystemConfig::paper_default();
+
+    print_title("Ablation: marginal contribution of each Fork Path technique");
+
+    let baseline = run_all_mixes(&cfg, &Scheme::Traditional, budget);
+    let variants: Vec<(&str, Scheme)> = vec![
+        ("traditional", Scheme::Traditional),
+        ("merge only (q=1)", {
+            Scheme::Fork(ForkConfig { label_queue_size: 1, ..ForkConfig::default() })
+        }),
+        ("merge, no sched", variant(true, false, true, false)),
+        ("merge+sched, no repl", variant(true, true, false, false)),
+        ("merge+sched+repl", variant(true, true, true, false)),
+        ("all + 1M MAC", variant(true, true, true, true)),
+        ("all + MAC + PLB64", with_plb(64)),
+    ];
+
+    print_cols("variant", &["normLat".into(), "path".into(), "dummyFrac".into(), "acc/req".into()]);
+    for (name, scheme) in &variants {
+        let results = run_all_mixes(&cfg, scheme, budget);
+        let norm = geomean(
+            results
+                .iter()
+                .zip(&baseline)
+                .map(|(r, b)| r.oram_latency_ns / b.oram_latency_ns),
+        );
+        let path = geomean(results.iter().map(|r| r.avg_path_len));
+        let dummy = results.iter().map(|r| r.dummy_accesses).sum::<u64>() as f64
+            / results.iter().map(|r| r.oram_accesses).sum::<u64>().max(1) as f64;
+        let acc_per_req = results.iter().map(|r| r.oram_accesses).sum::<u64>() as f64
+            / results.iter().map(|r| r.llc_requests).sum::<u64>().max(1) as f64;
+        print_row(name, &[norm, path, dummy, acc_per_req]);
+    }
+    println!("\n(each row adds one mechanism; DESIGN.md S6 motivates the study)");
+}

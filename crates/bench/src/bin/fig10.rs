@@ -1,0 +1,34 @@
+//! Fig 10: average ORAM path length and normalized DRAM latency per access
+//! as the label-queue size sweeps 1..=128.
+//!
+//! Paper shape: traditional = 25 buckets; merging+scheduling shortens the
+//! accessed path roughly linearly in log2(queue size); DRAM latency falls
+//! at least as fast (row-buffer effects).
+
+use fp_bench::{fork_with_queue, print_cols, print_row, print_title};
+use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::metrics::geomean;
+use fp_sim::{Scheme, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+    let cfg = SystemConfig::paper_default();
+
+    print_title("Fig 10: avg ORAM path length / normalized DRAM latency vs label queue size");
+
+    let baseline = run_all_mixes(&cfg, &Scheme::Traditional, budget);
+    let base_path = geomean(baseline.iter().map(|r| r.avg_path_len));
+    let base_busy = geomean(baseline.iter().map(|r| r.dram_busy_ns_per_access));
+
+    print_cols("queue size", &["path".into(), "normBusy".into()]);
+    print_row("traditional", &[base_path, 1.0]);
+    for q in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let results = run_all_mixes(&cfg, &fork_with_queue(q), budget);
+        let path = geomean(results.iter().map(|r| r.avg_path_len));
+        let busy = geomean(results.iter().map(|r| r.dram_busy_ns_per_access));
+        print_row(&format!("merging q={q}"), &[path, busy / base_busy]);
+    }
+    println!("\n(paper: path falls from 25 toward ~17 as the queue grows; DRAM");
+    println!(" latency falls at least proportionally)");
+}

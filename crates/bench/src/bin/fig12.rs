@@ -1,0 +1,49 @@
+//! Fig 12: ORAM latency (completion time of an LLC request since entering
+//! the controller) normalized to traditional Path ORAM, per mix, for
+//! label-queue sizes 1/8/64/128.
+//!
+//! Paper shape: latency falls as the queue grows, bottoming around 64;
+//! 128 gives back some of the gain (extra dummies offset shorter paths).
+
+use fp_bench::{fork_with_queue, print_cols, print_row, print_title};
+use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::metrics::geomean;
+use fp_sim::{Scheme, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+    let cfg = SystemConfig::paper_default();
+
+    print_title("Fig 12: normalized ORAM latency vs label queue size");
+
+    let baseline = run_all_mixes(&cfg, &Scheme::Traditional, budget);
+    let queue_sizes = [1usize, 8, 64, 128];
+    let mut per_queue: Vec<Vec<f64>> = Vec::new();
+    let mut raw = baseline.clone();
+    for &q in &queue_sizes {
+        let results = run_all_mixes(&cfg, &fork_with_queue(q), budget);
+        per_queue.push(
+            results
+                .iter()
+                .zip(&baseline)
+                .map(|(r, b)| r.oram_latency_ns / b.oram_latency_ns)
+                .collect(),
+        );
+        raw.extend(results);
+    }
+    if let Ok(path) = fp_sim::report::write_results_file("fig12.csv", &fp_sim::report::to_csv(&raw))
+    {
+        println!("(raw data written to {})", path.display());
+    }
+
+    print_cols("mix", &queue_sizes.iter().map(|q| format!("q={q}")).collect::<Vec<_>>());
+    for (i, b) in baseline.iter().enumerate() {
+        let row: Vec<f64> = per_queue.iter().map(|col| col[i]).collect();
+        print_row(&b.workload, &row);
+    }
+    let means: Vec<f64> =
+        per_queue.iter().map(|col| geomean(col.iter().copied())).collect();
+    print_row("geomean", &means);
+    println!("\n(paper: best around q=64; q=128's extra dummies erode the gain)");
+}

@@ -1,0 +1,53 @@
+//! Fig 14: full-system slowdown (execution time normalized to the insecure
+//! processor) for the traditional baseline and every Fork Path variant.
+//!
+//! Paper shape: high-intensity mixes suffer the largest ORAM slowdowns;
+//! Fork Path with a 1 MiB MAC cuts execution time by ~58 % vs traditional.
+
+use fp_bench::{caching_schemes, print_cols, print_row, print_title};
+use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::metrics::geomean;
+use fp_sim::{Scheme, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+    let cfg = SystemConfig::paper_default();
+
+    print_title("Fig 14: full-system slowdown vs insecure processor");
+
+    let insecure = run_all_mixes(&cfg, &Scheme::Insecure, budget);
+    let mut schemes: Vec<(String, Scheme)> =
+        vec![("Traditional".to_string(), Scheme::Traditional)];
+    schemes.extend(caching_schemes().into_iter().map(|(n, s)| (n.to_string(), s)));
+
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for (_, scheme) in &schemes {
+        let results = run_all_mixes(&cfg, scheme, budget);
+        columns.push(
+            results
+                .iter()
+                .zip(&insecure)
+                .map(|(r, b)| r.exec_time_ps as f64 / b.exec_time_ps as f64)
+                .collect(),
+        );
+    }
+
+    let mut headers: Vec<String> = schemes.iter().map(|(n, _)| n.clone()).collect();
+    headers.push("Insecure".into());
+    print_cols("mix", &headers);
+    for (i, b) in insecure.iter().enumerate() {
+        let mut row: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+        row.push(1.0);
+        print_row(&b.workload, &row);
+    }
+    let mut means: Vec<f64> = columns.iter().map(|c| geomean(c.iter().copied())).collect();
+    means.push(1.0);
+    print_row("geomean", &means);
+
+    let reduction = 1.0 - means[4] / means[0];
+    println!(
+        "\nExecution-time reduction, Merge+1M MAC vs traditional: {:.0}% (paper: 58%)",
+        reduction * 100.0
+    );
+}

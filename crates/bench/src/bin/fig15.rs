@@ -1,0 +1,47 @@
+//! Fig 15: ORAM memory-system energy (external memory + controller)
+//! normalized to traditional Path ORAM.
+//!
+//! Paper shape: ~38 % reduction with merging/scheduling + 1 MiB MAC, ~15 %
+//! better than 1 MiB treetop caching — DRAM energy dominates, so the added
+//! controller structures do not offset the traffic savings.
+
+use fp_bench::{caching_schemes, print_cols, print_row, print_title};
+use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::metrics::geomean;
+use fp_sim::{Scheme, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+    let cfg = SystemConfig::paper_default();
+
+    print_title("Fig 15: normalized ORAM memory-system energy");
+
+    let baseline = run_all_mixes(&cfg, &Scheme::Traditional, budget);
+    let schemes = caching_schemes();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for (_, scheme) in &schemes {
+        let results = run_all_mixes(&cfg, scheme, budget);
+        columns.push(
+            results
+                .iter()
+                .zip(&baseline)
+                .map(|(r, b)| r.energy.total_pj() as f64 / b.energy.total_pj() as f64)
+                .collect(),
+        );
+    }
+
+    print_cols("mix", &schemes.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>());
+    for (i, b) in baseline.iter().enumerate() {
+        let row: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+        print_row(&b.workload, &row);
+    }
+    let means: Vec<f64> = columns.iter().map(|c| geomean(c.iter().copied())).collect();
+    print_row("geomean", &means);
+    println!(
+        "\nEnergy reduction, Merge+1M MAC vs traditional: {:.0}% (paper: 38%); \
+         vs 1M treetop: {:.0}% (paper: 15%)",
+        (1.0 - means[3]) * 100.0,
+        (1.0 - means[3] / means[4]) * 100.0
+    );
+}

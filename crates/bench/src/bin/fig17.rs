@@ -1,0 +1,62 @@
+//! Fig 17: sensitivity to (a) thread count and (b) ORAM capacity.
+//!
+//! Paper shape: (a) more threads = higher memory intensity = a larger Fork
+//! Path advantage; (b) bigger ORAMs have longer paths while the merged
+//! savings stay roughly constant, so the relative advantage shrinks
+//! moderately.
+
+use fp_bench::{fork_with_mac, print_cols, print_row, print_title};
+use fp_sim::experiment::{run_mix, run_mix_with_pipeline, MissBudget};
+use fp_sim::metrics::geomean;
+use fp_sim::{Scheme, SystemConfig};
+use fp_workloads::cpu::PipelineKind;
+use fp_workloads::mixes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+
+    print_title("Fig 17(a): normalized ORAM latency vs thread count");
+    let cfg = SystemConfig::paper_default();
+    print_cols("threads", &["fork/trad".into()]);
+    for threads in [1usize, 2, 4, 8] {
+        let mut ratios = Vec::new();
+        for mix in mixes::all() {
+            let base = run_mix_with_pipeline(
+                &cfg,
+                &Scheme::Traditional,
+                &mix,
+                PipelineKind::OutOfOrder,
+                threads,
+                budget,
+            );
+            let fork = run_mix_with_pipeline(
+                &cfg,
+                &Scheme::ForkDefault,
+                &mix,
+                PipelineKind::OutOfOrder,
+                threads,
+                budget,
+            );
+            ratios.push(fork.oram_latency_ns / base.oram_latency_ns);
+        }
+        print_row(&threads.to_string(), &[geomean(ratios)]);
+    }
+    println!("(paper: the advantage grows with thread count)");
+
+    print_title("Fig 17(b): normalized ORAM latency vs ORAM capacity (4 threads)");
+    print_cols("capacity", &["fork+mac/trad".into(), "path".into()]);
+    for gb in [1u64, 4, 16, 32] {
+        let cfg = SystemConfig::with_capacity(gb << 30);
+        let mut ratios = Vec::new();
+        let mut paths = Vec::new();
+        for mix in mixes::all() {
+            let base = run_mix(&cfg, &Scheme::Traditional, &mix, budget);
+            let fork = run_mix(&cfg, &fork_with_mac(1 << 20), &mix, budget);
+            ratios.push(fork.oram_latency_ns / base.oram_latency_ns);
+            paths.push(base.avg_path_len);
+        }
+        print_row(&format!("{gb}GB"), &[geomean(ratios), geomean(paths)]);
+    }
+    println!("(paper: efficiency degrades moderately as the tree deepens)");
+}

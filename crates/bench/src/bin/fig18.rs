@@ -1,0 +1,46 @@
+//! Fig 18: ORAM-latency speedup (traditional / Fork Path, same channel
+//! count) with 1, 2, and 4 DRAM channels.
+//!
+//! Paper shape: fewer channels = higher absolute ORAM latency = more real
+//! requests pending in the label queue = better merging, so Fork Path's
+//! speedup is largest at one channel.
+
+use fp_bench::{print_cols, print_row, print_title};
+use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::{Scheme, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+
+    print_title("Fig 18: ORAM latency speedup (traditional / fork) vs channel count");
+    print_cols("mix", &["1-ch".into(), "2-ch".into(), "4-ch".into()]);
+
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for channels in [1usize, 2, 4] {
+        let cfg = SystemConfig::with_channels(channels);
+        let base = run_all_mixes(&cfg, &Scheme::Traditional, budget);
+        let fork = run_all_mixes(&cfg, &Scheme::ForkDefault, budget);
+        if names.is_empty() {
+            names = base.iter().map(|r| r.workload.clone()).collect();
+        }
+        columns.push(
+            base.iter()
+                .zip(&fork)
+                .map(|(b, f)| b.oram_latency_ns / f.oram_latency_ns)
+                .collect(),
+        );
+    }
+
+    for (i, name) in names.iter().enumerate() {
+        let row: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+        print_row(name, &row);
+    }
+    let means: Vec<f64> = columns
+        .iter()
+        .map(|c| fp_sim::metrics::geomean(c.iter().copied()))
+        .collect();
+    print_row("geomean", &means);
+    println!("\n(paper: speedup decreases as channels increase)");
+}

@@ -1,0 +1,37 @@
+//! Fig 19: multithreaded (PARSEC-style) workloads, 4 threads sharing one
+//! address space.
+//!
+//! Paper shape: Fork Path (with a 1 MiB MAC) cuts ORAM latency across the
+//! suite; memory-intensive codes (canneal, streamcluster) gain the most.
+
+use fp_bench::{fork_with_mac, print_cols, print_row, print_title};
+use fp_sim::experiment::MissBudget;
+use fp_sim::metrics::geomean;
+use fp_sim::{run_workload, Scheme, SystemConfig};
+use fp_workloads::cpu::MultiCoreWorkload;
+use fp_workloads::parsec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = MissBudget::from_args(&args);
+    let cfg = SystemConfig::paper_default();
+
+    print_title("Fig 19: normalized ORAM latency, PARSEC multithreaded (4 threads)");
+    print_cols("workload", &["fork+mac/trad".into(), "dummyFrac".into()]);
+
+    let mut ratios = Vec::new();
+    for wl_def in parsec::all() {
+        let misses = budget.misses_per_core();
+        let base_wl = MultiCoreWorkload::from_parsec(&wl_def, 4, misses, cfg.seed);
+        let fork_wl = MultiCoreWorkload::from_parsec(&wl_def, 4, misses, cfg.seed);
+        let base = run_workload(&cfg, Scheme::Traditional, base_wl);
+        let fork = run_workload(&cfg, fork_with_mac(1 << 20), fork_wl);
+        let ratio = fork.oram_latency_ns / base.oram_latency_ns;
+        let dummy_frac = fork.dummy_accesses as f64 / fork.oram_accesses.max(1) as f64;
+        print_row(wl_def.profile.name, &[ratio, dummy_frac]);
+        ratios.push(ratio);
+    }
+    print_row("geomean", &[geomean(ratios)]);
+    println!("\n(paper: significant reduction across the suite; the gain tracks");
+    println!(" memory intensity via the dummy-request count)");
+}

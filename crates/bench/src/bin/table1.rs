@@ -1,0 +1,40 @@
+//! Table 1: the evaluated system configuration.
+
+use fp_path_oram::PosMapHierarchy;
+use fp_sim::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let h = PosMapHierarchy::new(&cfg.oram);
+
+    fp_bench::print_title("Table 1: Processor / ORAM / memory configuration");
+    println!("Core                      out-of-order, 4 cores, 2 GHz (workload model)");
+    println!("Data block size           {} B", cfg.oram.block_bytes);
+    println!(
+        "Data ORAM capacity        {} GB (L = {}, path = {} buckets)",
+        cfg.oram.data_blocks * cfg.oram.block_bytes as u64 >> 30,
+        cfg.oram.levels,
+        cfg.oram.path_len()
+    );
+    println!("Block slots per bucket Z  {}", cfg.oram.z);
+    println!("Stash capacity            {} blocks", cfg.oram.stash_capacity);
+    println!(
+        "PosMap recursion          {} levels in-tree, {} entries on chip ({} KiB)",
+        h.posmap_levels(),
+        h.onchip_entries(),
+        h.onchip_entries() * 4 >> 10
+    );
+    println!(
+        "Unified tree blocks       {} (data + posmap)",
+        h.total_blocks()
+    );
+    println!("Memory type               DDR3-1600 (tCK = {} ps)", cfg.dram.timing.t_ck);
+    println!("Memory channels           {}", cfg.dram.channels);
+    // 2 transfers/clock x 8 bytes on a x64 bus: 16000 / tCK(ps) GB/s.
+    println!(
+        "Peak bandwidth            {:.1} GB/s",
+        cfg.dram.channels as f64 * 16_000.0 / cfg.dram.timing.t_ck as f64
+    );
+    println!("Row size                  {} KiB", cfg.dram.row_bytes >> 10);
+    println!("Banks per rank            {}", cfg.dram.banks_per_rank);
+}

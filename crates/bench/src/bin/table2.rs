@@ -1,0 +1,30 @@
+//! Table 2: the mixed benchmarks (and the profile parameters behind the
+//! synthetic substitution).
+
+use fp_workloads::mixes;
+
+fn main() {
+    fp_bench::print_title("Table 2: Mixed benchmarks from SPEC 2006 (synthetic profiles)");
+    for mix in mixes::all() {
+        let names: Vec<_> = mix.programs.iter().map(|p| p.name).collect();
+        println!("{:<6} {}", mix.name, names.join(", "));
+    }
+
+    fp_bench::print_title("Synthetic profile parameters (see DESIGN.md S2)");
+    println!(
+        "{:<16} {:>6} {:>10} {:>12} {:>7} {:>9} {:>5}",
+        "benchmark", "group", "gap(ns)", "ws(blocks)", "wr%", "locality", "mlp"
+    );
+    for p in fp_workloads::spec::all() {
+        println!(
+            "{:<16} {:>6} {:>10.0} {:>12} {:>7.0} {:>9.2} {:>5}",
+            p.name,
+            if p.is_high_overhead() { "HG" } else { "LG" },
+            p.avg_gap_ns,
+            p.working_set_blocks,
+            p.write_fraction * 100.0,
+            p.locality,
+            p.mlp
+        );
+    }
+}

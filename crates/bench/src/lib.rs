@@ -1,0 +1,107 @@
+//! # fp-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper's
+//! evaluation (§5), plus Criterion micro-benchmarks of the core data
+//! structures.
+//!
+//! Every binary accepts `--fast` (shorter runs for CI) and prints
+//! machine-readable rows. See `DESIGN.md` §5 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured values.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — system configuration |
+//! | `table2` | Table 2 — mixed benchmarks |
+//! | `fig10`  | Path length + DRAM latency vs label-queue size |
+//! | `fig11`  | Normalized ORAM request count |
+//! | `fig12`  | ORAM latency vs label-queue size |
+//! | `fig13`  | ORAM latency vs caching design |
+//! | `fig14`  | Full-system slowdown |
+//! | `fig15`  | ORAM memory-system energy |
+//! | `fig16`  | In-order vs out-of-order |
+//! | `fig17`  | Thread-count and ORAM-size sensitivity |
+//! | `fig18`  | DRAM-channel sensitivity |
+//! | `fig19`  | PARSEC multithreaded workloads |
+//! | `ablation` | Per-technique breakdown (beyond the paper) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fp_core::{CacheChoice, ForkConfig};
+use fp_sim::Scheme;
+
+/// Fork Path with an explicit label-queue size and no cache.
+pub fn fork_with_queue(queue: usize) -> Scheme {
+    Scheme::Fork(ForkConfig { label_queue_size: queue, ..ForkConfig::default() })
+}
+
+/// Fork Path (queue 64) with a merging-aware cache of `bytes`.
+pub fn fork_with_mac(bytes: u64) -> Scheme {
+    Scheme::Fork(ForkConfig {
+        cache: CacheChoice::MergingAware { bytes, ways: 4 },
+        ..ForkConfig::default()
+    })
+}
+
+/// Fork Path (queue 64) with a treetop cache of `bytes`.
+pub fn fork_with_treetop(bytes: u64) -> Scheme {
+    Scheme::Fork(ForkConfig {
+        cache: CacheChoice::Treetop { bytes },
+        ..ForkConfig::default()
+    })
+}
+
+/// The caching-design scheme set of Figs 13–15: merge-only, MAC at
+/// 128 K/256 K/1 M, and 1 M treetop.
+pub fn caching_schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("Merge only", Scheme::ForkDefault),
+        ("Merge+128K MAC", fork_with_mac(128 << 10)),
+        ("Merge+256K MAC", fork_with_mac(256 << 10)),
+        ("Merge+1M MAC", fork_with_mac(1 << 20)),
+        ("Merge+1M Treetop", fork_with_treetop(1 << 20)),
+    ]
+}
+
+/// Prints a header line for a figure report.
+pub fn print_title(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Prints one labelled row of values with a fixed-width layout.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:<22}");
+    for v in values {
+        print!(" {v:>9.3}");
+    }
+    println!();
+}
+
+/// Prints the column header of a row table.
+pub fn print_cols(first: &str, cols: &[String]) {
+    print!("{first:<22}");
+    for c in cols {
+        print!(" {c:>9}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_builders_label_correctly() {
+        assert_eq!(fork_with_queue(8).label(), "fork(q8)");
+        assert_eq!(fork_with_mac(1 << 20).label(), "fork(q64)+mac1024K");
+        assert_eq!(fork_with_treetop(1 << 20).label(), "fork(q64)+treetop1024K");
+    }
+
+    #[test]
+    fn caching_schemes_cover_figure_13() {
+        let set = caching_schemes();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[0].0, "Merge only");
+        assert_eq!(set[4].0, "Merge+1M Treetop");
+    }
+}

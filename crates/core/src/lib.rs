@@ -1,0 +1,70 @@
+//! # fp-core
+//!
+//! The paper's contribution: **Fork Path ORAM** (Zhang et al., MICRO 2015).
+//!
+//! Traditional Path ORAM treats every request independently, reading and
+//! refilling a complete root-to-leaf path. Consecutive paths always share a
+//! prefix (at least the root), and the shared buckets are written out and
+//! immediately read back *unchanged* — redundant traffic that is public
+//! information and can be removed without weakening ORAM security (§3.1).
+//! Fork Path does so with three cooperating techniques:
+//!
+//! * **Path merging** (§3.2): the read phase skips buckets shared with the
+//!   *previous* path (they are still in the stash); the refill skips buckets
+//!   shared with the *next* path (they stay in the stash). Two consecutive
+//!   accesses touch memory in the shape of a fork.
+//! * **ORAM request scheduling** (§3.4): a fixed-size label queue
+//!   ([`LabelQueue`]) is kept full (padded with dummies), and the pending
+//!   request with the highest overlap degree is merged next; real requests
+//!   beat dummies on ties, and per-entry age counters prevent starvation
+//!   (Algorithm 1).
+//! * **Dummy request replacing** (§3.3): a dummy selected for merging can be
+//!   replaced by a late-arriving real request up until the refill commits
+//!   the bucket where the two paths cross (Fig 5, cases 1–3).
+//!
+//! On top of these, the **merging-aware cache** ([`MergingAwareCache`],
+//! §3.5) skips the top `len_overlap` levels — which merging keeps in the
+//! stash anyway — and dedicates its capacity to the mid-tree levels.
+//!
+//! [`ForkPathController`] (§4) combines everything behind the same
+//! two-queue architecture as Fig 9: an address queue with data-hazard
+//! handling feeding a label queue that schedules the ORAM requests.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_core::{ForkConfig, ForkPathController};
+//! use fp_path_oram::{Op, OramConfig};
+//! use fp_dram::{DramConfig, DramSystem};
+//!
+//! let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+//! let mut ctl = ForkPathController::new(
+//!     OramConfig::small_test(),
+//!     ForkConfig::default(),
+//!     dram,
+//!     1,
+//! );
+//! ctl.submit(9, Op::Write, vec![1; 16], 0);
+//! ctl.submit(9, Op::Read, vec![], 0);
+//! let done = ctl.run_to_idle();
+//! assert_eq!(done.len(), 2);
+//! assert!(ctl.stats().avg_path_len() < 10.0, "merging shortens paths");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address_queue;
+mod config;
+mod controller;
+mod mac;
+mod plb;
+mod queue;
+pub mod timing;
+
+pub use address_queue::{AddressQueue, SubmitEffect};
+pub use config::{CacheChoice, ForkConfig};
+pub use controller::{ForkPathController, NewRequest, NoFeedback, ReactiveSource};
+pub use mac::MergingAwareCache;
+pub use plb::PosMapLookasideBuffer;
+pub use queue::{Entry, EntryKind, LabelQueue};

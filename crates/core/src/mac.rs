@@ -1,0 +1,355 @@
+//! The merging-aware cache (§3.5, Fig 8, Eq. 1).
+//!
+//! Treetop caching pins the top of the tree, which every path touches. After
+//! path merging those levels are almost never fetched — the first
+//! `len_overlap` levels stay in the stash between consecutive requests — so
+//! a treetop cache of the same size mostly holds useless data. The
+//! merging-aware cache (MAC) instead *bypasses* levels `0..m1`
+//! (`m1 = len_overlap + 1`) and dedicates its capacity to levels
+//! `m1..=m2`, organized as a set-associative cache of decrypted buckets
+//! awaiting write-back.
+//!
+//! Set indexing follows the intent of the paper's Eq. (1): each cached level
+//! owns a contiguous region of sets, allocated in level order starting at
+//! `m1`. Levels whose full bucket population fits are *fully resident*
+//! (`m1..=m2`) — this is what lets a 256 KiB MAC match a 1 MiB treetop cache
+//! (Fig 13): the capacity covers exactly the levels that merging still
+//! fetches. One further level folds into the leftover sets by
+//! `y mod region`, with LRU replacement inside each set.
+
+use fp_path_oram::cache::{BucketCache, WriteOutcome};
+use fp_path_oram::path::{index_in_level, node_level};
+
+/// State of a cached bucket line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Holds decrypted blocks awaiting write-back to DRAM.
+    Dirty,
+    /// The bucket's content was promoted to the stash on a read hit; the
+    /// tag remains so later reads of the (consumed) bucket skip DRAM.
+    /// Dropped silently on eviction — there is nothing to write back.
+    Placeholder,
+}
+
+/// One cached bucket.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    node: u64,
+    last_use: u64,
+    state: LineState,
+}
+
+/// The paper's merging-aware, set-associative bucket cache.
+///
+/// # Example
+///
+/// ```
+/// use fp_core::MergingAwareCache;
+/// use fp_path_oram::cache::BucketCache;
+///
+/// // 1 MiB of 256 B buckets, 4-way, bypassing the top 7 levels.
+/// let mut mac = MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7);
+/// assert_eq!(mac.m1(), 7);
+/// assert_eq!(mac.m2(), 12, "block-granular density: levels 7..=12 resident");
+/// // A root write bypasses the cache entirely.
+/// assert!(!mac.lookup_for_read(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MergingAwareCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    m1: u32,
+    /// Number of fully resident levels starting at `m1` (may be zero).
+    full_levels: u32,
+    /// Sets available to the folded partial level `m2 + 1` (0 = none).
+    partial_sets: u64,
+    /// First set of the partial region.
+    partial_base: u64,
+    tick: u64,
+    resident: usize,
+}
+
+impl MergingAwareCache {
+    /// Creates a MAC with `num_sets` sets of `ways` buckets, caching levels
+    /// `m1..=m2` fully (as many whole levels as fit) plus one folded level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero.
+    pub fn new(num_sets: usize, ways: usize, m1: u32) -> Self {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(ways > 0, "need at least one way");
+        assert!(m1 >= 1, "the root is always shared; m1 must be at least 1");
+        let slots = (num_sets * ways) as u64;
+        // Levels m1..=(m1 + k - 1) fully resident need 2^(m1+k) - 2^m1
+        // bucket slots; find the largest k that fits (possibly zero for
+        // tiny caches — then everything folds into one region).
+        let mut full_levels = 0u32;
+        while full_levels < 40
+            && (1u128 << (m1 + full_levels + 1)) - (1u128 << m1) <= slots as u128
+        {
+            full_levels += 1;
+        }
+        let used_slots = if full_levels == 0 {
+            0
+        } else {
+            (1u64 << (m1 + full_levels)) - (1u64 << m1)
+        };
+        let partial_base = used_slots.div_ceil(ways as u64);
+        let partial_sets = (num_sets as u64).saturating_sub(partial_base);
+        Self {
+            sets: vec![Vec::new(); num_sets],
+            ways,
+            m1,
+            full_levels,
+            partial_sets,
+            partial_base,
+            tick: 0,
+            resident: 0,
+        }
+    }
+
+    /// Sizes the MAC from a byte budget (Fig 13 sweeps 128 KiB – 1 MiB).
+    ///
+    /// Unlike the treetop cache, the MAC stores only *real* blocks (Fig 9:
+    /// each line holds a decrypted data block plus its program address and
+    /// label; dummies are regenerated at write-back). At the paper's 50 %
+    /// tree utilization a bucket averages `Z/2` real blocks, so a byte of
+    /// MAC covers twice the tree footprint a byte of treetop cache does —
+    /// this density is what lets a ~256 KiB MAC match a 1 MiB treetop cache
+    /// (Fig 13). Tag/metadata SRAM is excluded from the capacity figure, as
+    /// in conventional cache sizing.
+    pub fn with_capacity_bytes(bytes: u64, bucket_bytes: u64, ways: usize, m1: u32) -> Self {
+        let effective_bucket_cost = (bucket_bytes / 2).max(1);
+        let buckets = (bytes / effective_bucket_cost).max(1) as usize;
+        let num_sets = (buckets / ways).max(1);
+        Self::new(num_sets, ways, m1)
+    }
+
+    /// Shallowest cached level (`len_overlap + 1`).
+    pub fn m1(&self) -> u32 {
+        self.m1
+    }
+
+    /// Deepest fully resident level (`m1 - 1` when the cache is too small
+    /// to hold any whole level).
+    pub fn m2(&self) -> u32 {
+        // Equals m1 - 1 when full_levels is 0 (guarded by m1 >= 1).
+        self.m1 + self.full_levels - 1
+    }
+
+    /// Deepest cacheable level (the folded partial level, if it exists).
+    pub fn deepest_level(&self) -> u32 {
+        if self.partial_sets > 0 {
+            self.m1 + self.full_levels
+        } else {
+            self.m1 + self.full_levels - 1
+        }
+    }
+
+    /// The set index for a cacheable bucket.
+    fn set_index(&self, node: u64) -> usize {
+        let x = node_level(node);
+        debug_assert!((self.m1..=self.deepest_level()).contains(&x));
+        let y = index_in_level(node);
+        if self.full_levels > 0 && x < self.m1 + self.full_levels {
+            // Fully resident region: one dedicated slot per bucket.
+            let slot = (1u64 << x) - (1u64 << self.m1) + y;
+            (slot / self.ways as u64) as usize
+        } else {
+            // Folded partial level.
+            (self.partial_base + (y % self.partial_sets)) as usize
+        }
+    }
+
+    fn cacheable(&self, node: u64) -> bool {
+        let level = node_level(node);
+        (self.m1..=self.deepest_level()).contains(&level)
+    }
+}
+
+impl BucketCache for MergingAwareCache {
+    fn lookup_for_read(&mut self, node: u64) -> bool {
+        if !self.cacheable(node) {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(node);
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.node == node) {
+            // The bucket's blocks are promoted back to the stash (§4); the
+            // tag stays as a placeholder so subsequent reads of the
+            // consumed bucket also skip DRAM.
+            line.state = LineState::Placeholder;
+            line.last_use = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert_on_write(&mut self, node: u64) -> WriteOutcome {
+        if !self.cacheable(node) {
+            return WriteOutcome::WriteThrough;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = self.set_index(node);
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.node == node) {
+            line.last_use = tick;
+            line.state = LineState::Dirty;
+            return WriteOutcome::Cached;
+        }
+        if lines.len() < ways {
+            lines.push(Line { node, last_use: tick, state: LineState::Dirty });
+            self.resident += 1;
+            return WriteOutcome::Cached;
+        }
+        // Evict LRU, preferring placeholders (free to drop).
+        let (victim_pos, _) = lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| (l.state == LineState::Dirty, l.last_use))
+            .expect("set non-empty");
+        let victim = lines[victim_pos];
+        lines[victim_pos] = Line { node, last_use: tick, state: LineState::Dirty };
+        match victim.state {
+            LineState::Dirty => WriteOutcome::CachedEvicting { victim: victim.node },
+            LineState::Placeholder => WriteOutcome::Cached,
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_at(level: u32, y: u64) -> u64 {
+        (1u64 << level) + y
+    }
+
+    #[test]
+    fn bypasses_levels_outside_window() {
+        let mut mac = MergingAwareCache::new(64, 4, 3);
+        // Level 0 (root) and level 1: bypass.
+        assert_eq!(mac.insert_on_write(1), WriteOutcome::WriteThrough);
+        assert_eq!(mac.insert_on_write(2), WriteOutcome::WriteThrough);
+        // Level m1 caches.
+        assert_eq!(mac.insert_on_write(node_at(3, 0)), WriteOutcome::Cached);
+        // Deeper than the deepest cacheable level: bypass.
+        let deep = node_at(mac.deepest_level() + 1, 0);
+        assert_eq!(mac.insert_on_write(deep), WriteOutcome::WriteThrough);
+    }
+
+    #[test]
+    fn read_hit_leaves_placeholder() {
+        let mut mac = MergingAwareCache::new(64, 4, 2);
+        let n = node_at(2, 1);
+        mac.insert_on_write(n);
+        assert_eq!(mac.resident(), 1);
+        assert!(mac.lookup_for_read(n));
+        // The content moved to the stash, but the tag persists: a later
+        // read of the consumed bucket still skips DRAM.
+        assert!(mac.lookup_for_read(n));
+    }
+
+    #[test]
+    fn placeholder_eviction_is_silent() {
+        let mut mac = MergingAwareCache::new(1, 1, 2);
+        let a = node_at(2, 0);
+        let b = node_at(2, 1);
+        mac.insert_on_write(a);
+        assert!(mac.lookup_for_read(a), "a becomes a placeholder");
+        // b displaces the placeholder: no write-back.
+        assert_eq!(mac.insert_on_write(b), WriteOutcome::Cached);
+        // b is dirty; displacing it must report a victim.
+        assert_eq!(
+            mac.insert_on_write(a),
+            WriteOutcome::CachedEvicting { victim: b }
+        );
+    }
+
+    #[test]
+    fn resident_levels_never_thrash() {
+        // 1 MiB, m1 = 7: levels 7..=12 are fully resident — inserting every
+        // bucket of those levels must never evict.
+        let mut mac = MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7);
+        for level in 7..=12u32 {
+            for y in 0..(1u64 << level) {
+                assert_eq!(
+                    mac.insert_on_write(node_at(level, y)),
+                    WriteOutcome::Cached,
+                    "level {level} y {y}"
+                );
+            }
+        }
+        assert_eq!(mac.resident(), (1 << 13) - (1 << 7));
+        // And every one of them hits on read.
+        assert!(mac.lookup_for_read(node_at(9, 123)));
+    }
+
+    #[test]
+    fn partial_level_folds_and_evicts() {
+        let mut mac = MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7);
+        let partial = mac.deepest_level();
+        assert_eq!(partial, 13);
+        // Insert more partial-level buckets than the leftover capacity
+        // holds: eventually an eviction must occur, and the victim is a
+        // partial-level bucket (resident levels are untouchable).
+        let mut evicted = 0;
+        for y in 0..(1u64 << 13) {
+            if let WriteOutcome::CachedEvicting { victim } =
+                mac.insert_on_write(node_at(13, y))
+            {
+                assert_eq!(node_level(victim), 13);
+                evicted += 1;
+            }
+        }
+        assert!(evicted > 0, "folded level must overflow");
+    }
+
+    #[test]
+    fn m2_scales_with_capacity() {
+        // Block-granular density (2x): 1 MiB -> levels 7..=12;
+        // 256 KiB -> 7..=10; 128 KiB -> 7..=9.
+        assert_eq!(MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7).m2(), 12);
+        assert_eq!(MergingAwareCache::with_capacity_bytes(256 << 10, 256, 4, 7).m2(), 10);
+        assert_eq!(MergingAwareCache::with_capacity_bytes(128 << 10, 256, 4, 7).m2(), 9);
+    }
+
+    #[test]
+    fn lru_eviction_in_partial_region() {
+        let mut mac = MergingAwareCache::new(2, 2, 2);
+        // Tiny cache: level 2 fully resident? 2 sets * 2 ways = 4 slots;
+        // level 2 has 4 buckets -> exactly resident, no partial level.
+        assert_eq!(mac.m2(), 2);
+        assert_eq!(mac.deepest_level(), 2);
+        for y in 0..4 {
+            assert_eq!(mac.insert_on_write(node_at(2, y)), WriteOutcome::Cached);
+        }
+        assert_eq!(mac.resident(), 4);
+    }
+
+    #[test]
+    fn distinct_buckets_map_to_distinct_slots_in_resident_levels() {
+        let mac = MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7);
+        use std::collections::HashMap;
+        let mut per_set: HashMap<usize, u32> = HashMap::new();
+        for level in 7..=12u32 {
+            for y in 0..(1u64 << level) {
+                *per_set.entry(mac.set_index(node_at(level, y))).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            per_set.values().all(|&c| c <= 4),
+            "no set oversubscribed in resident levels"
+        );
+    }
+}

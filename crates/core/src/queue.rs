@@ -1,0 +1,416 @@
+//! The label queue and the ORAM-request scheduler (§3.4, Algorithm 1).
+//!
+//! The queue holds exactly `M` entries at all times: real pending ORAM
+//! requests plus dummy padding with uniformly random labels (Fig 7b). Every
+//! scheduling decision therefore operates on a constant-size window, so the
+//! degree of path overlap reveals nothing about LLC intensity.
+
+use fp_path_oram::path::overlap_degree;
+
+/// What an entry stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A real ORAM request: one step of some LLC request's posmap chain.
+    /// The payload is an opaque flight id owned by the controller.
+    Real {
+        /// Controller-side flight identifier.
+        flight: u64,
+    },
+    /// Dummy padding.
+    Dummy,
+}
+
+/// One label-queue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The ORAM path this request will traverse.
+    pub label: u64,
+    /// Real or dummy.
+    pub kind: EntryKind,
+    /// Time the entry became schedulable, picoseconds.
+    pub ready_ps: u64,
+    /// Scheduling rounds survived without being selected.
+    pub age: u32,
+    /// Insertion order, for FIFO tie-breaking.
+    seq: u64,
+}
+
+impl Entry {
+    /// Whether the entry is a dummy.
+    pub fn is_dummy(&self) -> bool {
+        matches!(self.kind, EntryKind::Dummy)
+    }
+
+    /// A free-standing dummy entry (used when the controller materializes
+    /// the conceptual queue padding as the pending request).
+    pub fn dummy(label: u64, ready_ps: u64) -> Self {
+        Self { label, kind: EntryKind::Dummy, ready_ps, age: 0, seq: u64::MAX }
+    }
+}
+
+/// The fixed-size scheduling queue of Fig 9.
+///
+/// # Example
+///
+/// ```
+/// use fp_core::{EntryKind, LabelQueue};
+/// let mut q = LabelQueue::new(4, 64);
+/// q.pad_with(|| 5); // fill with dummies labelled by the closure
+/// assert_eq!(q.len(), 4);
+/// q.insert_real(3, EntryKind::Real { flight: 0 }, 0).unwrap();
+/// assert_eq!(q.real_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LabelQueue {
+    entries: Vec<Entry>,
+    capacity: usize,
+    starvation_threshold: u32,
+    next_seq: u64,
+}
+
+impl LabelQueue {
+    /// Creates an empty queue with capacity `M`.
+    pub fn new(capacity: usize, starvation_threshold: u32) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self { entries: Vec::with_capacity(capacity), capacity, starvation_threshold, next_seq: 0 }
+    }
+
+    /// Number of entries (equals capacity once padded).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of real entries.
+    pub fn real_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_dummy()).count()
+    }
+
+    /// Whether a real entry can currently be inserted (a dummy to displace
+    /// or a free slot exists).
+    pub fn has_space_for_real(&self) -> bool {
+        self.entries.len() < self.capacity || self.entries.iter().any(Entry::is_dummy)
+    }
+
+    /// Pads the queue with dummies until it holds `M` entries (Fig 7b).
+    /// `fresh_label` draws a uniform leaf label per dummy.
+    pub fn pad_with(&mut self, mut fresh_label: impl FnMut() -> u64) {
+        while self.entries.len() < self.capacity {
+            let seq = self.bump_seq();
+            self.entries.push(Entry {
+                label: fresh_label(),
+                kind: EntryKind::Dummy,
+                ready_ps: 0,
+                age: 0,
+                seq,
+            });
+        }
+    }
+
+    /// Inserts a real request, displacing the oldest dummy if the queue is
+    /// full (Algorithm 1's "replace the first dummy request").
+    ///
+    /// # Errors
+    ///
+    /// Returns the entry back when the queue is full of real requests —
+    /// the address queue must apply backpressure.
+    pub fn insert_real(
+        &mut self,
+        label: u64,
+        kind: EntryKind,
+        ready_ps: u64,
+    ) -> Result<(), EntryKind> {
+        debug_assert!(!matches!(kind, EntryKind::Dummy));
+        let seq = self.bump_seq();
+        let entry = Entry { label, kind, ready_ps, age: 0, seq };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return Ok(());
+        }
+        // Oldest dummy = smallest seq among dummies.
+        match self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_dummy())
+            .min_by_key(|(_, e)| e.seq)
+        {
+            Some((idx, _)) => {
+                self.entries[idx] = entry;
+                Ok(())
+            }
+            None => Err(kind),
+        }
+    }
+
+    /// Selects and removes the next request to merge with the path `current`
+    /// (§3.4): the ready entry with the highest overlap degree; ties prefer
+    /// real over dummy, then FIFO. An entry whose age exceeded the
+    /// starvation threshold wins outright (oldest first).
+    ///
+    /// When `scheduling` is false the queue degrades to ready-FIFO (with the
+    /// same real-over-dummy preference), isolating the merging technique for
+    /// ablations.
+    ///
+    /// Returns `None` when no entry is ready by `now_ps` (the queue is
+    /// conceptually full of dummies; the controller materializes one
+    /// lazily).
+    pub fn select(
+        &mut self,
+        levels: u32,
+        current: u64,
+        now_ps: u64,
+        scheduling: bool,
+    ) -> Option<Entry> {
+        let ready =
+            |e: &Entry| e.ready_ps <= now_ps;
+
+        // Starvation promotion first.
+        let starved = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| ready(e) && e.age >= self.starvation_threshold)
+            .min_by_key(|(_, e)| e.seq)
+            .map(|(i, _)| i);
+
+        let idx = starved.or_else(|| {
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| ready(e))
+                .max_by(|(_, a), (_, b)| {
+                    let key = |e: &Entry| {
+                        let overlap = if scheduling {
+                            overlap_degree(levels, current, e.label)
+                        } else {
+                            0
+                        };
+                        // Real requests outrank dummy padding outright —
+                        // dummies are launched only when no real request is
+                        // schedulable (§3.2 step 6; this is what keeps the
+                        // extra-request overhead at Fig 11's ~5% instead of
+                        // letting padding flood the bus). Among peers:
+                        // higher overlap first, then FIFO (smaller seq wins,
+                        // so invert).
+                        (!e.is_dummy(), overlap, u64::MAX - e.seq)
+                    };
+                    key(a).cmp(&key(b))
+                })
+                .map(|(i, _)| i)
+        })?;
+
+        // Age every loser that was eligible this round.
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if i != idx && e.ready_ps <= now_ps {
+                e.age += 1;
+            }
+        }
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Puts a previously selected entry back (a real pending displaced by
+    /// Algorithm 1's swap). Displaces the oldest dummy if needed; if the
+    /// queue is somehow full of reals the entry is force-appended (capacity
+    /// is then transiently exceeded, which can only happen via swaps).
+    pub fn restore(&mut self, entry: Entry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return;
+        }
+        if let Some((idx, _)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_dummy())
+            .min_by_key(|(_, e)| e.seq)
+        {
+            self.entries[idx] = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Iterates over the entries (for stats/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// Searches for a real entry that may replace the pending request
+    /// mid-refill (§3.3 / Algorithm 1).
+    ///
+    /// Eligibility: the entry arrived *after* the pending request was
+    /// selected (`ready_ps` in `(window_lo, now]`), the bucket where its
+    /// path crosses the current path has not been committed yet
+    /// (`divergence <= max_cross_level`, Fig 5 case 3), and it either beats
+    /// the pending request's overlap strictly or the pending request is a
+    /// dummy. Returns the best such entry, removed from the queue.
+    #[allow(clippy::too_many_arguments)]
+    pub fn take_replacement(
+        &mut self,
+        levels: u32,
+        current: u64,
+        window_lo: u64,
+        now_ps: u64,
+        pending_overlap: u32,
+        pending_is_dummy: bool,
+        max_cross_level: u32,
+    ) -> Option<Entry> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                !e.is_dummy()
+                    && e.ready_ps > window_lo
+                    && e.ready_ps <= now_ps
+                    && overlap_degree(levels, current, e.label) - 1 <= max_cross_level
+                    && (pending_is_dummy
+                        || overlap_degree(levels, current, e.label) > pending_overlap)
+            })
+            .max_by_key(|(_, e)| (overlap_degree(levels, current, e.label), u64::MAX - e.seq))
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real(flight: u64) -> EntryKind {
+        EntryKind::Real { flight }
+    }
+
+    #[test]
+    fn pad_fills_to_capacity() {
+        let mut q = LabelQueue::new(8, 64);
+        let mut n = 0u64;
+        q.pad_with(|| {
+            n += 1;
+            n
+        });
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.real_count(), 0);
+        assert!(q.has_space_for_real());
+    }
+
+    #[test]
+    fn insert_replaces_oldest_dummy() {
+        let mut q = LabelQueue::new(2, 64);
+        q.pad_with(|| 0);
+        q.insert_real(5, real(1), 0).unwrap();
+        assert_eq!(q.real_count(), 1);
+        assert_eq!(q.len(), 2);
+        q.insert_real(6, real(2), 0).unwrap();
+        assert_eq!(q.real_count(), 2);
+        // Now full of reals.
+        assert!(!q.has_space_for_real());
+        assert!(q.insert_real(7, real(3), 0).is_err());
+    }
+
+    #[test]
+    fn select_prefers_highest_overlap() {
+        // Fig 6: current = path-1 (L = 3); pending paths 4 and 0.
+        let mut q = LabelQueue::new(4, 64);
+        q.insert_real(4, real(10), 0).unwrap();
+        q.insert_real(0, real(20), 0).unwrap();
+        q.pad_with(|| 7); // low-overlap dummies
+        let picked = q.select(3, 1, 0, true).unwrap();
+        assert_eq!(picked.label, 0, "path-0 overlaps path-1 more than path-4");
+        assert_eq!(picked.kind, real(20));
+    }
+
+    #[test]
+    fn tie_prefers_real_over_dummy() {
+        let mut q = LabelQueue::new(2, 64);
+        // Dummy with the same label as the real: identical overlap.
+        let mut labels = [3u64].into_iter();
+        q.pad_with(|| labels.next().unwrap_or(3));
+        q.insert_real(3, real(1), 0).unwrap();
+        q.pad_with(|| 3);
+        let picked = q.select(3, 3, 0, true).unwrap();
+        assert!(!picked.is_dummy());
+    }
+
+    #[test]
+    fn unready_entries_are_skipped() {
+        let mut q = LabelQueue::new(2, 64);
+        q.insert_real(7, real(1), 1_000).unwrap(); // ready in the future
+        q.pad_with(|| 0);
+        let picked = q.select(3, 7, 500, true).unwrap();
+        assert!(picked.is_dummy(), "future real must not be schedulable yet");
+        assert_eq!(q.real_count(), 1);
+    }
+
+    #[test]
+    fn select_returns_none_when_nothing_ready() {
+        let mut q = LabelQueue::new(2, 64);
+        q.insert_real(7, real(1), 1_000).unwrap();
+        assert!(q.select(3, 0, 500, true).is_none());
+    }
+
+    #[test]
+    fn starvation_promotes_aged_entry() {
+        let mut q = LabelQueue::new(4, 3); // threshold 3 rounds
+        q.insert_real(4, real(99), 0).unwrap(); // poor overlap with current 0
+        // A stream of perfect-overlap competitors keeps winning...
+        for i in 0..3 {
+            q.insert_real(0, real(i), 0).unwrap();
+            let e = q.select(3, 0, 0, true).unwrap();
+            assert_eq!(e.kind, real(i), "fresh perfect-overlap entry wins round {i}");
+        }
+        // ...until the old entry's age crosses the threshold.
+        q.insert_real(0, real(7), 0).unwrap();
+        let e = q.select(3, 0, 0, true).unwrap();
+        assert_eq!(e.kind, real(99), "starved entry must be promoted");
+    }
+
+    #[test]
+    fn dummy_only_launches_when_no_real_ready() {
+        let mut q = LabelQueue::new(4, 64);
+        // Dummy with perfect overlap vs real with the worst overlap.
+        q.pad_with(|| 1);
+        q.insert_real(7, real(1), 0).unwrap();
+        let e = q.select(3, 1, 0, true).unwrap();
+        assert!(!e.is_dummy(), "reals outrank dummy padding outright");
+    }
+
+    #[test]
+    fn fifo_mode_ignores_overlap() {
+        let mut q = LabelQueue::new(4, 64);
+        q.insert_real(4, real(1), 0).unwrap(); // first in
+        q.insert_real(0, real(2), 0).unwrap(); // better overlap with current 1
+        q.pad_with(|| 6);
+        let picked = q.select(3, 1, 0, false).unwrap();
+        assert_eq!(picked.kind, real(1), "scheduling off = FIFO among reals");
+    }
+
+    #[test]
+    fn restore_displaces_dummy() {
+        let mut q = LabelQueue::new(2, 64);
+        q.pad_with(|| 0);
+        let e = q.select(3, 0, 0, true).unwrap();
+        q.pad_with(|| 0);
+        let real_entry = Entry { kind: real(9), ..e };
+        q.restore(real_entry);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.real_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LabelQueue::new(0, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! AES-128 implemented from scratch (FIPS 197), plus a counter mode on top.
+//!
+//! The paper's secure processor assumes a hardware AES counter-mode engine
+//! ([4], §2.3). The workspace default is the ChaCha-class cipher in
+//! [`crate::StreamCipher`] (faster in software); this module provides the
+//! exact primitive the paper names, verified against the FIPS 197 and SP
+//! 800-38A test vectors, for users who want bit-faithful counter-mode
+//! behaviour.
+//!
+//! This is a straightforward table-free implementation (the S-box is a
+//! table; rounds compute MixColumns arithmetically). It is *not*
+//! constant-time and is intended for simulation, not production secrets.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// AES-128 block cipher (encryption direction only — counter mode never
+/// needs the inverse cipher).
+///
+/// # Example
+///
+/// ```
+/// use fp_crypto::Aes128;
+/// // FIPS 197 Appendix B.
+/// let aes = Aes128::new([
+///     0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+///     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+/// ]);
+/// let ct = aes.encrypt_block([
+///     0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+///     0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+/// ]);
+/// assert_eq!(ct[0], 0x39);
+/// assert_eq!(ct[15], 0x32);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut state = block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Counter-mode keystream application: XORs `data` in place with
+    /// `AES(key, counter_block(nonce, i))` for successive block indices.
+    ///
+    /// The 16-byte counter block is `nonce (12 bytes) || i (4 bytes BE)`,
+    /// the SP 800-38A / RFC 3686 style layout.
+    pub fn apply_ctr(&self, nonce: [u8; 12], data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let mut counter_block = [0u8; 16];
+            counter_block[..12].copy_from_slice(&nonce);
+            counter_block[12..].copy_from_slice(&(i as u32 + 1).to_be_bytes());
+            let ks = self.encrypt_block(counter_block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State is column-major: state[c*4 + r] is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        for r in 0..4 {
+            state[c * 4 + r] = col[r] ^ t ^ xtime(col[r] ^ col[(r + 1) % 4]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plain = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(Aes128::new(key).encrypt_block(plain), expected);
+    }
+
+    #[test]
+    fn fips_197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plain: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes128::new(key).encrypt_block(plain), expected);
+    }
+
+    #[test]
+    fn ctr_roundtrip_various_lengths() {
+        let aes = Aes128::new([9u8; 16]);
+        for len in [0usize, 1, 15, 16, 17, 64, 100] {
+            let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut buf = plain.clone();
+            aes.apply_ctr([3u8; 12], &mut buf);
+            if len > 0 {
+                assert_ne!(buf, plain, "len={len}");
+            }
+            aes.apply_ctr([3u8; 12], &mut buf);
+            assert_eq!(buf, plain, "len={len}");
+        }
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let aes = Aes128::new([1u8; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        aes.apply_ctr([0u8; 12], &mut a);
+        aes.apply_ctr([1u8; 12], &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_blocks_differ_with_counter() {
+        let aes = Aes128::new([7u8; 16]);
+        let mut buf = vec![0u8; 32];
+        aes.apply_ctr([5u8; 12], &mut buf);
+        assert_ne!(&buf[..16], &buf[16..]);
+    }
+
+    #[test]
+    fn debug_redacts_round_keys() {
+        let s = format!("{:?}", Aes128::new([0x42; 16]));
+        assert!(s.contains("redacted"));
+    }
+}

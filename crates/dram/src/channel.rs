@@ -1,0 +1,311 @@
+//! Per-channel timing state: banks, data bus, activation windows.
+
+use std::collections::VecDeque;
+
+use crate::config::{DramConfig, Location};
+use crate::stats::DramStats;
+use crate::system::AccessKind;
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Time of the last ACT to this bank (for tRAS).
+    act_time: u64,
+    /// Earliest time the next column command may issue to this bank.
+    next_cas: u64,
+    /// Earliest time a PRE may issue (read/write recovery).
+    next_pre: u64,
+    /// Earliest time an ACT may issue (after precharge completes).
+    next_act: u64,
+}
+
+/// Per-rank activation history for tFAW / tRRD enforcement, plus the
+/// periodic-refresh schedule.
+#[derive(Debug, Clone, Default)]
+struct RankWindow {
+    last_act: Option<u64>,
+    recent_acts: VecDeque<u64>,
+    /// Time the next REF command is due.
+    next_refresh_due: u64,
+}
+
+/// One DRAM channel: a set of banks sharing a command/data bus.
+#[derive(Debug, Clone)]
+pub(crate) struct Channel {
+    banks: Vec<Bank>,
+    ranks: Vec<RankWindow>,
+    /// Time the shared data bus becomes free.
+    bus_free: u64,
+    /// Direction of the last data transfer (for turnaround penalties).
+    last_kind: Option<AccessKind>,
+    banks_per_rank: usize,
+}
+
+/// Outcome of scheduling one burst on a channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Scheduled {
+    /// When the data transfer finishes (data fully read or written).
+    pub finish: u64,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
+impl Channel {
+    pub(crate) fn new(cfg: &DramConfig) -> Self {
+        let banks = vec![Bank::default(); cfg.ranks_per_channel * cfg.banks_per_rank];
+        let ranks = vec![
+            RankWindow { next_refresh_due: cfg.timing.t_refi, ..RankWindow::default() };
+            cfg.ranks_per_channel
+        ];
+        Self { banks, ranks, bus_free: 0, last_kind: None, banks_per_rank: cfg.banks_per_rank }
+    }
+
+    /// Returns whether `loc`'s bank currently has `loc.row` open — the
+    /// FR-FCFS "row hit" predicate.
+    pub(crate) fn is_row_hit(&self, loc: Location) -> bool {
+        self.banks[loc.rank * self.banks_per_rank + loc.bank].open_row == Some(loc.row)
+    }
+
+    /// Schedules a single burst at or after `earliest`, updating all state.
+    pub(crate) fn schedule(
+        &mut self,
+        cfg: &DramConfig,
+        loc: Location,
+        kind: AccessKind,
+        earliest: u64,
+        stats: &mut DramStats,
+    ) -> Scheduled {
+        let t = &cfg.timing;
+        let bank_idx = loc.rank * self.banks_per_rank + loc.bank;
+
+        // Periodic refresh: the rank is unavailable during [due, due+tRFC].
+        // Refreshes that completed during idle time just advance the
+        // schedule; one that overlaps this command delays it.
+        let earliest = {
+            let rank = &mut self.ranks[loc.rank];
+            let mut earliest = earliest;
+            while rank.next_refresh_due + t.t_rfc <= earliest {
+                rank.next_refresh_due += t.t_refi;
+                stats.refreshes += 1;
+            }
+            if earliest >= rank.next_refresh_due {
+                earliest = rank.next_refresh_due + t.t_rfc;
+                rank.next_refresh_due += t.t_refi;
+                stats.refreshes += 1;
+            }
+            earliest
+        };
+
+        let row_hit = self.banks[bank_idx].open_row == Some(loc.row);
+        let had_open_row = self.banks[bank_idx].open_row.is_some();
+
+        // -- Row command phase -------------------------------------------
+        let mut cas_ready = earliest;
+        if !row_hit {
+            let bank = &self.banks[bank_idx];
+            let mut act_at = earliest.max(bank.next_act);
+            if had_open_row {
+                // Precharge the old row first.
+                let pre_at = earliest.max(bank.next_pre).max(bank.act_time + t.t_ras);
+                act_at = act_at.max(pre_at + t.t_rp);
+                stats.precharges += 1;
+            }
+            // Rank-level activation constraints.
+            {
+                let rank = &mut self.ranks[loc.rank];
+                if let Some(last) = rank.last_act {
+                    act_at = act_at.max(last + t.t_rrd);
+                }
+                while rank.recent_acts.len() >= 4 {
+                    let oldest = rank.recent_acts.front().copied().unwrap_or(0);
+                    if act_at >= oldest + t.t_faw {
+                        rank.recent_acts.pop_front();
+                    } else {
+                        act_at = oldest + t.t_faw;
+                    }
+                }
+                rank.last_act = Some(act_at);
+                rank.recent_acts.push_back(act_at);
+            }
+            let bank = &mut self.banks[bank_idx];
+            bank.act_time = act_at;
+            bank.open_row = Some(loc.row);
+            cas_ready = cas_ready.max(act_at + t.t_rcd);
+            stats.activations += 1;
+            stats.row_misses += 1;
+        } else {
+            stats.row_hits += 1;
+        }
+
+        // -- Column command phase ----------------------------------------
+        let cas_latency = match kind {
+            AccessKind::Read => t.t_cl,
+            AccessKind::Write => t.t_cwl,
+        };
+        let bank = &self.banks[bank_idx];
+        let mut cas_at = cas_ready.max(bank.next_cas);
+
+        // Bus availability: data must start no earlier than bus_free, plus a
+        // turnaround gap when the transfer direction changes.
+        let turnaround = match (self.last_kind, kind) {
+            (Some(AccessKind::Read), AccessKind::Write) => t.t_rtw,
+            (Some(AccessKind::Write), AccessKind::Read) => t.t_wtr,
+            _ => 0,
+        };
+        let earliest_data = self.bus_free + turnaround;
+        if cas_at + cas_latency < earliest_data {
+            cas_at = earliest_data - cas_latency;
+        }
+
+        let data_start = cas_at + cas_latency;
+        let data_end = data_start + t.t_burst;
+
+        // -- State updates -------------------------------------------------
+        let bank = &mut self.banks[bank_idx];
+        bank.next_cas = cas_at + t.t_ccd;
+        match kind {
+            AccessKind::Read => {
+                bank.next_pre = bank.next_pre.max(cas_at + t.t_rtp);
+                stats.reads += 1;
+                stats.read_energy_pj += cfg.read_energy_pj;
+            }
+            AccessKind::Write => {
+                bank.next_pre = bank.next_pre.max(data_end + t.t_wr);
+                stats.writes += 1;
+                stats.write_energy_pj += cfg.write_energy_pj;
+            }
+        }
+        if !row_hit {
+            stats.act_energy_pj += cfg.act_pre_energy_pj;
+        }
+        // ACT after PRE: next_act tracks "row closed and precharged"; derive
+        // lazily when the next conflicting access arrives.
+        bank.next_act = bank.next_act.max(bank.act_time + t.t_ras + t.t_rp);
+
+        self.bus_free = data_end;
+        self.last_kind = Some(kind);
+
+        Scheduled { finish: data_end, row_hit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(bank: usize, row: u64) -> Location {
+        Location { channel: 0, rank: 0, bank, row }
+    }
+
+    fn setup() -> (DramConfig, Channel, DramStats) {
+        let cfg = DramConfig::ddr3_1600(1);
+        let ch = Channel::new(&cfg);
+        (cfg, ch, DramStats::default())
+    }
+
+    #[test]
+    fn first_access_pays_act_plus_cas() {
+        let (cfg, mut ch, mut st) = setup();
+        let s = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, 0, &mut st);
+        let t = &cfg.timing;
+        assert_eq!(s.finish, t.t_rcd + t.t_cl + t.t_burst);
+        assert!(!s.row_hit);
+        assert_eq!(st.activations, 1);
+        assert_eq!(st.row_misses, 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss() {
+        let (cfg, mut ch, mut st) = setup();
+        let first = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, 0, &mut st);
+        let hit = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, first.finish, &mut st);
+        assert!(hit.row_hit);
+        let hit_latency = hit.finish - first.finish;
+
+        let (cfg2, mut ch2, mut st2) = setup();
+        let f = ch2.schedule(&cfg2, loc(0, 5), AccessKind::Read, 0, &mut st2);
+        let miss = ch2.schedule(&cfg2, loc(0, 9), AccessKind::Read, f.finish, &mut st2);
+        assert!(!miss.row_hit);
+        let miss_latency = miss.finish - f.finish;
+        assert!(miss_latency > hit_latency, "{miss_latency} vs {hit_latency}");
+        assert_eq!(st2.precharges, 1, "conflict forced a precharge");
+    }
+
+    #[test]
+    fn data_bus_serializes_parallel_banks() {
+        let (cfg, mut ch, mut st) = setup();
+        // Two different banks activated in parallel still share the bus.
+        let a = ch.schedule(&cfg, loc(0, 1), AccessKind::Read, 0, &mut st);
+        let b = ch.schedule(&cfg, loc(1, 1), AccessKind::Read, 0, &mut st);
+        assert!(b.finish >= a.finish + cfg.timing.t_burst);
+    }
+
+    #[test]
+    fn write_to_read_turnaround_applies() {
+        let (cfg, mut ch, mut st) = setup();
+        let w = ch.schedule(&cfg, loc(0, 1), AccessKind::Write, 0, &mut st);
+        let r = ch.schedule(&cfg, loc(1, 1), AccessKind::Read, 0, &mut st);
+        assert!(r.finish >= w.finish + cfg.timing.t_wtr + cfg.timing.t_burst);
+    }
+
+    #[test]
+    fn faw_limits_burst_of_activations() {
+        let (cfg, mut ch, mut st) = setup();
+        // 5 activations to distinct banks at time 0: the 5th must wait tFAW.
+        let mut finishes = Vec::new();
+        for bank in 0..5 {
+            let s = ch.schedule(&cfg, loc(bank, 1), AccessKind::Read, 0, &mut st);
+            finishes.push(s.finish);
+        }
+        assert_eq!(st.activations, 5);
+        // The 5th ACT is at >= tFAW, so its data can't finish before
+        // tFAW + tRCD + tCL + tBURST.
+        let t = &cfg.timing;
+        assert!(finishes[4] >= t.t_faw + t.t_rcd + t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn energy_accumulates_per_command() {
+        let (cfg, mut ch, mut st) = setup();
+        ch.schedule(&cfg, loc(0, 1), AccessKind::Read, 0, &mut st);
+        ch.schedule(&cfg, loc(0, 1), AccessKind::Write, 0, &mut st);
+        assert_eq!(st.act_energy_pj, cfg.act_pre_energy_pj);
+        assert_eq!(st.read_energy_pj, cfg.read_energy_pj);
+        assert_eq!(st.write_energy_pj, cfg.write_energy_pj);
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+
+    #[test]
+    fn refresh_delays_overlapping_access() {
+        let cfg = DramConfig::ddr3_1600(1);
+        let mut ch = Channel::new(&cfg);
+        let mut st = DramStats::default();
+        let loc = Location { channel: 0, rank: 0, bank: 0, row: 1 };
+        // Land exactly on the first refresh due time.
+        let due = cfg.timing.t_refi;
+        let s = ch.schedule(&cfg, loc, AccessKind::Read, due, &mut st);
+        assert!(s.finish >= due + cfg.timing.t_rfc, "command waits out tRFC");
+        assert_eq!(st.refreshes, 1);
+    }
+
+    #[test]
+    fn idle_refreshes_advance_schedule_silently() {
+        let cfg = DramConfig::ddr3_1600(1);
+        let mut ch = Channel::new(&cfg);
+        let mut st = DramStats::default();
+        let loc = Location { channel: 0, rank: 0, bank: 0, row: 1 };
+        // Arrive after ~10 refresh intervals of idleness.
+        let t = cfg.timing.t_refi * 10 + cfg.timing.t_refi / 2;
+        let s = ch.schedule(&cfg, loc, AccessKind::Read, t, &mut st);
+        assert!(st.refreshes >= 10);
+        // The access itself is not delayed (it fell between refreshes).
+        let expected = t + cfg.timing.t_rcd + cfg.timing.t_cl + cfg.timing.t_burst;
+        assert_eq!(s.finish, expected);
+    }
+}

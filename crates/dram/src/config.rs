@@ -1,0 +1,251 @@
+//! DRAM configuration: geometry, timing, and energy parameters.
+
+/// Timing parameters in picoseconds.
+///
+/// Defaults follow a DDR3-1600 11-11-11 part (tCK = 1.25 ns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Clock period of the DRAM command clock (800 MHz for DDR3-1600).
+    pub t_ck: u64,
+    /// ACT to internal read/write delay (row to column).
+    pub t_rcd: u64,
+    /// PRE to ACT delay (row precharge).
+    pub t_rp: u64,
+    /// CAS read latency (column access to first data).
+    pub t_cl: u64,
+    /// CAS write latency.
+    pub t_cwl: u64,
+    /// ACT to PRE minimum (row active time).
+    pub t_ras: u64,
+    /// Data burst duration for BL8 on the data bus.
+    pub t_burst: u64,
+    /// CAS-to-CAS minimum within a bank group / channel.
+    pub t_ccd: u64,
+    /// Read to PRE delay.
+    pub t_rtp: u64,
+    /// Write recovery: end of write data to PRE.
+    pub t_wr: u64,
+    /// Write-to-read turnaround (end of write data to next read CAS).
+    pub t_wtr: u64,
+    /// Read-to-write turnaround on the shared data bus.
+    pub t_rtw: u64,
+    /// ACT-to-ACT minimum, different banks, same rank.
+    pub t_rrd: u64,
+    /// Four-activate window per rank.
+    pub t_faw: u64,
+    /// Average refresh interval per rank (tREFI).
+    pub t_refi: u64,
+    /// Refresh cycle time: the rank is unavailable for this long (tRFC).
+    pub t_rfc: u64,
+}
+
+impl DramTiming {
+    /// DDR3-1600 (11-11-11) timing.
+    pub fn ddr3_1600() -> Self {
+        Self {
+            t_ck: 1_250,
+            t_rcd: 13_750,
+            t_rp: 13_750,
+            t_cl: 13_750,
+            t_cwl: 10_000, // CWL=8
+            t_ras: 35_000,
+            t_burst: 5_000, // BL8 at 1600 MT/s on x64: 4 clocks
+            t_ccd: 5_000,   // 4 clocks
+            t_rtp: 7_500,
+            t_wr: 15_000,
+            t_wtr: 7_500,
+            t_rtw: 2_500, // 2 clocks bus turnaround
+            t_rrd: 6_250, // 5 clocks
+            t_faw: 30_000,
+            t_refi: 7_800_000, // 7.8 us
+            t_rfc: 260_000,    // 4 Gb-class device
+        }
+    }
+
+    /// DDR3-1066 (7-7-7) timing — a slower-memory sensitivity point.
+    pub fn ddr3_1066() -> Self {
+        Self {
+            t_ck: 1_875,
+            t_rcd: 13_125,
+            t_rp: 13_125,
+            t_cl: 13_125,
+            t_cwl: 11_250,
+            t_ras: 37_500,
+            t_burst: 7_500,
+            t_ccd: 7_500,
+            t_rtp: 7_500,
+            t_wr: 15_000,
+            t_wtr: 7_500,
+            t_rtw: 3_750,
+            t_rrd: 7_500,
+            t_faw: 37_500,
+            t_refi: 7_800_000,
+            t_rfc: 260_000,
+        }
+    }
+}
+
+/// How a flat physical address is split into channel/bank/row/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AddressMapping {
+    /// `row : bank : channel : column` — consecutive cache blocks stay in the
+    /// same row, channels interleave at row-ish granularity. Works well with
+    /// the subtree layout: one subtree = one row in one bank.
+    #[default]
+    RowBankChannelColumn,
+    /// `row : bank : column : channel` — consecutive blocks alternate
+    /// channels (fine-grain channel interleaving).
+    ChannelInterleaved,
+}
+
+/// Full DRAM system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Number of independent channels (each with its own bus).
+    pub channels: usize,
+    /// Ranks per channel (modelled for background power and tFAW).
+    pub ranks_per_channel: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row (page) size in bytes, per rank (across all chips).
+    pub row_bytes: u64,
+    /// Transfer granularity in bytes (one BL8 burst on a x64 bus = 64 B).
+    pub burst_bytes: u64,
+    /// Timing parameters.
+    pub timing: DramTiming,
+    /// Address mapping scheme.
+    pub mapping: AddressMapping,
+    /// Energy per activate+precharge pair, picojoules.
+    pub act_pre_energy_pj: u64,
+    /// Energy per read burst, picojoules.
+    pub read_energy_pj: u64,
+    /// Energy per write burst, picojoules.
+    pub write_energy_pj: u64,
+    /// Background power per rank, milliwatts (includes refresh).
+    pub background_mw_per_rank: u64,
+}
+
+impl DramConfig {
+    /// DDR3-1066 variant of [`DramConfig::ddr3_1600`] for slower-memory
+    /// sensitivity studies.
+    pub fn ddr3_1066(channels: usize) -> Self {
+        Self { timing: DramTiming::ddr3_1066(), ..Self::ddr3_1600(channels) }
+    }
+
+    /// The paper's memory system: DDR3-1600 with `channels` channels
+    /// (Table 1 uses 2), 8 banks, 8 KiB rows, 64 B bursts.
+    ///
+    /// Energy constants follow Micron DDR3 power-calculator style estimates
+    /// for an 8-chip x8 rank: ~25 nJ per ACT/PRE pair, ~6 nJ per burst.
+    /// Refresh energy is folded into the background power figure.
+    pub fn ddr3_1600(channels: usize) -> Self {
+        Self {
+            channels,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            row_bytes: 8 * 1024,
+            burst_bytes: 64,
+            timing: DramTiming::ddr3_1600(),
+            mapping: AddressMapping::default(),
+            act_pre_energy_pj: 25_000,
+            read_energy_pj: 6_000,
+            write_energy_pj: 6_500,
+            background_mw_per_rank: 150,
+        }
+    }
+
+    /// Total banks across the system.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Decomposes a physical byte address into `(channel, rank, bank, row)`.
+    ///
+    /// The column is implied by the low `burst_bytes` bits; the simulator
+    /// only needs row identity for row-buffer behaviour.
+    pub fn decompose(&self, addr: u64) -> Location {
+        let burst = addr / self.burst_bytes;
+        let bursts_per_row = self.row_bytes / self.burst_bytes;
+        match self.mapping {
+            AddressMapping::RowBankChannelColumn => {
+                // column : channel : bank : rank : row (low → high)
+                let col = burst % bursts_per_row;
+                let rest = burst / bursts_per_row;
+                let channel = (rest % self.channels as u64) as usize;
+                let rest = rest / self.channels as u64;
+                let bank = (rest % self.banks_per_rank as u64) as usize;
+                let rest = rest / self.banks_per_rank as u64;
+                let rank = (rest % self.ranks_per_channel as u64) as usize;
+                let row = rest / self.ranks_per_channel as u64;
+                let _ = col;
+                Location { channel, rank, bank, row }
+            }
+            AddressMapping::ChannelInterleaved => {
+                let channel = (burst % self.channels as u64) as usize;
+                let rest = burst / self.channels as u64;
+                let col = rest % bursts_per_row;
+                let rest = rest / bursts_per_row;
+                let bank = (rest % self.banks_per_rank as u64) as usize;
+                let rest = rest / self.banks_per_rank as u64;
+                let rank = (rest % self.ranks_per_channel as u64) as usize;
+                let row = rest / self.ranks_per_channel as u64;
+                let _ = col;
+                Location { channel, rank, bank, row }
+            }
+        }
+    }
+}
+
+/// A decomposed physical location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_totals() {
+        let cfg = DramConfig::ddr3_1600(2);
+        assert_eq!(cfg.total_banks(), 16);
+        assert_eq!(cfg.timing.t_ck, 1250);
+    }
+
+    #[test]
+    fn same_row_maps_to_same_location() {
+        let cfg = DramConfig::ddr3_1600(2);
+        let a = cfg.decompose(0);
+        let b = cfg.decompose(cfg.row_bytes - 64);
+        assert_eq!(a, b, "all bursts of a row share channel/bank/row");
+        let c = cfg.decompose(cfg.row_bytes);
+        assert_ne!(a, c, "next row differs in some coordinate");
+    }
+
+    #[test]
+    fn channel_interleaved_alternates_channels() {
+        let mut cfg = DramConfig::ddr3_1600(2);
+        cfg.mapping = AddressMapping::ChannelInterleaved;
+        assert_eq!(cfg.decompose(0).channel, 0);
+        assert_eq!(cfg.decompose(64).channel, 1);
+        assert_eq!(cfg.decompose(128).channel, 0);
+    }
+
+    #[test]
+    fn rows_distribute_over_banks() {
+        let cfg = DramConfig::ddr3_1600(2);
+        // Consecutive rows (in the default mapping) rotate channel then bank.
+        let locs: Vec<_> = (0..32u64).map(|i| cfg.decompose(i * cfg.row_bytes)).collect();
+        let distinct_banks: std::collections::HashSet<_> =
+            locs.iter().map(|l| (l.channel, l.bank)).collect();
+        assert!(distinct_banks.len() >= 8, "rows spread over banks: {distinct_banks:?}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Physical layouts of an ORAM tree in DRAM.
+//!
+//! The naive (breadth-first) layout scatters a path's buckets across rows:
+//! every level past the first few lives in a different row, so a path access
+//! pays ~L row activations. The *subtree layout* of Ren et al. [18] (adopted
+//! by the paper, §5.1) instead packs each depth-`s` subtree contiguously so
+//! it fills exactly one DRAM row; a root-to-leaf path then touches only
+//! `ceil((L+1)/s)` rows.
+
+/// Strategy for placing tree buckets in physical memory.
+pub trait TreeLayout {
+    /// Physical byte address of the first byte of bucket `node` (1-based
+    /// heap index: root = 1, children of `n` are `2n`, `2n+1`).
+    fn bucket_address(&self, node: u64) -> u64;
+
+    /// Total bytes occupied by the tree.
+    fn footprint_bytes(&self) -> u64;
+}
+
+/// Breadth-first (level-order) layout: bucket `n` at `(n - 1) * bucket_bytes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearLayout {
+    levels: u32,
+    bucket_bytes: u64,
+}
+
+impl LinearLayout {
+    /// Creates a layout for a tree with `levels` levels (root = level 0, so
+    /// a tree of `levels = L + 1`) and `bucket_bytes` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero.
+    pub fn new(levels: u32, bucket_bytes: u64) -> Self {
+        assert!(levels > 0, "tree must have at least one level");
+        Self { levels, bucket_bytes }
+    }
+}
+
+impl TreeLayout for LinearLayout {
+    fn bucket_address(&self, node: u64) -> u64 {
+        debug_assert!(node >= 1);
+        (node - 1) * self.bucket_bytes
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        ((1u64 << self.levels) - 1) * self.bucket_bytes
+    }
+}
+
+/// Subtree layout: the tree is sliced into layers of `s` levels; each layer
+/// is a forest of depth-`s` subtrees, and each subtree's `2^s - 1` buckets
+/// are stored contiguously (one DRAM row when sized right).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeLayout {
+    levels: u32,
+    bucket_bytes: u64,
+    subtree_levels: u32,
+    /// Byte offset where each layer starts.
+    layer_base: Vec<u64>,
+    /// Padded byte size of one subtree in each layer (padded to the nominal
+    /// full-subtree size so rows stay aligned).
+    subtree_stride: u64,
+}
+
+impl SubtreeLayout {
+    /// Creates a subtree layout.
+    ///
+    /// `subtree_levels` is the depth of each packed subtree. To fill an
+    /// 8 KiB row with 256 B buckets (Z=4, 64 B blocks), use 5 levels
+    /// (31 buckets ≈ 7.75 KiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` or `subtree_levels` is zero.
+    pub fn new(levels: u32, bucket_bytes: u64, subtree_levels: u32) -> Self {
+        assert!(levels > 0, "tree must have at least one level");
+        assert!(subtree_levels > 0, "subtree must have at least one level");
+        let s = subtree_levels;
+        let stride = ((1u64 << s) - 1) * bucket_bytes;
+        let num_layers = levels.div_ceil(s);
+        let mut layer_base = Vec::with_capacity(num_layers as usize);
+        let mut base = 0u64;
+        for layer in 0..num_layers {
+            layer_base.push(base);
+            // Layer `q` has 2^(q*s) subtrees, each padded to `stride`.
+            let subtrees = 1u64 << (layer * s);
+            base += subtrees * stride;
+        }
+        Self { levels, bucket_bytes, subtree_levels: s, layer_base, subtree_stride: stride }
+    }
+
+    /// Picks the subtree depth whose packed size best fills `row_bytes`, then
+    /// builds the layout. This is the configuration the paper uses.
+    pub fn fit_row(levels: u32, bucket_bytes: u64, row_bytes: u64) -> Self {
+        let mut best = 1u32;
+        for s in 1..=levels.min(16) {
+            let size = ((1u64 << s) - 1) * bucket_bytes;
+            if size <= row_bytes {
+                best = s;
+            } else {
+                break;
+            }
+        }
+        Self::new(levels, bucket_bytes, best)
+    }
+
+    /// The subtree depth chosen for this layout.
+    pub fn subtree_levels(&self) -> u32 {
+        self.subtree_levels
+    }
+
+    /// Number of distinct subtrees (rows) a full root-to-leaf path touches.
+    pub fn subtrees_per_path(&self) -> u32 {
+        self.levels.div_ceil(self.subtree_levels)
+    }
+}
+
+impl TreeLayout for SubtreeLayout {
+    fn bucket_address(&self, node: u64) -> u64 {
+        debug_assert!(node >= 1);
+        let level = 63 - node.leading_zeros() as u64; // depth of `node`
+        let s = self.subtree_levels as u64;
+        let layer = level / s;
+        let depth_in_subtree = level - layer * s;
+        // The subtree root is `node`'s ancestor at level `layer * s`.
+        let subtree_root = node >> depth_in_subtree;
+        let subtree_index = subtree_root - (1u64 << (layer * s));
+        // BFS offset inside the subtree.
+        let first_at_depth = (1u64 << depth_in_subtree) - 1;
+        let pos_in_depth = node - (subtree_root << depth_in_subtree);
+        let offset = first_at_depth + pos_in_depth;
+        self.layer_base[layer as usize]
+            + subtree_index * self.subtree_stride
+            + offset * self.bucket_bytes
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        let last = self.layer_base.len() - 1;
+        let subtrees = 1u64 << (last as u32 * self.subtree_levels);
+        self.layer_base[last] + subtrees * self.subtree_stride
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn all_nodes(levels: u32) -> impl Iterator<Item = u64> {
+        1..(1u64 << levels)
+    }
+
+    #[test]
+    fn linear_layout_is_dense_and_unique() {
+        let layout = LinearLayout::new(6, 256);
+        let addrs: HashSet<u64> = all_nodes(6).map(|n| layout.bucket_address(n)).collect();
+        assert_eq!(addrs.len(), 63);
+        assert_eq!(layout.footprint_bytes(), 63 * 256);
+        assert!(addrs.iter().all(|a| a % 256 == 0 && *a < layout.footprint_bytes()));
+    }
+
+    #[test]
+    fn subtree_layout_addresses_are_unique_and_in_bounds() {
+        for levels in [1u32, 3, 5, 6, 10, 11] {
+            for s in [1u32, 2, 3, 5] {
+                let layout = SubtreeLayout::new(levels, 256, s);
+                let addrs: HashSet<u64> =
+                    all_nodes(levels).map(|n| layout.bucket_address(n)).collect();
+                assert_eq!(
+                    addrs.len(),
+                    (1usize << levels) - 1,
+                    "collision at levels={levels} s={s}"
+                );
+                let fp = layout.footprint_bytes();
+                assert!(addrs.iter().all(|&a| a + 256 <= fp));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_members_are_contiguous() {
+        // levels=10, s=5: the root subtree (levels 0..4, nodes 1..=31) must
+        // occupy one contiguous stride.
+        let layout = SubtreeLayout::new(10, 256, 5);
+        let addrs: Vec<u64> = (1u64..32).map(|n| layout.bucket_address(n)).collect();
+        let min = *addrs.iter().min().unwrap();
+        let max = *addrs.iter().max().unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max - min, 30 * 256, "31 buckets tightly packed");
+    }
+
+    #[test]
+    fn path_touches_few_subtrees() {
+        let layout = SubtreeLayout::new(25, 256, 5);
+        assert_eq!(layout.subtrees_per_path(), 5);
+        // Walk a root-to-leaf path and count distinct 8 KiB-aligned regions
+        // (stride-aligned), which correspond to subtree rows.
+        let leaf = (1u64 << 24) + 12345;
+        let mut node = leaf;
+        let mut regions = HashSet::new();
+        while node >= 1 {
+            regions.insert(layout.bucket_address(node) / layout.subtree_stride);
+            if node == 1 {
+                break;
+            }
+            node >>= 1;
+        }
+        assert_eq!(regions.len(), 5, "25-level path crosses exactly 5 subtrees");
+    }
+
+    #[test]
+    fn fit_row_picks_largest_fitting_subtree() {
+        // 256 B buckets, 8 KiB rows: 2^5 - 1 = 31 buckets = 7936 B fits;
+        // 2^6 - 1 = 63 buckets = 16128 B does not.
+        let layout = SubtreeLayout::fit_row(25, 256, 8 * 1024);
+        assert_eq!(layout.subtree_levels(), 5);
+    }
+
+    #[test]
+    fn siblings_share_subtree_when_small() {
+        let layout = SubtreeLayout::new(8, 64, 4);
+        // Nodes 2 and 3 are in the root subtree with node 1.
+        let stride = layout.subtree_stride;
+        let root_region = layout.bucket_address(1) / stride;
+        assert_eq!(layout.bucket_address(2) / stride, root_region);
+        assert_eq!(layout.bucket_address(3) / stride, root_region);
+        // A node at level 4 starts a new layer.
+        assert_ne!(layout.bucket_address(16) / stride, root_region);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = LinearLayout::new(0, 64);
+    }
+}

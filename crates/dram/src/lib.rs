@@ -1,0 +1,42 @@
+//! # fp-dram
+//!
+//! A DDR3 main-memory timing and energy simulator, standing in for DRAMSim2
+//! in the Fork Path ORAM reproduction (§5.1 of the paper).
+//!
+//! The model captures what the paper's evaluation depends on:
+//!
+//! * **Bank/row-buffer state**: open-page policy, row hits vs. row misses,
+//!   with full ACT/PRE/CAS timing (`tRCD`, `tRP`, `tCL`, `tCWL`, `tRAS`,
+//!   `tCCD`, `tRTP`, `tWR`, `tWTR`, `tRRD`, `tFAW`).
+//! * **Channel-level parallelism** and data-bus serialization with
+//!   read/write turnaround penalties.
+//! * **FR-FCFS scheduling** of request batches (a path read/write issues all
+//!   its bucket blocks at once).
+//! * **Energy accounting** from command counts (activation, read, write)
+//!   plus rank background power — the inputs of Fig 15.
+//! * **Subtree layout** ([`layout::SubtreeLayout`], Ren et al. [18]): ORAM
+//!   tree buckets are packed so that a path descent touches few DRAM rows.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_dram::{AccessKind, DramConfig, DramSystem};
+//!
+//! let mut dram = DramSystem::new(DramConfig::ddr3_1600(2));
+//! let done = dram.access(0, 4096, AccessKind::Read);
+//! assert!(done.finish_ps > 0);
+//! assert_eq!(dram.stats().reads, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod config;
+pub mod layout;
+mod stats;
+mod system;
+
+pub use config::{AddressMapping, DramConfig, DramTiming};
+pub use stats::DramStats;
+pub use system::{AccessKind, AccessResult, BatchResult, DramSystem};

@@ -1,0 +1,98 @@
+//! Command and energy counters.
+
+/// Aggregate DRAM statistics: command counts, row-buffer behaviour, energy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read bursts serviced.
+    pub reads: u64,
+    /// Write bursts serviced.
+    pub writes: u64,
+    /// Row activations issued.
+    pub activations: u64,
+    /// Precharges issued (row conflicts only; idle precharge not modelled).
+    pub precharges: u64,
+    /// Column accesses that hit the open row.
+    pub row_hits: u64,
+    /// Column accesses that required an activation.
+    pub row_misses: u64,
+    /// Dynamic energy from activations, picojoules.
+    pub act_energy_pj: u64,
+    /// Dynamic energy from read bursts, picojoules.
+    pub read_energy_pj: u64,
+    /// Dynamic energy from write bursts, picojoules.
+    pub write_energy_pj: u64,
+    /// REF commands issued (refresh energy is part of background power).
+    pub refreshes: u64,
+}
+
+impl DramStats {
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`; zero when no accesses occurred.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Total dynamic energy in picojoules.
+    pub fn dynamic_energy_pj(&self) -> u64 {
+        self.act_energy_pj + self.read_energy_pj + self.write_energy_pj
+    }
+
+    /// Background (static + refresh) energy over `elapsed_ps`, given total
+    /// rank count and per-rank background power in milliwatts.
+    pub fn background_energy_pj(elapsed_ps: u64, ranks: u64, mw_per_rank: u64) -> u64 {
+        // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
+        elapsed_ps.saturating_mul(ranks).saturating_mul(mw_per_rank) / 1000
+    }
+
+    /// Difference of two snapshots (`self` later than `earlier`).
+    pub fn since(&self, earlier: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            activations: self.activations - earlier.activations,
+            precharges: self.precharges - earlier.precharges,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            act_energy_pj: self.act_energy_pj - earlier.act_energy_pj,
+            read_energy_pj: self.read_energy_pj - earlier.read_energy_pj,
+            write_energy_pj: self.write_energy_pj - earlier.write_energy_pj,
+            refreshes: self.refreshes - earlier.refreshes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn background_energy_math() {
+        // 1 second, 2 ranks, 150 mW each => 0.3 J = 3e11 pJ.
+        let pj = DramStats::background_energy_pj(1_000_000_000_000, 2, 150);
+        assert_eq!(pj, 300_000_000_000);
+    }
+
+    #[test]
+    fn since_subtracts_fields() {
+        let early = DramStats { reads: 2, writes: 1, ..Default::default() };
+        let late = DramStats { reads: 10, writes: 5, ..Default::default() };
+        let d = late.since(&early);
+        assert_eq!(d.reads, 8);
+        assert_eq!(d.writes, 4);
+        assert_eq!(d.accesses(), 12);
+    }
+}

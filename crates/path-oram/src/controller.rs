@@ -1,0 +1,483 @@
+//! The traditional Path ORAM controller (the paper's baseline).
+//!
+//! Requests are processed strictly in order; every ORAM access traverses a
+//! *complete* path: read all `L + 1` buckets, then refill all `L + 1`
+//! buckets (§2.3 steps 1–5). The Fork Path controller in `fp-core` shares
+//! all the underlying machinery but replaces this orchestration.
+
+use std::collections::VecDeque;
+
+use fp_dram::layout::{SubtreeLayout, TreeLayout};
+use fp_dram::{AccessKind, DramSystem};
+
+use crate::cache::{BucketCache, NoCache, TreetopCache, WriteOutcome};
+use crate::config::OramConfig;
+use crate::state::OramState;
+use crate::stats::OramStats;
+
+/// LLC request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Cache-line fill.
+    Read,
+    /// Dirty write-back.
+    Write,
+}
+
+/// A request from the last-level cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlcRequest {
+    /// Caller-chosen id, echoed in the [`Completion`].
+    pub id: u64,
+    /// Program (data-block) address, in block units.
+    pub addr: u64,
+    /// Direction.
+    pub op: Op,
+    /// Payload for writes.
+    pub data: Option<Vec<u8>>,
+    /// Arrival time at the ORAM controller, picoseconds.
+    pub arrival_ps: u64,
+    /// Opaque caller tag echoed in the [`Completion`] (e.g. the issuing
+    /// core, for closed-loop drivers).
+    pub tag: u64,
+}
+
+/// A completed LLC request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Id from the originating request.
+    pub id: u64,
+    /// Program address.
+    pub addr: u64,
+    /// Data as read (pre-write payload for writes).
+    pub data: Vec<u8>,
+    /// Arrival time, picoseconds.
+    pub arrival_ps: u64,
+    /// Time the data block's read phase delivered the data, picoseconds.
+    pub done_ps: u64,
+    /// Tag from the originating request.
+    pub tag: u64,
+}
+
+/// Fixed controller pipeline latency charged once per phase (decrypt,
+/// stash/posmap logic); the rest overlaps DRAM as in §4.
+const CTRL_PHASE_LATENCY_PS: u64 = 20_000; // 20 ns
+
+/// The baseline Path ORAM controller.
+///
+/// # Example
+///
+/// ```
+/// use fp_path_oram::{BaselineController, OramConfig, Op};
+/// use fp_dram::{DramConfig, DramSystem};
+///
+/// let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+/// let mut ctl = BaselineController::new(OramConfig::small_test(), dram, 1);
+/// ctl.submit(3, Op::Write, vec![9; 16], 0);
+/// ctl.submit(3, Op::Read, vec![], 0);
+/// let done = ctl.run_to_idle();
+/// assert_eq!(done[1].data[0], 9);
+/// ```
+#[derive(Debug)]
+pub struct BaselineController {
+    state: OramState,
+    dram: DramSystem,
+    layout: SubtreeLayout,
+    cache: Box<dyn BucketCache + Send>,
+    queue: VecDeque<LlcRequest>,
+    clock_ps: u64,
+    next_id: u64,
+    stats: OramStats,
+    label_trace: Option<Vec<u64>>,
+    bursts_per_bucket: u64,
+}
+
+impl BaselineController {
+    /// Creates a controller with no on-chip bucket cache.
+    pub fn new(cfg: OramConfig, dram: DramSystem, seed: u64) -> Self {
+        Self::with_cache(cfg, dram, seed, Box::new(NoCache))
+    }
+
+    /// Creates a controller with a treetop cache of `bytes` capacity.
+    pub fn with_treetop(cfg: OramConfig, dram: DramSystem, seed: u64, bytes: u64) -> Self {
+        let cache = TreetopCache::with_capacity_bytes(bytes, cfg.bucket_bytes());
+        Self::with_cache(cfg, dram, seed, Box::new(cache))
+    }
+
+    /// Creates a controller with an arbitrary cache policy.
+    pub fn with_cache(
+        cfg: OramConfig,
+        dram: DramSystem,
+        seed: u64,
+        cache: Box<dyn BucketCache + Send>,
+    ) -> Self {
+        let layout = SubtreeLayout::fit_row(
+            cfg.path_len(),
+            cfg.bucket_bytes(),
+            dram.config().row_bytes,
+        );
+        let bursts_per_bucket = cfg.bucket_bytes().div_ceil(dram.config().burst_bytes).max(1);
+        Self {
+            state: OramState::new(cfg, seed),
+            dram,
+            layout,
+            cache,
+            queue: VecDeque::new(),
+            clock_ps: 0,
+            next_id: 0,
+            stats: OramStats::default(),
+            label_trace: None,
+            bursts_per_bucket,
+        }
+    }
+
+    /// Enqueues a request; returns its id.
+    pub fn submit(&mut self, addr: u64, op: Op, data: Vec<u8>, arrival_ps: u64) -> u64 {
+        self.submit_tagged(addr, op, data, arrival_ps, 0)
+    }
+
+    /// Enqueues a request carrying an opaque routing tag; returns its id.
+    pub fn submit_tagged(
+        &mut self,
+        addr: u64,
+        op: Op,
+        data: Vec<u8>,
+        arrival_ps: u64,
+        tag: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let data = match op {
+            Op::Write => Some(data),
+            Op::Read => None,
+        };
+        self.queue.push_back(LlcRequest { id, addr, op, data, arrival_ps, tag });
+        id
+    }
+
+    /// Processes every queued request in FIFO order.
+    pub fn run_to_idle(&mut self) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(req) = self.queue.pop_front() {
+            out.push(self.process(req));
+        }
+        out
+    }
+
+    /// Starts recording the externally visible leaf-label sequence.
+    pub fn enable_label_trace(&mut self) {
+        self.label_trace = Some(Vec::new());
+    }
+
+    /// The recorded label sequence, if tracing was enabled.
+    pub fn label_trace(&self) -> Option<&[u64]> {
+        self.label_trace.as_deref()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &OramStats {
+        &self.stats
+    }
+
+    /// The DRAM system (for command/energy stats).
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
+    /// The trusted ORAM state (for invariant checks in tests).
+    pub fn state(&self) -> &OramState {
+        &self.state
+    }
+
+    /// Current controller clock, picoseconds.
+    pub fn clock_ps(&self) -> u64 {
+        self.clock_ps
+    }
+
+    /// Convenience: submit one request and run it to completion now.
+    pub fn access_sync(&mut self, addr: u64, op: Op, data: Vec<u8>) -> Vec<u8> {
+        let arrival = self.clock_ps;
+        self.submit(addr, op, data, arrival);
+        let mut done = self.run_to_idle();
+        done.pop().expect("one completion").data
+    }
+
+    fn process(&mut self, req: LlcRequest) -> Completion {
+        self.clock_ps = self.clock_ps.max(req.arrival_ps);
+        let levels = self.state.config().levels;
+        let chain = self.state.chain(req.addr);
+        let (mut old, mut new, _) = self.state.start_chain(req.addr);
+
+        if self.state.stash_hit(req.addr) {
+            self.stats.stash_hits += 1;
+        }
+
+        let mut data = Vec::new();
+        let mut done_ps = self.clock_ps;
+        for (i, &u) in chain.iter().enumerate() {
+            // Step 1: a block already in the stash is handled on chip with
+            // no ORAM access ("returned to LLC immediately"). Under
+            // super-block grouping the shortcut also requires the whole
+            // group on chip (the relabel must not orphan tree residents).
+            if self.state.stash_hit(u)
+                && (i + 1 < chain.len() || self.state.group_shortcut_safe(u))
+            {
+                self.stats.stash_hits += 1;
+                if i + 1 < chain.len() {
+                    let (o, n, _) = self.state.chain_step(u, new, chain[i + 1]);
+                    old = o;
+                    new = n;
+                } else {
+                    let (read, _) = self.state.apply_op(u, new, req.data.as_deref());
+                    data = read;
+                    done_ps = self.clock_ps;
+                }
+                continue;
+            }
+            if let Some(trace) = &mut self.label_trace {
+                trace.push(old);
+            }
+            // Read phase: the complete path.
+            let access_start = self.clock_ps;
+            let nodes = self.state.load_path_range(old, 0, levels);
+            let read_end = self.read_phase_timing(&nodes);
+            self.stats.buckets_read += nodes.len() as u64;
+
+            // Block handling between the phases.
+            if i + 1 < chain.len() {
+                let (o, n, _) = self.state.chain_step(u, new, chain[i + 1]);
+                self.refill(old, read_end);
+                old = o;
+                new = n;
+            } else {
+                let (read, _) = self.state.apply_op(u, new, req.data.as_deref());
+                data = read;
+                done_ps = read_end;
+                self.refill(old, read_end);
+            }
+            self.stats.oram_accesses += 1;
+            self.stats.real_accesses += 1;
+            self.stats.access_busy_ps += self.clock_ps.saturating_sub(access_start);
+            self.stats.stash_size_sum += self.state.stash().len() as u64;
+            self.stats.stash_samples += 1;
+        }
+        self.drain_stash_pressure();
+
+        self.stats.completed_requests += 1;
+        self.stats.sum_latency_ps += done_ps.saturating_sub(req.arrival_ps);
+        self.stats.finish_time_ps = self.clock_ps;
+        Completion { id: req.id, addr: req.addr, data, arrival_ps: req.arrival_ps, done_ps, tag: req.tag }
+    }
+
+    /// Refills the full path and advances the clock past the write phase.
+    fn refill(&mut self, leaf: u64, read_end: u64) {
+        let levels = self.state.config().levels;
+        let nodes = self.state.evict_range(leaf, 0, levels);
+        let write_end = self.write_phase_timing(&nodes, read_end);
+        self.stats.buckets_written += nodes.len() as u64;
+        self.clock_ps = write_end;
+    }
+
+    /// Issues DRAM reads for `nodes` (minus cache hits) at the current
+    /// clock; returns when the data is available.
+    fn read_phase_timing(&mut self, nodes: &[u64]) -> u64 {
+        let mut batch = Vec::with_capacity(nodes.len() * self.bursts_per_bucket as usize);
+        for &node in nodes {
+            if self.cache.lookup_for_read(node) {
+                self.stats.cache_hits += 1;
+                continue;
+            }
+            self.stats.cache_misses += 1;
+            self.push_bucket_bursts(&mut batch, node, AccessKind::Read);
+        }
+        self.finish_batch(batch)
+    }
+
+    /// Issues DRAM writes for refilled `nodes` (minus cache absorptions)
+    /// starting at `start`; returns when the writes drain.
+    ///
+    /// The refill is an *ordered* leaf-to-root stream of bucket writes —
+    /// the order the adversary observes, which the Fork Path
+    /// dummy-replacing window is defined over — so buckets are issued
+    /// sequentially rather than as a freely reordered batch.
+    fn write_phase_timing(&mut self, nodes: &[u64], start: u64) -> u64 {
+        self.clock_ps = start;
+        let mut t = start;
+        for &node in nodes {
+            match self.cache.insert_on_write(node) {
+                WriteOutcome::Cached => {}
+                WriteOutcome::WriteThrough => t = self.write_bucket_at(node, t),
+                WriteOutcome::CachedEvicting { victim } => t = self.write_bucket_at(victim, t),
+            }
+        }
+        t + CTRL_PHASE_LATENCY_PS
+    }
+
+    /// Writes one bucket's bursts starting at `t`; returns the commit time.
+    fn write_bucket_at(&mut self, node: u64, t: u64) -> u64 {
+        let mut batch = Vec::with_capacity(self.bursts_per_bucket as usize);
+        self.push_bucket_bursts(&mut batch, node, AccessKind::Write);
+        self.stats.dram_blocks_written += batch.len() as u64;
+        self.dram.access_batch(t, &batch).batch_finish_ps
+    }
+
+    fn push_bucket_bursts(&self, batch: &mut Vec<(u64, AccessKind)>, node: u64, kind: AccessKind) {
+        let base = self.layout.bucket_address(node);
+        for i in 0..self.bursts_per_bucket {
+            batch.push((base + i * self.dram.config().burst_bytes, kind));
+        }
+    }
+
+    fn finish_batch(&mut self, batch: Vec<(u64, AccessKind)>) -> u64 {
+        if batch.is_empty() {
+            return self.clock_ps + CTRL_PHASE_LATENCY_PS;
+        }
+        match batch[0].1 {
+            AccessKind::Read => self.stats.dram_blocks_read += batch.len() as u64,
+            AccessKind::Write => self.stats.dram_blocks_written += batch.len() as u64,
+        }
+        let result = self.dram.access_batch(self.clock_ps, &batch);
+        result.batch_finish_ps + CTRL_PHASE_LATENCY_PS
+    }
+
+    /// Background eviction (Ren et al. [18]): if the stash exceeds its
+    /// nominal capacity, issue dummy accesses until pressure subsides.
+    fn drain_stash_pressure(&mut self) {
+        let levels = self.state.config().levels;
+        let mut guard = 0;
+        while self.state.stash().over_capacity() && guard < 64 {
+            let label = self.state.random_label();
+            if let Some(trace) = &mut self.label_trace {
+                trace.push(label);
+            }
+            let nodes = self.state.load_path_range(label, 0, levels);
+            let read_end = self.read_phase_timing(&nodes);
+            self.stats.buckets_read += nodes.len() as u64;
+            let wnodes = self.state.evict_range(label, 0, levels);
+            let write_end = self.write_phase_timing(&wnodes, read_end);
+            self.stats.buckets_written += wnodes.len() as u64;
+            self.clock_ps = write_end;
+            self.stats.oram_accesses += 1;
+            self.stats.dummy_accesses += 1;
+            self.stats.background_evictions += 1;
+            guard += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_dram::DramConfig;
+
+    fn controller() -> BaselineController {
+        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+        BaselineController::new(OramConfig::small_test(), dram, 7)
+    }
+
+    #[test]
+    fn write_then_read_returns_data() {
+        let mut ctl = controller();
+        let payload = vec![0x5A; 16];
+        ctl.access_sync(100, Op::Write, payload.clone());
+        let got = ctl.access_sync(100, Op::Read, vec![]);
+        assert_eq!(got, payload);
+        ctl.state().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unwritten_block_reads_zero() {
+        let mut ctl = controller();
+        let got = ctl.access_sync(55, Op::Read, vec![]);
+        assert_eq!(got, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn every_access_touches_full_paths() {
+        let mut ctl = controller();
+        ctl.access_sync(1, Op::Read, vec![]);
+        let stats = ctl.stats();
+        let path_len = 10.0; // small_test: levels = 9
+        assert_eq!(stats.avg_path_len(), path_len);
+        // small_test hierarchy: 2 posmap levels + data = 3 accesses.
+        assert_eq!(stats.oram_accesses, 3);
+    }
+
+    #[test]
+    fn latency_accumulates_and_clock_advances() {
+        let mut ctl = controller();
+        ctl.submit(1, Op::Read, vec![], 0);
+        ctl.submit(2, Op::Read, vec![], 0);
+        let done = ctl.run_to_idle();
+        assert!(done[0].done_ps > 0);
+        assert!(done[1].done_ps > done[0].done_ps, "requests serialize");
+        assert!(ctl.stats().avg_latency_ns() > 0.0);
+        // The second request queues behind the first, so it waits longer.
+        let l0 = done[0].done_ps - done[0].arrival_ps;
+        let l1 = done[1].done_ps - done[1].arrival_ps;
+        assert!(l1 > l0);
+    }
+
+    #[test]
+    fn treetop_reduces_dram_traffic() {
+        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+        let mut plain = BaselineController::new(OramConfig::small_test(), dram, 7);
+        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+        let mut cached =
+            BaselineController::with_treetop(OramConfig::small_test(), dram, 7, 16 << 10);
+        for addr in 0..32 {
+            plain.access_sync(addr, Op::Read, vec![]);
+            cached.access_sync(addr, Op::Read, vec![]);
+        }
+        assert!(cached.stats().dram_blocks_read < plain.stats().dram_blocks_read);
+        assert!(cached.stats().cache_hits > 0);
+        assert!(
+            cached.stats().finish_time_ps < plain.stats().finish_time_ps,
+            "treetop caching should save time"
+        );
+    }
+
+    #[test]
+    fn label_trace_has_one_label_per_access() {
+        let mut ctl = controller();
+        ctl.enable_label_trace();
+        for addr in 0..8 {
+            ctl.access_sync(addr, Op::Read, vec![]);
+        }
+        let trace = ctl.label_trace().unwrap();
+        assert_eq!(trace.len() as u64, ctl.stats().oram_accesses);
+        let leaves = ctl.state().config().leaf_count();
+        assert!(trace.iter().all(|&l| l < leaves));
+    }
+
+    #[test]
+    fn repeated_access_remaps_to_fresh_paths() {
+        let mut ctl = controller();
+        ctl.enable_label_trace();
+        for _ in 0..24 {
+            ctl.access_sync(42, Op::Read, vec![]);
+        }
+        let trace = ctl.label_trace().unwrap();
+        let distinct: std::collections::HashSet<_> = trace.iter().collect();
+        assert!(
+            distinct.len() > trace.len() / 2,
+            "same address must not revisit the same path: {} distinct of {}",
+            distinct.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn stash_stays_bounded_under_load() {
+        let mut ctl = controller();
+        for i in 0..300u64 {
+            ctl.access_sync(i % 64, if i % 3 == 0 { Op::Write } else { Op::Read }, vec![1; 16]);
+        }
+        ctl.state().check_invariants().unwrap();
+        assert!(
+            ctl.state().stash().high_water() < 150,
+            "stash high water {} should stay modest",
+            ctl.state().stash().high_water()
+        );
+    }
+}

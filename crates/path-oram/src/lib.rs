@@ -1,0 +1,66 @@
+//! # fp-path-oram
+//!
+//! The baseline Path ORAM substrate of the Fork Path reproduction (§2.3 of
+//! the paper): everything a secure processor's ORAM controller needs *before*
+//! the Fork Path optimizations are layered on top by `fp-core`.
+//!
+//! ## Components
+//!
+//! * [`OramConfig`] — tree geometry (levels, bucket size `Z`, block size) and
+//!   capacity helpers mirroring Table 1 (4 GB data ORAM, `L = 24`, `Z = 4`).
+//! * [`path`] — leaf/path arithmetic: path node enumeration, shared-prefix
+//!   ("overlap degree") computation that path merging and request scheduling
+//!   are built on.
+//! * [`TreeStore`] — the untrusted external memory: a sparse, lazily
+//!   initialized bucket store with counter-mode probabilistic re-encryption
+//!   on every bucket write.
+//! * [`Stash`] — the trusted on-chip block buffer with greedy deepest-first
+//!   eviction.
+//! * [`PosMapHierarchy`] — unified hierarchical position map (Fig 2): posmap
+//!   ORAMs share the data ORAM's tree and address space; recursion continues
+//!   until the top map fits on chip.
+//! * [`OramState`] — the combined trusted state with the phase primitives
+//!   (`load_path_range`, `finish_access`, `evict_range`) that both the
+//!   baseline and the Fork Path controllers drive.
+//! * [`BaselineController`] — the traditional Path ORAM controller: every
+//!   access reads and refills a complete path.
+//! * [`cache`] — the on-chip bucket-cache abstraction with the prior-art
+//!   [`cache::TreetopCache`] policy (Phantom [13]).
+//! * [`integrity`] — Merkle-tree verification over the ORAM tree, the
+//!   combinable defence against active attacks the paper points to (§2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use fp_path_oram::{BaselineController, OramConfig, Op};
+//! use fp_dram::{DramConfig, DramSystem};
+//!
+//! let cfg = OramConfig::small_test(); // tiny tree for examples/tests
+//! let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+//! let mut ctl = BaselineController::new(cfg, dram, 1234);
+//! ctl.submit(7, Op::Write, vec![0xAB; 16], 0);
+//! let completions = ctl.run_to_idle();
+//! assert_eq!(completions.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod config;
+pub mod integrity;
+mod controller;
+pub mod path;
+mod posmap;
+mod stash;
+mod state;
+mod stats;
+mod tree;
+
+pub use config::{CipherMode, OramConfig};
+pub use controller::{BaselineController, Completion, LlcRequest, Op};
+pub use posmap::PosMapHierarchy;
+pub use stash::{Block, Stash};
+pub use state::{AccessOutcome, OramState};
+pub use stats::OramStats;
+pub use tree::TreeStore;

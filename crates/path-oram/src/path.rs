@@ -1,0 +1,179 @@
+//! Leaf and path arithmetic for the ORAM binary tree.
+//!
+//! Buckets are identified by 1-based heap indices: the root is node `1`,
+//! node `n`'s children are `2n` and `2n + 1`. The leaf with label `l`
+//! (`0 <= l < 2^L`) is node `2^L + l`. A *path* is the root-to-leaf bucket
+//! sequence; the *overlap degree* of two paths is the number of buckets they
+//! share, which is what path merging and request scheduling operate on.
+
+/// Node id of the leaf carrying `label` in a tree of depth `levels`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fp_path_oram::path::leaf_node(3, 1), 9);
+/// ```
+pub fn leaf_node(levels: u32, label: u64) -> u64 {
+    debug_assert!(label < (1u64 << levels));
+    (1u64 << levels) + label
+}
+
+/// The bucket at `level` (0 = root) on the path to `label`.
+///
+/// # Example
+///
+/// ```
+/// use fp_path_oram::path::node_at_level;
+/// // Path to leaf 1 in an L = 3 tree: nodes 1, 2, 4, 9.
+/// assert_eq!(node_at_level(3, 1, 0), 1);
+/// assert_eq!(node_at_level(3, 1, 3), 9);
+/// ```
+pub fn node_at_level(levels: u32, label: u64, level: u32) -> u64 {
+    debug_assert!(level <= levels);
+    leaf_node(levels, label) >> (levels - level)
+}
+
+/// All buckets on the path to `label`, indexed by level (root first).
+pub fn path_nodes(levels: u32, label: u64) -> Vec<u64> {
+    (0..=levels).map(|d| node_at_level(levels, label, d)).collect()
+}
+
+/// Number of buckets shared by the paths to `a` and `b` (the paper's
+/// *overlap degree*). The root is always shared, so the result is in
+/// `1..=levels + 1`; two equal labels share the entire path.
+///
+/// # Example
+///
+/// ```
+/// use fp_path_oram::path::overlap_degree;
+/// // L = 3: paths to leaves 1 and 3 share the root and node 2.
+/// assert_eq!(overlap_degree(3, 1, 3), 2);
+/// assert_eq!(overlap_degree(3, 5, 5), 4);
+/// assert_eq!(overlap_degree(3, 0, 7), 1);
+/// ```
+pub fn overlap_degree(levels: u32, a: u64, b: u64) -> u32 {
+    debug_assert!(a < (1u64 << levels) && b < (1u64 << levels));
+    let diff = a ^ b;
+    if diff == 0 {
+        levels + 1
+    } else {
+        let bitlen = 64 - diff.leading_zeros();
+        levels + 1 - bitlen
+    }
+}
+
+/// Deepest level at which the paths to `a` and `b` share a bucket
+/// (`overlap_degree - 1`). Path merging reads/writes levels strictly below
+/// this.
+pub fn divergence_level(levels: u32, a: u64, b: u64) -> u32 {
+    overlap_degree(levels, a, b) - 1
+}
+
+/// Level of a node id (root = 0).
+pub fn node_level(node: u64) -> u32 {
+    debug_assert!(node >= 1);
+    63 - node.leading_zeros()
+}
+
+/// Whether the path to `label` passes through `node`.
+pub fn path_contains(levels: u32, label: u64, node: u64) -> bool {
+    let d = node_level(node);
+    d <= levels && node_at_level(levels, label, d) == node
+}
+
+/// Index of `node` within its level, counted from the left (0-based) —
+/// the `y` coordinate of the merging-aware cache's Eq. (1).
+pub fn index_in_level(node: u64) -> u64 {
+    node - (1u64 << node_level(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_nodes_match_figure_one() {
+        // Fig 1(a): L = 3, path-1 descends 1 -> 2 -> 4 -> 9.
+        assert_eq!(path_nodes(3, 1), vec![1, 2, 4, 9]);
+        assert_eq!(path_nodes(3, 0), vec![1, 2, 4, 8]);
+        assert_eq!(path_nodes(3, 7), vec![1, 3, 7, 15]);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let o = overlap_degree(3, a, b);
+                assert_eq!(o, overlap_degree(3, b, a));
+                assert!((1..=4).contains(&o));
+                // Cross-check against explicit path intersection.
+                let pa = path_nodes(3, a);
+                let pb = path_nodes(3, b);
+                let shared = pa.iter().filter(|n| pb.contains(n)).count() as u32;
+                assert_eq!(o, shared, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_three_example() {
+        // §3.1: paths 1 and 3 overlap in buckets A and B (root + level 1).
+        assert_eq!(overlap_degree(3, 1, 3), 2);
+        assert_eq!(divergence_level(3, 1, 3), 1);
+    }
+
+    #[test]
+    fn figure_six_scheduling_example() {
+        // §3.4 / Fig 6: current is path-1; path-0 overlaps more than path-4.
+        let with_0 = overlap_degree(3, 1, 0);
+        let with_4 = overlap_degree(3, 1, 4);
+        assert!(with_0 > with_4, "path-0 ({with_0}) beats path-4 ({with_4})");
+    }
+
+    #[test]
+    fn node_levels_and_membership() {
+        assert_eq!(node_level(1), 0);
+        assert_eq!(node_level(2), 1);
+        assert_eq!(node_level(9), 3);
+        assert!(path_contains(3, 1, 4));
+        assert!(!path_contains(3, 1, 5));
+        assert!(path_contains(3, 1, 1));
+    }
+
+    #[test]
+    fn index_in_level_counts_from_left() {
+        assert_eq!(index_in_level(1), 0);
+        assert_eq!(index_in_level(2), 0);
+        assert_eq!(index_in_level(3), 1);
+        assert_eq!(index_in_level(9), 1);
+        assert_eq!(index_in_level(15), 7);
+    }
+
+    #[test]
+    fn expected_overlap_of_random_pairs_is_about_two() {
+        // Statistical backbone of path merging (§3.2): for uniform labels
+        // the expected overlap degree is sum 2^-i ~= 2.
+        let levels = 16u32;
+        let mut rng = fastrand_like(42);
+        let n = 20_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let a = rng() % (1 << levels);
+            let b = rng() % (1 << levels);
+            total += overlap_degree(levels, a, b) as u64;
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean overlap {mean}");
+    }
+
+    fn fastrand_like(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The combined trusted ORAM state and the phase primitives controllers
+//! drive.
+//!
+//! [`OramState`] owns the tree store (untrusted memory contents), the stash,
+//! the posmap hierarchy and its on-chip fragment, and the label RNG. Both
+//! the baseline controller and `fp-core`'s Fork Path controller are thin
+//! orchestration layers over three primitives:
+//!
+//! 1. [`OramState::load_path_range`] — the read phase (or the non-overlapped
+//!    part of it, under path merging),
+//! 2. [`OramState::chain_step`] / [`OramState::apply_op`] — block handling
+//!    between the phases (posmap entry extraction/update, data read/write),
+//! 3. [`OramState::evict_range`] — the refill phase (full path, or the part
+//!    not shared with the next request).
+
+use fp_crypto::Xoshiro256;
+
+use crate::config::OramConfig;
+use crate::path::{node_at_level, path_contains};
+use crate::posmap::{OnChipMap, PosMapHierarchy};
+use crate::stash::{Block, Stash};
+use crate::tree::TreeStore;
+
+/// Marker in a posmap payload for a never-assigned label.
+const INVALID_LABEL: u32 = u32::MAX;
+
+/// Whether a block access found an existing block or materialized a fresh
+/// one (lazy initialization of untouched memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block existed (in the stash after the path read).
+    Found,
+    /// First touch: the block was created inside the trusted boundary.
+    Created,
+}
+
+/// The trusted contents of the ORAM controller plus the untrusted tree.
+///
+/// # Example
+///
+/// ```
+/// use fp_path_oram::{OramConfig, OramState};
+/// let mut state = OramState::new(OramConfig::small_test(), 7);
+/// let label = state.random_label();
+/// let nodes = state.load_path_range(label, 0, state.config().levels);
+/// assert_eq!(nodes.len() as u32, state.config().path_len());
+/// state.evict_range(label, 0, state.config().levels);
+/// state.check_invariants().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct OramState {
+    cfg: OramConfig,
+    tree: TreeStore,
+    stash: Stash,
+    hierarchy: PosMapHierarchy,
+    onchip: OnChipMap,
+    label_rng: Xoshiro256,
+    created_blocks: u64,
+    /// Every block ever materialized (used to reason about lazily
+    /// nonexistent super-block members).
+    existing: std::collections::HashSet<u64>,
+}
+
+impl OramState {
+    /// Creates a fresh, all-dummy ORAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or uses more than 31 levels (labels
+    /// are stored as 32-bit entries in posmap payloads, as in the paper's
+    /// 4-byte-label sizing).
+    pub fn new(cfg: OramConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid ORAM config");
+        assert!(cfg.levels <= 31, "labels must fit in 32-bit posmap entries");
+        let hierarchy = PosMapHierarchy::new(&cfg);
+        assert!(
+            hierarchy.posmap_levels() == 0
+                || cfg.block_bytes as u64 >= 4 * cfg.posmap_fanout,
+            "block too small to hold {} posmap entries",
+            cfg.posmap_fanout
+        );
+        let onchip = OnChipMap::new(hierarchy.onchip_entries());
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        let tree = TreeStore::new(&cfg, key);
+        Self {
+            cfg,
+            tree,
+            stash: Stash::new(0),
+            hierarchy,
+            onchip,
+            label_rng: Xoshiro256::new(seed ^ 0x5EED_1ABE1),
+            created_blocks: 0,
+            existing: std::collections::HashSet::new(),
+        }
+        .with_stash_capacity()
+    }
+
+    fn with_stash_capacity(mut self) -> Self {
+        self.stash = Stash::new(self.cfg.stash_capacity);
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.cfg
+    }
+
+    /// The posmap hierarchy layout.
+    pub fn hierarchy(&self) -> &PosMapHierarchy {
+        &self.hierarchy
+    }
+
+    /// The stash (read-only view).
+    pub fn stash(&self) -> &Stash {
+        &self.stash
+    }
+
+    /// The untrusted tree store (read-only view).
+    pub fn tree(&self) -> &TreeStore {
+        &self.tree
+    }
+
+    /// Blocks materialized by lazy initialization so far.
+    pub fn created_blocks(&self) -> u64 {
+        self.created_blocks
+    }
+
+    /// On-chip SRAM footprint of the resident position-map fragment.
+    pub fn onchip_map_bytes(&self) -> usize {
+        self.onchip.footprint_bytes()
+    }
+
+    /// Pins `addr` in the stash (exempt from eviction) — the hook a posmap
+    /// lookaside buffer uses to keep hot posmap blocks on chip.
+    pub fn pin_block(&mut self, addr: u64) {
+        self.stash.pin(addr);
+    }
+
+    /// Releases a pin.
+    pub fn unpin_block(&mut self, addr: u64) {
+        self.stash.unpin(addr);
+    }
+
+    /// Draws a uniformly random leaf label (for remaps and dummy paths).
+    pub fn random_label(&mut self) -> u64 {
+        self.label_rng.next_below(self.cfg.leaf_count())
+    }
+
+    /// Starts an access chain for data block `addr`: looks up (and remaps)
+    /// the label of the chain's first element in the on-chip map.
+    ///
+    /// Returns `(old_label, new_label, outcome)`. When the entry was never
+    /// assigned, `old_label` is a fresh random path — the access must still
+    /// happen for obliviousness.
+    pub fn start_chain(&mut self, addr: u64) -> (u64, u64, AccessOutcome) {
+        let idx = self.hierarchy.onchip_index(addr);
+        let new = self.random_label();
+        match self.onchip.get(idx) {
+            Some(old) => {
+                self.onchip.set(idx, new);
+                (old, new, AccessOutcome::Found)
+            }
+            None => {
+                self.onchip.set(idx, new);
+                let old = self.random_label();
+                (old, new, AccessOutcome::Created)
+            }
+        }
+    }
+
+    /// The top-down chain of unified addresses for data block `addr`.
+    pub fn chain(&self, addr: u64) -> Vec<u64> {
+        self.hierarchy.chain(addr)
+    }
+
+    /// Read phase: decrypts the buckets at `level_lo..=level_hi` of the path
+    /// to `leaf` into the stash. Returns the bucket node ids in level order.
+    pub fn load_path_range(&mut self, leaf: u64, level_lo: u32, level_hi: u32) -> Vec<u64> {
+        debug_assert!(level_lo <= level_hi && level_hi <= self.cfg.levels);
+        let mut nodes = Vec::with_capacity((level_hi - level_lo + 1) as usize);
+        for level in level_lo..=level_hi {
+            let node = node_at_level(self.cfg.levels, leaf, level);
+            for block in self.tree.read_bucket(node) {
+                self.stash.insert(block);
+            }
+            // The bucket's contents now live in the stash; the stale copy in
+            // the tree will be overwritten at refill. Clearing it keeps the
+            // "block is in stash XOR on its path" invariant checkable.
+            self.tree.write_bucket(node, Vec::new());
+            nodes.push(node);
+        }
+        nodes
+    }
+
+    /// Completes a posmap chain step: takes the parent posmap block from the
+    /// stash (creating it on first touch), re-labels it to `parent_new_leaf`,
+    /// reads the child's current label from its payload and replaces it with
+    /// a freshly drawn one.
+    ///
+    /// Returns `(child_old_label, child_new_label, outcome_of_child_entry)`.
+    ///
+    /// Drawing the child's new label *now*, while the parent is still in the
+    /// stash, is what makes recursion sound: the parent's payload is final
+    /// before its own refill (§2.3 / Freecursive practice).
+    pub fn chain_step(
+        &mut self,
+        parent_addr: u64,
+        parent_new_leaf: u64,
+        child_addr: u64,
+    ) -> (u64, u64, AccessOutcome) {
+        let slot = self.hierarchy.entry_slot(child_addr);
+        let child_new = self.random_label();
+        #[cfg(feature = "trace-labels")]
+        eprintln!("chain_step parent={parent_addr} -> leaf {parent_new_leaf}, child={child_addr} newlabel={child_new}");
+        let (parent, _) = self.fetch_block(parent_addr, parent_new_leaf);
+        let offset = (slot * 4) as usize;
+        let raw = u32::from_le_bytes(parent.data[offset..offset + 4].try_into().unwrap());
+        parent.data[offset..offset + 4].copy_from_slice(&(child_new as u32).to_le_bytes());
+        if raw == INVALID_LABEL {
+            let child_old = self.random_label();
+            (child_old, child_new, AccessOutcome::Created)
+        } else {
+            (raw as u64, child_new, AccessOutcome::Found)
+        }
+    }
+
+    /// Completes a data-block access: takes the block from the stash
+    /// (creating it on first touch), re-labels it, and applies the request.
+    ///
+    /// For writes, `write_data` replaces the payload (padded/truncated to
+    /// the block size). Returns the payload as read (pre-write).
+    pub fn apply_op(
+        &mut self,
+        addr: u64,
+        new_leaf: u64,
+        write_data: Option<&[u8]>,
+    ) -> (Vec<u8>, AccessOutcome) {
+        let block_bytes = self.cfg.block_bytes;
+        let (block, outcome) = self.fetch_block(addr, new_leaf);
+        let read = block.data.clone();
+        if let Some(data) = write_data {
+            let mut payload = data.to_vec();
+            payload.resize(block_bytes, 0);
+            block.data = payload;
+        }
+        // Static super blocks ([18]): the whole group shares the label, so
+        // every resident member moves with the access. All members mapped
+        // to the old label are in the stash at this point (the read phase
+        // loads the path; merged-away buckets were already in the stash).
+        let sb = self.cfg.super_block;
+        if sb > 1 {
+            let group_base = addr / sb * sb;
+            for member in group_base..(group_base + sb).min(self.cfg.data_blocks) {
+                if member == addr {
+                    continue;
+                }
+                if let Some(b) = self.stash.get_mut(member) {
+                    b.leaf = new_leaf;
+                }
+            }
+        }
+        (read, outcome)
+    }
+
+    /// Whether `addr` currently sits in the stash (the paper's Step 1
+    /// stash-hit check).
+    pub fn stash_hit(&self, addr: u64) -> bool {
+        self.stash.contains(addr)
+    }
+
+    /// Whether a *data* access to `addr` may take the on-chip shortcut
+    /// under super-block grouping: every group member must be on chip (or
+    /// never created), because the shortcut relabels the group without a
+    /// path read — a member left in the tree on the old path would be
+    /// orphaned. Always true when grouping is disabled.
+    pub fn group_shortcut_safe(&self, addr: u64) -> bool {
+        let sb = self.cfg.super_block;
+        if sb <= 1 {
+            return true;
+        }
+        let base = addr / sb * sb;
+        (base..(base + sb).min(self.cfg.data_blocks)).all(|m| {
+            !self.existing.contains(&m) || self.stash.contains(m)
+        })
+    }
+
+    /// Refill phase: greedily evicts stash blocks into the buckets at
+    /// `level_lo..=level_hi` of the path to `leaf`, re-encrypting and
+    /// writing each bucket. Returns node ids in leaf-to-root write order —
+    /// the order the refill commits on the bus, which the dummy-replacing
+    /// window is defined over.
+    pub fn evict_range(&mut self, leaf: u64, level_lo: u32, level_hi: u32) -> Vec<u64> {
+        let plan = self.stash.plan_eviction(self.cfg.levels, leaf, level_lo, level_hi, self.cfg.z);
+        let mut nodes = Vec::with_capacity(plan.len());
+        for (level, blocks) in plan {
+            let node = node_at_level(self.cfg.levels, leaf, level);
+            self.tree.write_bucket(node, blocks);
+            nodes.push(node);
+        }
+        nodes
+    }
+
+    /// Takes `addr` from the stash or materializes it (first touch).
+    fn fetch_block(&mut self, addr: u64, new_leaf: u64) -> (&mut Block, AccessOutcome) {
+        let outcome = if self.stash.contains(addr) {
+            AccessOutcome::Found
+        } else {
+            let payload = self.fresh_payload(addr);
+            self.created_blocks += 1;
+            self.stash.insert(Block::new(addr, new_leaf, payload));
+            AccessOutcome::Created
+        };
+        self.existing.insert(addr);
+        #[cfg(feature = "trace-labels")]
+        eprintln!("fetch_block addr={addr} -> leaf {new_leaf} ({outcome:?})");
+        let block = self.stash.get_mut(addr).expect("just ensured present");
+        block.leaf = new_leaf;
+        (block, outcome)
+    }
+
+    /// Initial payload for a never-written block: posmap blocks start with
+    /// all entries invalid, data blocks with zeros.
+    fn fresh_payload(&self, addr: u64) -> Vec<u8> {
+        if self.hierarchy.level_of(addr) > 0 {
+            vec![0xFF; self.cfg.block_bytes]
+        } else {
+            vec![0u8; self.cfg.block_bytes]
+        }
+    }
+
+    /// Verifies the Path ORAM invariants over the whole state. Intended for
+    /// tests; cost is linear in touched state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found: a block stored
+    /// off its labelled path, an overfull bucket, or a duplicate address.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for (node, blocks) in self.tree.iter_buckets() {
+            if blocks.len() > self.cfg.z {
+                return Err(format!("bucket {node} holds {} > Z blocks", blocks.len()));
+            }
+            for b in blocks {
+                if !path_contains(self.cfg.levels, b.leaf, node) {
+                    return Err(format!(
+                        "block {} labelled {} stored off-path at node {node}",
+                        b.addr, b.leaf
+                    ));
+                }
+                if !seen.insert(b.addr) {
+                    return Err(format!("block {} appears twice", b.addr));
+                }
+            }
+        }
+        for b in self.stash.iter() {
+            if !seen.insert(b.addr) {
+                return Err(format!("block {} in both stash and tree", b.addr));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> OramState {
+        OramState::new(OramConfig::small_test(), 99)
+    }
+
+    #[test]
+    fn full_access_cycle_preserves_invariants() {
+        let mut s = state();
+        let levels = s.config().levels;
+        for addr in 0..16u64 {
+            let (old, new, _) = s.start_chain(addr);
+            // Non-recursive shortcut: drive the data access directly.
+            s.load_path_range(old, 0, levels);
+            let _ = s.apply_op(addr, new, Some(&[addr as u8]));
+            s.evict_range(old, 0, levels);
+            s.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn written_data_reads_back_via_chain() {
+        let mut s = state();
+        let levels = s.config().levels;
+        let payload = vec![0xCD; 16];
+
+        // Full hierarchical write then read of data block 37.
+        for (pass, write) in [(0, true), (1, false)] {
+            let chain = s.chain(37);
+            let (mut old, mut new, _) = s.start_chain(37);
+            for (i, &u) in chain.iter().enumerate() {
+                s.load_path_range(old, 0, levels);
+                if i + 1 < chain.len() {
+                    let (o, n, _) = s.chain_step(u, new, chain[i + 1]);
+                    s.evict_range(old, 0, levels);
+                    old = o;
+                    new = n;
+                } else {
+                    let (read, _) =
+                        s.apply_op(u, new, if write { Some(&payload) } else { None });
+                    s.evict_range(old, 0, levels);
+                    if pass == 1 {
+                        assert_eq!(read, payload, "read back what was written");
+                    }
+                }
+            }
+            s.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn chain_step_persists_child_label() {
+        let mut s = state();
+        let levels = s.config().levels;
+        let chain = s.chain(5);
+        let (old, new, _) = s.start_chain(5);
+        s.load_path_range(old, 0, levels);
+        let (child_old1, child_new1, outcome1) = s.chain_step(chain[0], new, chain[1]);
+        s.evict_range(old, 0, levels);
+        assert_eq!(outcome1, AccessOutcome::Created);
+        let _ = child_old1;
+
+        // Second traversal of the same chain: the stored label must be the
+        // one we just assigned.
+        let (old2, new2, outcome2) = s.start_chain(5);
+        assert_eq!(outcome2, AccessOutcome::Found);
+        s.load_path_range(old2, 0, levels);
+        let (child_old2, _, outcome3) = s.chain_step(chain[0], new2, chain[1]);
+        s.evict_range(old2, 0, levels);
+        assert_eq!(outcome3, AccessOutcome::Found);
+        assert_eq!(child_old2, child_new1, "child label survives in parent payload");
+    }
+
+    #[test]
+    fn onchip_remap_changes_label() {
+        let mut s = state();
+        let (_, new1, _) = s.start_chain(0);
+        let (old2, _, outcome) = s.start_chain(0);
+        assert_eq!(outcome, AccessOutcome::Found);
+        assert_eq!(old2, new1);
+    }
+
+    #[test]
+    fn load_clears_tree_copy() {
+        let mut s = state();
+        let levels = s.config().levels;
+        let (old, new, _) = s.start_chain(3);
+        s.load_path_range(old, 0, levels);
+        let _ = s.apply_op(3, new, Some(&[1]));
+        s.evict_range(old, 0, levels);
+        // Re-read the same path: every real block must now be in exactly one
+        // place.
+        let (old2, _, _) = s.start_chain(3);
+        s.load_path_range(old2, 0, levels);
+        s.check_invariants().unwrap();
+        // Clean up for good measure.
+        s.evict_range(old2, 0, levels);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partial_refill_keeps_shared_prefix_in_stash() {
+        let mut s = state();
+        let levels = s.config().levels;
+        let (old, new, _) = s.start_chain(9);
+        s.load_path_range(old, 0, levels);
+        let _ = s.apply_op(9, new, Some(&[9]));
+        // Merged refill: pretend the next path shares levels 0..=2.
+        s.evict_range(old, 3, levels);
+        s.check_invariants().unwrap();
+        // Blocks that could only live in levels 0..=2 must still be stashed.
+        // (At minimum, nothing was lost: the data block is somewhere.)
+        let in_stash = s.stash().contains(9);
+        let in_tree =
+            s.tree().iter_buckets().any(|(_, blocks)| blocks.iter().any(|b| b.addr == 9));
+        assert!(in_stash ^ in_tree, "block 9 in exactly one place");
+    }
+
+    #[test]
+    fn random_labels_are_in_range_and_vary() {
+        let mut s = state();
+        let leaves = s.config().leaf_count();
+        let labels: Vec<u64> = (0..64).map(|_| s.random_label()).collect();
+        assert!(labels.iter().all(|&l| l < leaves));
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert!(distinct.len() > 16, "labels vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "block too small")]
+    fn rejects_block_too_small_for_posmap() {
+        let mut cfg = OramConfig::small_test();
+        cfg.block_bytes = 8;
+        cfg.posmap_fanout = 16;
+        let _ = OramState::new(cfg, 0);
+    }
+}

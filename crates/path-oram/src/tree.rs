@@ -1,0 +1,236 @@
+//! The untrusted external memory: a sparse, lazily initialized bucket store.
+//!
+//! The real system holds an 8 GB DRAM image; untouched buckets contain only
+//! encrypted dummies, which are indistinguishable from never having been
+//! written. The store therefore materializes buckets on first write, letting
+//! 1–32 GB ORAM configurations (Fig 17b) run in host memory proportional to
+//! the *touched* working set.
+
+use std::collections::HashMap;
+
+use fp_crypto::{BlockCipher, Nonce};
+
+use crate::config::{CipherMode, OramConfig};
+use crate::stash::Block;
+
+/// On-disk (well, in-DRAM) representation of one bucket.
+#[derive(Debug, Clone)]
+enum StoredBucket {
+    /// Plaintext blocks (fast simulation mode).
+    Plain(Vec<Block>),
+    /// Counter-mode ciphertext of the serialized bucket plus the nonce it
+    /// was encrypted under.
+    Sealed { nonce: Nonce, ciphertext: Vec<u8> },
+}
+
+/// The ORAM tree in untrusted memory.
+///
+/// Buckets are addressed by heap node id (root = 1). Reading an untouched
+/// bucket yields no real blocks (it is all dummies); writing a bucket
+/// replaces its contents and, in [`CipherMode::Real`], re-encrypts with a
+/// fresh write-counter nonce so ciphertexts never repeat (§2.3).
+#[derive(Debug)]
+pub struct TreeStore {
+    buckets: HashMap<u64, StoredBucket>,
+    cipher: BlockCipher,
+    mode: CipherMode,
+    z: usize,
+    block_bytes: usize,
+    write_counter: u64,
+}
+
+impl TreeStore {
+    /// Creates an empty (all-dummy) tree for `cfg`, keyed by `key`.
+    pub fn new(cfg: &OramConfig, key: [u8; 32]) -> Self {
+        Self {
+            buckets: HashMap::new(),
+            cipher: BlockCipher::new(key),
+            mode: cfg.cipher_mode,
+            z: cfg.z,
+            block_bytes: cfg.block_bytes,
+            write_counter: 0,
+        }
+    }
+
+    /// Number of buckets that have ever been written.
+    pub fn touched_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Reads and decrypts the real blocks of bucket `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in `Real` mode if the stored ciphertext is corrupt (wrong
+    /// length), which would indicate memory tampering — integrity checking
+    /// proper (Merkle trees) is out of scope, as in the paper.
+    pub fn read_bucket(&self, node: u64) -> Vec<Block> {
+        match self.buckets.get(&node) {
+            None => Vec::new(),
+            Some(StoredBucket::Plain(blocks)) => blocks.clone(),
+            Some(StoredBucket::Sealed { nonce, ciphertext }) => {
+                let plain = self.cipher.decrypt(*nonce, ciphertext);
+                deserialize_bucket(&plain, self.z, self.block_bytes)
+            }
+        }
+    }
+
+    /// Writes bucket `node` with up to `Z` real blocks (the remainder of the
+    /// bucket is dummies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `Z` blocks are supplied or a payload has the
+    /// wrong size.
+    pub fn write_bucket(&mut self, node: u64, blocks: Vec<Block>) {
+        assert!(blocks.len() <= self.z, "bucket overflow: {} > Z={}", blocks.len(), self.z);
+        for b in &blocks {
+            assert_eq!(b.data.len(), self.block_bytes, "payload size mismatch");
+        }
+        self.write_counter += 1;
+        let stored = match self.mode {
+            CipherMode::Transparent => StoredBucket::Plain(blocks),
+            CipherMode::Real => {
+                let nonce = Nonce::new(self.write_counter, node as u32);
+                let plain = serialize_bucket(&blocks, self.z, self.block_bytes);
+                let ciphertext = self.cipher.encrypt(nonce, &plain);
+                StoredBucket::Sealed { nonce, ciphertext }
+            }
+        };
+        self.buckets.insert(node, stored);
+    }
+
+    /// Raw stored bytes of bucket `node` (ciphertext in `Real` mode) — used
+    /// by tests to confirm nothing recognizable leaks to untrusted memory.
+    pub fn raw_bucket(&self, node: u64) -> Option<Vec<u8>> {
+        match self.buckets.get(&node)? {
+            StoredBucket::Plain(blocks) => {
+                Some(serialize_bucket(blocks, self.z, self.block_bytes))
+            }
+            StoredBucket::Sealed { ciphertext, .. } => Some(ciphertext.clone()),
+        }
+    }
+
+    /// Iterates over `(node, real blocks)` for every touched bucket.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, Vec<Block>)> + '_ {
+        self.buckets.keys().map(|&n| (n, self.read_bucket(n)))
+    }
+}
+
+/// Serialized bucket layout: Z slots of
+/// `[valid: u8][addr: u64 le][leaf: u64 le][payload: block_bytes]`.
+fn slot_bytes(block_bytes: usize) -> usize {
+    1 + 8 + 8 + block_bytes
+}
+
+fn serialize_bucket(blocks: &[Block], z: usize, block_bytes: usize) -> Vec<u8> {
+    let sb = slot_bytes(block_bytes);
+    let mut out = vec![0u8; z * sb];
+    for (i, b) in blocks.iter().enumerate() {
+        let base = i * sb;
+        out[base] = 1;
+        out[base + 1..base + 9].copy_from_slice(&b.addr.to_le_bytes());
+        out[base + 9..base + 17].copy_from_slice(&b.leaf.to_le_bytes());
+        out[base + 17..base + 17 + block_bytes].copy_from_slice(&b.data);
+    }
+    out
+}
+
+fn deserialize_bucket(bytes: &[u8], z: usize, block_bytes: usize) -> Vec<Block> {
+    let sb = slot_bytes(block_bytes);
+    assert_eq!(bytes.len(), z * sb, "corrupt bucket");
+    let mut blocks = Vec::new();
+    for i in 0..z {
+        let base = i * sb;
+        if bytes[base] != 1 {
+            continue;
+        }
+        let addr = u64::from_le_bytes(bytes[base + 1..base + 9].try_into().unwrap());
+        let leaf = u64::from_le_bytes(bytes[base + 9..base + 17].try_into().unwrap());
+        let data = bytes[base + 17..base + 17 + block_bytes].to_vec();
+        blocks.push(Block { addr, leaf, data });
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(mode: CipherMode) -> OramConfig {
+        let mut c = OramConfig::small_test();
+        c.cipher_mode = mode;
+        c
+    }
+
+    #[test]
+    fn untouched_bucket_reads_empty() {
+        let store = TreeStore::new(&cfg(CipherMode::Transparent), [0; 32]);
+        assert!(store.read_bucket(1).is_empty());
+        assert_eq!(store.touched_buckets(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_plain() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Transparent), [0; 32]);
+        let blocks = vec![Block::new(3, 5, vec![7; 16]), Block::new(4, 1, vec![9; 16])];
+        store.write_bucket(10, blocks.clone());
+        assert_eq!(store.read_bucket(10), blocks);
+    }
+
+    #[test]
+    fn write_read_roundtrip_sealed() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Real), [42; 32]);
+        let blocks = vec![Block::new(3, 5, vec![7; 16])];
+        store.write_bucket(10, blocks.clone());
+        assert_eq!(store.read_bucket(10), blocks);
+    }
+
+    #[test]
+    fn sealed_rewrite_changes_ciphertext_even_for_same_content() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Real), [42; 32]);
+        let blocks = vec![Block::new(3, 5, vec![7; 16])];
+        store.write_bucket(10, blocks.clone());
+        let ct1 = store.raw_bucket(10).unwrap();
+        store.write_bucket(10, blocks);
+        let ct2 = store.raw_bucket(10).unwrap();
+        assert_ne!(ct1, ct2, "probabilistic encryption: fresh nonce per write");
+    }
+
+    #[test]
+    fn sealed_empty_and_full_buckets_same_size() {
+        // Dummies are indistinguishable from real blocks: every bucket
+        // occupies the same bytes on the bus.
+        let mut store = TreeStore::new(&cfg(CipherMode::Real), [1; 32]);
+        store.write_bucket(1, Vec::new());
+        store.write_bucket(2, vec![Block::new(0, 0, vec![0; 16]); 1]);
+        let a = store.raw_bucket(1).unwrap();
+        let b = store.raw_bucket(2).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket overflow")]
+    fn overfull_bucket_panics() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Transparent), [0; 32]);
+        let blocks = vec![Block::new(0, 0, vec![0; 16]); 5];
+        store.write_bucket(1, blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn wrong_payload_size_panics() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Transparent), [0; 32]);
+        store.write_bucket(1, vec![Block::new(0, 0, vec![0; 3])]);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Transparent), [0; 32]);
+        store.write_bucket(5, vec![Block::new(1, 1, vec![1; 16])]);
+        store.write_bucket(5, vec![Block::new(2, 2, vec![2; 16])]);
+        let blocks = store.read_bucket(5);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].addr, 2);
+    }
+}

@@ -1,0 +1,32 @@
+use fp_sim::experiment::{run_mix, MissBudget};
+use fp_sim::{Scheme, SystemConfig};
+use fp_workloads::mixes;
+use std::time::Instant;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    for mix_name in ["Mix1", "Mix3"] {
+        let mix = mixes::by_name(mix_name).unwrap();
+        println!("== {mix_name} ==");
+        let mut insecure_exec = 0f64;
+        for scheme in [
+            Scheme::Insecure,
+            Scheme::Traditional,
+            Scheme::TraditionalTreetop { bytes: 1 << 20 },
+            Scheme::ForkDefault,
+            Scheme::Fork(fp_core::ForkConfig::paper_best()),
+        ] {
+            let t0 = Instant::now();
+            let r = run_mix(&cfg, &scheme, &mix, MissBudget::Fast);
+            if r.scheme == "insecure" {
+                insecure_exec = r.exec_time_ps as f64;
+            }
+            println!(
+                "{:<28} lat={:>9.1}ns path={:>5.2} oram={} dummy={} repl={} slowdown={:.1}x E={:.2}mJ [{:.1}s]",
+                r.scheme, r.oram_latency_ns, r.avg_path_len, r.oram_accesses, r.dummy_accesses,
+                r.dummies_replaced, r.exec_time_ps as f64 / insecure_exec, r.energy_mj(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

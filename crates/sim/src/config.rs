@@ -1,0 +1,138 @@
+//! System-level configuration (Table 1) and the schemes under comparison.
+
+use fp_core::{CacheChoice, ForkConfig};
+use fp_dram::DramConfig;
+use fp_path_oram::{CipherMode, OramConfig};
+
+/// Which memory system a run uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// No protection: each LLC miss is one DRAM block access.
+    Insecure,
+    /// Traditional Path ORAM: full path per access, FIFO processing.
+    Traditional,
+    /// Traditional Path ORAM with a treetop cache of the given capacity.
+    TraditionalTreetop {
+        /// Cache capacity in bytes.
+        bytes: u64,
+    },
+    /// Fork Path with the paper's default knobs (queue 64, no cache).
+    ForkDefault,
+    /// Fork Path with explicit knobs.
+    Fork(ForkConfig),
+}
+
+impl Scheme {
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Insecure => "insecure".into(),
+            Scheme::Traditional => "traditional".into(),
+            Scheme::TraditionalTreetop { bytes } => {
+                format!("traditional+treetop{}K", bytes >> 10)
+            }
+            Scheme::ForkDefault => "fork".into(),
+            Scheme::Fork(f) => {
+                let cache = match f.cache {
+                    CacheChoice::None => String::new(),
+                    CacheChoice::Treetop { bytes } => format!("+treetop{}K", bytes >> 10),
+                    CacheChoice::MergingAware { bytes, .. } => format!("+mac{}K", bytes >> 10),
+                };
+                format!("fork(q{}){}", f.label_queue_size, cache)
+            }
+        }
+    }
+}
+
+/// The evaluated system: processor, ORAM geometry, and memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// ORAM tree configuration.
+    pub oram: OramConfig,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+    /// Seed for ORAM label streams and workload generation offsets.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's configuration (Table 1): 4 GB data ORAM, two DDR3-1600
+    /// channels.
+    pub fn paper_default() -> Self {
+        Self {
+            oram: OramConfig::paper_default(4 << 30),
+            dram: DramConfig::ddr3_1600(2),
+            seed: 0xF0_4CA7,
+        }
+    }
+
+    /// Like [`SystemConfig::paper_default`] with an explicit ORAM capacity
+    /// (Fig 17b sweeps 1–32 GB).
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self { oram: OramConfig::paper_default(capacity_bytes), ..Self::paper_default() }
+    }
+
+    /// Like [`SystemConfig::paper_default`] with an explicit channel count
+    /// (Fig 18 sweeps 1/2/4).
+    pub fn with_channels(channels: usize) -> Self {
+        Self { dram: DramConfig::ddr3_1600(channels), ..Self::paper_default() }
+    }
+
+    /// A small, fast configuration for unit/integration tests: a shallow
+    /// tree with recursion still exercised.
+    pub fn fast_test() -> Self {
+        let mut oram = OramConfig::small_test();
+        oram.block_bytes = 64;
+        oram.posmap_fanout = 16;
+        oram.data_blocks = 1 << 16;
+        oram.onchip_posmap_entries = 1 << 8;
+        oram.levels = 15;
+        Self { oram, dram: DramConfig::ddr3_1600(2), seed: 99 }
+    }
+
+    /// Enables real counter-mode encryption of tree contents (slower;
+    /// defaults to transparent for large sweeps).
+    pub fn with_real_crypto(mut self) -> Self {
+        self.oram.cipher_mode = CipherMode::Real;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_1() {
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.oram.levels, 24);
+        assert_eq!(cfg.oram.z, 4);
+        assert_eq!(cfg.oram.block_bytes, 64);
+        assert_eq!(cfg.dram.channels, 2);
+        cfg.oram.validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_and_channel_variants() {
+        assert_eq!(SystemConfig::with_capacity(1 << 30).oram.levels, 22);
+        assert_eq!(SystemConfig::with_channels(4).dram.channels, 4);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Scheme::Insecure.label(),
+            Scheme::Traditional.label(),
+            Scheme::TraditionalTreetop { bytes: 1 << 20 }.label(),
+            Scheme::ForkDefault.label(),
+            Scheme::Fork(ForkConfig::paper_best()).label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn fast_test_validates() {
+        SystemConfig::fast_test().oram.validate().unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! Sweep helpers shared by the figure-regeneration binaries.
+
+use crossbeam::thread;
+use fp_workloads::cpu::{MultiCoreWorkload, PipelineKind};
+use fp_workloads::mixes::{self, Mix};
+
+use crate::config::{Scheme, SystemConfig};
+use crate::metrics::{geomean, RunResult};
+use crate::system::run_workload;
+
+/// How many LLC misses each core issues per run. The figure binaries use
+/// [`MissBudget::Full`]; tests and `--fast` mode shrink it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissBudget {
+    /// Full-length runs (paper-scale trends; a few seconds per run).
+    Full,
+    /// Abbreviated runs for CI / `--fast`.
+    Fast,
+}
+
+impl MissBudget {
+    /// Misses per core.
+    pub fn misses_per_core(self) -> u64 {
+        match self {
+            MissBudget::Full => 2_000,
+            MissBudget::Fast => 250,
+        }
+    }
+
+    /// Parses `--fast` style argv.
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--fast") {
+            MissBudget::Fast
+        } else {
+            MissBudget::Full
+        }
+    }
+}
+
+/// Builds the workload for a mix under the given budget.
+pub fn mix_workload(mix: &Mix, budget: MissBudget, seed: u64) -> MultiCoreWorkload {
+    MultiCoreWorkload::from_mix(mix, budget.misses_per_core(), seed)
+}
+
+/// Runs one scheme over every Table 2 mix (in parallel), returning results
+/// in mix order with workload names filled in.
+pub fn run_all_mixes(cfg: &SystemConfig, scheme: &Scheme, budget: MissBudget) -> Vec<RunResult> {
+    let all = mixes::all();
+    let results = thread::scope(|s| {
+        let handles: Vec<_> = all
+            .iter()
+            .map(|mix| {
+                let cfg = cfg.clone();
+                let scheme = scheme.clone();
+                s.spawn(move |_| {
+                    let wl = mix_workload(mix, budget, cfg.seed ^ 0x5eed);
+                    let mut r = run_workload(&cfg, scheme, wl);
+                    r.workload = mix.name.to_string();
+                    r
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run panicked")).collect::<Vec<_>>()
+    })
+    .expect("scope");
+    results
+}
+
+/// Runs one scheme on one mix.
+pub fn run_mix(cfg: &SystemConfig, scheme: &Scheme, mix: &Mix, budget: MissBudget) -> RunResult {
+    let wl = mix_workload(mix, budget, cfg.seed ^ 0x5eed);
+    let mut r = run_workload(cfg, scheme.clone(), wl);
+    r.workload = mix.name.to_string();
+    r
+}
+
+/// Runs a scheme over the mixes with an explicit pipeline kind and core
+/// subset (Figs 16/17a).
+pub fn run_mix_with_pipeline(
+    cfg: &SystemConfig,
+    scheme: &Scheme,
+    mix: &Mix,
+    pipeline: PipelineKind,
+    cores: usize,
+    budget: MissBudget,
+) -> RunResult {
+    let programs: Vec<_> = mix.programs.iter().cycle().take(cores).cloned().collect();
+    let wl = MultiCoreWorkload::from_profiles(
+        &programs,
+        pipeline,
+        budget.misses_per_core(),
+        cfg.seed ^ 0x5eed,
+    );
+    let mut r = run_workload(cfg, scheme.clone(), wl);
+    r.workload = format!("{}x{}", mix.name, cores);
+    r
+}
+
+/// Geometric mean of ORAM latency across results.
+pub fn geomean_latency(results: &[RunResult]) -> f64 {
+    geomean(results.iter().map(|r| r.oram_latency_ns))
+}
+
+/// Latency of each result normalized against a matching baseline list
+/// (same order), plus the geomean appended last — the layout of the paper's
+/// per-mix bar charts.
+pub fn normalized_latency(results: &[RunResult], baseline: &[RunResult]) -> Vec<f64> {
+    assert_eq!(results.len(), baseline.len());
+    let mut out: Vec<f64> = results
+        .iter()
+        .zip(baseline)
+        .map(|(r, b)| r.oram_latency_ns / b.oram_latency_ns)
+        .collect();
+    out.push(geomean(out.iter().copied()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(MissBudget::from_args(&["--fast".into()]), MissBudget::Fast);
+        assert_eq!(MissBudget::from_args(&[]), MissBudget::Full);
+        assert!(MissBudget::Full.misses_per_core() > MissBudget::Fast.misses_per_core());
+    }
+
+    #[test]
+    fn normalized_latency_appends_geomean() {
+        let make = |lat: f64| RunResult {
+            scheme: "s".into(),
+            workload: "w".into(),
+            oram_latency_ns: lat,
+            avg_path_len: 0.0,
+            dram_busy_ns_per_access: 0.0,
+            llc_requests: 0,
+            oram_accesses: 0,
+            real_accesses: 0,
+            dummy_accesses: 0,
+            dummies_replaced: 0,
+            exec_time_ps: 0,
+            energy: Default::default(),
+            row_hit_rate: 0.0,
+            dram_blocks_read: 0,
+            dram_blocks_written: 0,
+            stash_high_water: 0,
+            sched_ready_reals: 0.0,
+        };
+        let results = vec![make(50.0), make(200.0)];
+        let baseline = vec![make(100.0), make(100.0)];
+        let norm = normalized_latency(&results, &baseline);
+        assert_eq!(norm.len(), 3);
+        assert!((norm[0] - 0.5).abs() < 1e-12);
+        assert!((norm[1] - 2.0).abs() < 1e-12);
+        assert!((norm[2] - 1.0).abs() < 1e-12, "geomean of 0.5 and 2.0");
+    }
+
+    #[test]
+    fn run_mix_fills_workload_name() {
+        let cfg = SystemConfig::fast_test();
+        // Shrink a light mix to fit the fast config.
+        let mut mix = fp_workloads::mixes::all()[4].clone();
+        for p in &mut mix.programs {
+            p.working_set_blocks = 1 << 12;
+        }
+        let r = run_mix(&cfg, &Scheme::ForkDefault, &mix, MissBudget::Fast);
+        assert_eq!(r.workload, "Mix5");
+        assert!(r.oram_latency_ns > 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-run result record: every metric the paper's figures report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyBreakdown;
+
+/// The outcome of one (scheme, workload) simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Scheme label (see [`crate::Scheme::label`]).
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Average data-request ORAM latency, nanoseconds — the paper's primary
+    /// metric: completion time of an LLC request since entering the
+    /// controller (queueing included).
+    pub oram_latency_ns: f64,
+    /// Average buckets touched per phase (Fig 10; traditional = `L + 1`).
+    pub avg_path_len: f64,
+    /// Average DRAM busy time per ORAM access, nanoseconds (Fig 10's
+    /// second series).
+    pub dram_busy_ns_per_access: f64,
+    /// LLC requests completed.
+    pub llc_requests: u64,
+    /// Total ORAM accesses (real + dummy) — Fig 11's numerator.
+    pub oram_accesses: u64,
+    /// Real ORAM accesses.
+    pub real_accesses: u64,
+    /// Dummy ORAM accesses executed.
+    pub dummy_accesses: u64,
+    /// Pending dummies replaced by late real requests (§3.3).
+    pub dummies_replaced: u64,
+    /// End-to-end execution time, picoseconds (Fig 14's numerator).
+    pub exec_time_ps: u64,
+    /// Energy breakdown (Fig 15).
+    #[serde(skip)]
+    pub energy: EnergyBreakdown,
+    /// DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Blocks moved from DRAM.
+    pub dram_blocks_read: u64,
+    /// Blocks moved to DRAM.
+    pub dram_blocks_written: u64,
+    /// Stash high-water mark.
+    pub stash_high_water: usize,
+    /// Mean schedulable real requests per scheduling round (diagnostic).
+    pub sched_ready_reals: f64,
+}
+
+impl RunResult {
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// ORAM requests normalized to real requests (Fig 11 is this value
+    /// relative to the baseline run).
+    pub fn request_inflation(&self) -> f64 {
+        if self.real_accesses == 0 {
+            1.0
+        } else {
+            self.oram_accesses as f64 / self.real_accesses as f64
+        }
+    }
+}
+
+/// Geometric mean of a positive-valued series (the paper reports geomeans
+/// for its sensitivity studies).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean needs positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        let g = geomean([2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_inflation_handles_zero() {
+        let r = RunResult {
+            scheme: "s".into(),
+            workload: "w".into(),
+            oram_latency_ns: 1.0,
+            avg_path_len: 25.0,
+            dram_busy_ns_per_access: 0.0,
+            llc_requests: 0,
+            oram_accesses: 0,
+            real_accesses: 0,
+            dummy_accesses: 0,
+            dummies_replaced: 0,
+            exec_time_ps: 0,
+            energy: Default::default(),
+            row_hit_rate: 0.0,
+            dram_blocks_read: 0,
+            dram_blocks_written: 0,
+            stash_high_water: 0,
+            sched_ready_reals: 0.0,
+        };
+        assert_eq!(r.request_inflation(), 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Result reporting: CSV and Markdown emitters for experiment sweeps.
+//!
+//! The figure binaries print human-readable rows; these helpers produce
+//! machine-readable artifacts (`results/*.csv`) so plots and regression
+//! comparisons don't re-run simulations.
+
+use std::fmt::Write as _;
+
+use crate::metrics::RunResult;
+
+/// Escapes one CSV field (quotes when needed).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders results as CSV with a fixed, documented column set.
+pub fn to_csv(results: &[RunResult]) -> String {
+    let mut out = String::from(
+        "scheme,workload,oram_latency_ns,avg_path_len,dram_busy_ns_per_access,\
+         llc_requests,oram_accesses,real_accesses,dummy_accesses,dummies_replaced,\
+         exec_time_ps,energy_pj,row_hit_rate,dram_blocks_read,dram_blocks_written,\
+         stash_high_water\n",
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{:.4},{:.3},{},{},{},{},{},{},{},{:.4},{},{},{}",
+            csv_field(&r.scheme),
+            csv_field(&r.workload),
+            r.oram_latency_ns,
+            r.avg_path_len,
+            r.dram_busy_ns_per_access,
+            r.llc_requests,
+            r.oram_accesses,
+            r.real_accesses,
+            r.dummy_accesses,
+            r.dummies_replaced,
+            r.exec_time_ps,
+            r.energy.total_pj(),
+            r.row_hit_rate,
+            r.dram_blocks_read,
+            r.dram_blocks_written,
+            r.stash_high_water,
+        );
+    }
+    out
+}
+
+/// Renders a Markdown table of one metric across `(row, column)` cells —
+/// the layout of the paper's per-mix bar charts.
+///
+/// # Panics
+///
+/// Panics if `cells` is not `rows.len() x cols.len()`.
+pub fn to_markdown_table(
+    title: &str,
+    rows: &[String],
+    cols: &[String],
+    cells: &[Vec<f64>],
+) -> String {
+    assert_eq!(cells.len(), rows.len(), "one cell row per row label");
+    let mut out = format!("### {title}\n\n| |");
+    for c in cols {
+        let _ = write!(out, " {c} |");
+    }
+    out.push_str("\n|---|");
+    out.push_str(&"---|".repeat(cols.len()));
+    out.push('\n');
+    for (label, row) in rows.iter().zip(cells) {
+        assert_eq!(row.len(), cols.len(), "one cell per column");
+        let _ = write!(out, "| {label} |");
+        for v in row {
+            let _ = write!(out, " {v:.3} |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `content` under `results/` (creating the directory), returning
+/// the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_results_file(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(scheme: &str, workload: &str, lat: f64) -> RunResult {
+        RunResult {
+            scheme: scheme.into(),
+            workload: workload.into(),
+            oram_latency_ns: lat,
+            avg_path_len: 25.0,
+            dram_busy_ns_per_access: 10.0,
+            llc_requests: 100,
+            oram_accesses: 400,
+            real_accesses: 400,
+            dummy_accesses: 0,
+            dummies_replaced: 0,
+            exec_time_ps: 123,
+            energy: Default::default(),
+            row_hit_rate: 0.5,
+            dram_blocks_read: 1,
+            dram_blocks_written: 2,
+            stash_high_water: 3,
+            sched_ready_reals: 0.0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[result("fork", "Mix1", 10.0), result("trad", "Mix2", 20.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("scheme,workload,"));
+        assert!(lines[1].starts_with("fork,Mix1,10.000"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = to_markdown_table(
+            "Latency",
+            &["Mix1".into(), "Mix2".into()],
+            &["q=1".into(), "q=64".into()],
+            &[vec![0.8, 0.5], vec![0.9, 0.6]],
+        );
+        assert!(md.contains("### Latency"));
+        assert!(md.contains("| Mix1 | 0.800 | 0.500 |"));
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per column")]
+    fn markdown_table_validates_shape() {
+        let _ = to_markdown_table("x", &["r".into()], &["a".into(), "b".into()], &[vec![1.0]]);
+    }
+}

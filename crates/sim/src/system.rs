@@ -1,0 +1,367 @@
+//! Closed-loop full-system drivers for each scheme.
+//!
+//! A run couples a [`MultiCoreWorkload`] to a memory system: cores issue
+//! LLC misses when their think time elapses and their MLP window allows;
+//! completions feed back into the cores. Address streams are identical
+//! across schemes for a given workload/seed — only timing differs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fp_core::{ForkConfig, ForkPathController, NewRequest, ReactiveSource};
+use fp_dram::{AccessKind, DramSystem};
+use fp_path_oram::{BaselineController, Completion, Op};
+use fp_workloads::cpu::{untag_addr, untag_core, MultiCoreWorkload};
+
+use crate::config::{Scheme, SystemConfig};
+use crate::energy::{self, EnergyParams};
+use crate::metrics::RunResult;
+
+/// Runs `workload` (consumed) on `scheme` and returns the metrics.
+///
+/// # Panics
+///
+/// Panics if the workload footprint exceeds the ORAM's data capacity.
+pub fn run_workload(cfg: &SystemConfig, scheme: Scheme, workload: MultiCoreWorkload) -> RunResult {
+    assert!(
+        workload.footprint_blocks() <= cfg.oram.data_blocks,
+        "workload footprint {} exceeds ORAM capacity {}",
+        workload.footprint_blocks(),
+        cfg.oram.data_blocks
+    );
+    match &scheme {
+        Scheme::Insecure => run_insecure(cfg, &scheme, workload),
+        Scheme::Traditional => run_baseline(cfg, &scheme, workload, None),
+        Scheme::TraditionalTreetop { bytes } => run_baseline(cfg, &scheme, workload, Some(*bytes)),
+        Scheme::ForkDefault => run_fork(cfg, &scheme, workload, ForkConfig::default()),
+        Scheme::Fork(f) => run_fork(cfg, &scheme, workload, *f),
+    }
+}
+
+fn write_payload(addr: u64, block_bytes: usize) -> Vec<u8> {
+    let mut v = addr.to_le_bytes().to_vec();
+    v.resize(block_bytes, 0xA5);
+    v
+}
+
+/// Pulls every currently issueable miss out of the workload.
+fn drain_issues(wl: &mut MultiCoreWorkload, block_bytes: usize) -> Vec<NewRequest> {
+    let mut out = Vec::new();
+    while let Some(t) = wl.next_issue_time() {
+        let (tagged, op) = wl.issue_at(t).expect("issueable");
+        let addr = untag_addr(tagged);
+        let data = match op {
+            Op::Write => write_payload(addr, block_bytes),
+            Op::Read => Vec::new(),
+        };
+        out.push(NewRequest { addr, op, data, arrival_ps: t, tag: untag_core(tagged) as u64 });
+    }
+    out
+}
+
+struct CoreSource<'a> {
+    wl: &'a mut MultiCoreWorkload,
+    block_bytes: usize,
+}
+
+impl ReactiveSource for CoreSource<'_> {
+    fn on_complete(&mut self, completion: &Completion) -> Vec<NewRequest> {
+        self.wl.complete_core(completion.tag as usize, completion.done_ps);
+        drain_issues(self.wl, self.block_bytes)
+    }
+}
+
+fn run_fork(
+    cfg: &SystemConfig,
+    scheme: &Scheme,
+    mut wl: MultiCoreWorkload,
+    fork: ForkConfig,
+) -> RunResult {
+    let dram = DramSystem::new(cfg.dram.clone());
+    let mut ctl = ForkPathController::new(cfg.oram.clone(), fork, dram, cfg.seed);
+    let block_bytes = cfg.oram.block_bytes;
+
+    for r in drain_issues(&mut wl, block_bytes) {
+        ctl.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag);
+    }
+    {
+        let mut src = CoreSource { wl: &mut wl, block_bytes };
+        while ctl.process_one(&mut src) {}
+    }
+    let done = ctl.drain_completions();
+    debug_assert!(wl.finished(), "driver must drain the workload");
+
+    let exec_time_ps = done
+        .iter()
+        .map(|c| c.done_ps)
+        .max()
+        .unwrap_or(0)
+        .max(ctl.stats().finish_time_ps);
+    build_result(
+        scheme,
+        &wl,
+        ctl.stats().clone(),
+        ctl.dram().stats().clone(),
+        exec_time_ps,
+        ctl.dram().total_ranks(),
+        cfg.dram.background_mw_per_rank,
+        ctl.state().stash().high_water(),
+    )
+}
+
+fn run_baseline(
+    cfg: &SystemConfig,
+    scheme: &Scheme,
+    mut wl: MultiCoreWorkload,
+    treetop_bytes: Option<u64>,
+) -> RunResult {
+    let dram = DramSystem::new(cfg.dram.clone());
+    let mut ctl = match treetop_bytes {
+        Some(bytes) => BaselineController::with_treetop(cfg.oram.clone(), dram, cfg.seed, bytes),
+        None => BaselineController::new(cfg.oram.clone(), dram, cfg.seed),
+    };
+    let block_bytes = cfg.oram.block_bytes;
+
+    let mut exec_time_ps = 0u64;
+    loop {
+        let wave = drain_issues(&mut wl, block_bytes);
+        let waiting = wave.is_empty();
+        for r in wave {
+            ctl.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag);
+        }
+        let done = ctl.run_to_idle();
+        if done.is_empty() && waiting {
+            break;
+        }
+        for c in &done {
+            wl.complete_core(c.tag as usize, c.done_ps);
+            exec_time_ps = exec_time_ps.max(c.done_ps);
+        }
+    }
+    debug_assert!(wl.finished());
+    exec_time_ps = exec_time_ps.max(ctl.stats().finish_time_ps);
+
+    build_result(
+        scheme,
+        &wl,
+        ctl.stats().clone(),
+        ctl.dram().stats().clone(),
+        exec_time_ps,
+        ctl.dram().total_ranks(),
+        cfg.dram.background_mw_per_rank,
+        ctl.state().stash().high_water(),
+    )
+}
+
+fn run_insecure(cfg: &SystemConfig, scheme: &Scheme, mut wl: MultiCoreWorkload) -> RunResult {
+    let mut dram = DramSystem::new(cfg.dram.clone());
+    let block_bytes = cfg.oram.block_bytes as u64;
+    // Outstanding accesses: (finish, arrival, core).
+    let mut outstanding: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut latency_sum = 0u64;
+    let mut completed = 0u64;
+    let mut exec_time_ps = 0u64;
+
+    // Chronological event interleaving: an access is handed to the memory
+    // controller only once simulated time reaches it, so DRAM state always
+    // advances monotonically.
+    loop {
+        let next_issue = wl.next_issue_time();
+        let next_done = outstanding.peek().map(|r| r.0 .0);
+        match (next_issue, next_done) {
+            (Some(ti), done) if done.is_none_or(|tc| ti <= tc) => {
+                let (tagged, op) = wl.issue_at(ti).expect("issueable");
+                let kind = match op {
+                    Op::Read => AccessKind::Read,
+                    Op::Write => AccessKind::Write,
+                };
+                let res = dram.access(ti, untag_addr(tagged) * block_bytes, kind);
+                outstanding.push(Reverse((res.finish_ps, ti, untag_core(tagged))));
+            }
+            (_, Some(_)) => {
+                let Reverse((finish, arrival, core)) = outstanding.pop().expect("peeked");
+                wl.complete_core(core, finish);
+                latency_sum += finish - arrival;
+                completed += 1;
+                exec_time_ps = exec_time_ps.max(finish);
+            }
+            (Some(_), None) => unreachable!("guard accepts issue when nothing is outstanding"),
+            (None, None) => break,
+        }
+    }
+    debug_assert!(wl.finished());
+
+    let dram_stats = dram.stats().clone();
+    let energy = energy::compute(
+        &EnergyParams::default(),
+        &dram_stats,
+        &Default::default(),
+        exec_time_ps,
+        dram.total_ranks(),
+        cfg.dram.background_mw_per_rank,
+    );
+    RunResult {
+        scheme: scheme.label(),
+        workload: String::new(),
+        oram_latency_ns: if completed == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / completed as f64 / 1000.0
+        },
+        avg_path_len: 1.0,
+        dram_busy_ns_per_access: if completed == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / completed as f64 / 1000.0
+        },
+        llc_requests: completed,
+        oram_accesses: completed,
+        real_accesses: completed,
+        dummy_accesses: 0,
+        dummies_replaced: 0,
+        exec_time_ps,
+        energy,
+        row_hit_rate: dram_stats.row_hit_rate(),
+        dram_blocks_read: dram_stats.reads,
+        dram_blocks_written: dram_stats.writes,
+        stash_high_water: 0,
+        sched_ready_reals: 0.0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_result(
+    scheme: &Scheme,
+    wl: &MultiCoreWorkload,
+    oram: fp_path_oram::OramStats,
+    dram: fp_dram::DramStats,
+    exec_time_ps: u64,
+    ranks: u64,
+    background_mw_per_rank: u64,
+    stash_high_water: usize,
+) -> RunResult {
+    let energy = energy::compute(
+        &EnergyParams::default(),
+        &dram,
+        &oram,
+        exec_time_ps,
+        ranks,
+        background_mw_per_rank,
+    );
+    RunResult {
+        scheme: scheme.label(),
+        workload: String::new(),
+        oram_latency_ns: oram.avg_latency_ns(),
+        avg_path_len: oram.avg_path_len(),
+        dram_busy_ns_per_access: oram.avg_access_busy_ns(),
+        llc_requests: wl.total_issued(),
+        oram_accesses: oram.oram_accesses,
+        real_accesses: oram.real_accesses,
+        dummy_accesses: oram.dummy_accesses,
+        dummies_replaced: oram.dummies_replaced,
+        exec_time_ps,
+        energy,
+        row_hit_rate: dram.row_hit_rate(),
+        dram_blocks_read: dram.reads,
+        dram_blocks_written: dram.writes,
+        stash_high_water,
+        sched_ready_reals: if oram.sched_rounds == 0 {
+            0.0
+        } else {
+            oram.sched_ready_reals as f64 / oram.sched_rounds as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_workloads::mixes;
+
+    fn wl(miss_budget: u64) -> MultiCoreWorkload {
+        // A dense, small-footprint mix that fits the fast_test ORAM: the
+        // regime the paper's headline claims target (high memory intensity).
+        let mut mix = mixes::all()[4].clone();
+        for p in &mut mix.programs {
+            p.working_set_blocks = 1 << 12;
+            p.avg_gap_ns = 300.0;
+            p.mlp = 8;
+        }
+        MultiCoreWorkload::from_mix(&mix, miss_budget, 21)
+    }
+
+    #[test]
+    fn all_schemes_complete_the_workload() {
+        let cfg = SystemConfig::fast_test();
+        for scheme in [
+            Scheme::Insecure,
+            Scheme::Traditional,
+            Scheme::TraditionalTreetop { bytes: 64 << 10 },
+            Scheme::ForkDefault,
+        ] {
+            let r = run_workload(&cfg, scheme.clone(), wl(40));
+            assert_eq!(r.llc_requests, 160, "{}", r.scheme);
+            assert!(r.exec_time_ps > 0, "{}", r.scheme);
+            assert!(r.oram_latency_ns > 0.0, "{}", r.scheme);
+        }
+    }
+
+    #[test]
+    fn oram_is_slower_than_insecure() {
+        let cfg = SystemConfig::fast_test();
+        let insecure = run_workload(&cfg, Scheme::Insecure, wl(60));
+        let oram = run_workload(&cfg, Scheme::Traditional, wl(60));
+        assert!(
+            oram.exec_time_ps > insecure.exec_time_ps,
+            "ORAM {} vs insecure {}",
+            oram.exec_time_ps,
+            insecure.exec_time_ps
+        );
+        assert!(oram.oram_latency_ns > 5.0 * insecure.oram_latency_ns);
+    }
+
+    #[test]
+    fn fork_beats_traditional_on_latency() {
+        let cfg = SystemConfig::fast_test();
+        let base = run_workload(&cfg, Scheme::Traditional, wl(80));
+        let fork = run_workload(&cfg, Scheme::ForkDefault, wl(80));
+        assert!(
+            fork.oram_latency_ns < base.oram_latency_ns,
+            "fork {} vs traditional {}",
+            fork.oram_latency_ns,
+            base.oram_latency_ns
+        );
+        assert!(fork.avg_path_len < base.avg_path_len);
+    }
+
+    #[test]
+    fn fork_reduces_energy() {
+        let cfg = SystemConfig::fast_test();
+        let base = run_workload(&cfg, Scheme::Traditional, wl(80));
+        let fork = run_workload(&cfg, Scheme::ForkDefault, wl(80));
+        assert!(
+            fork.energy.total_pj() < base.energy.total_pj(),
+            "fork {} vs traditional {}",
+            fork.energy.total_pj(),
+            base.energy.total_pj()
+        );
+    }
+
+    #[test]
+    fn identical_streams_across_schemes() {
+        // The same seed must produce the same issued request count.
+        let cfg = SystemConfig::fast_test();
+        let a = run_workload(&cfg, Scheme::Insecure, wl(50));
+        let b = run_workload(&cfg, Scheme::ForkDefault, wl(50));
+        assert_eq!(a.llc_requests, b.llc_requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ORAM capacity")]
+    fn oversized_workload_is_rejected() {
+        let cfg = SystemConfig::fast_test();
+        let mix = mixes::all()[2].clone(); // HG mix: multi-GB footprint
+        let wl = MultiCoreWorkload::from_mix(&mix, 10, 1);
+        let _ = run_workload(&cfg, Scheme::ForkDefault, wl);
+    }
+}

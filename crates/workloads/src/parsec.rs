@@ -1,0 +1,117 @@
+//! Synthetic profiles for the PARSEC multithreaded workloads (Fig 19).
+//!
+//! PARSEC programs run one parallel region across all cores, so — unlike the
+//! Table 2 mixes — the threads of one workload share an address space. The
+//! profile set spans memory-bound (canneal, streamcluster) to compute-bound
+//! (blackscholes, swaptions) behaviour; parameters are synthetic
+//! calibrations as described in DESIGN.md §2.
+
+use crate::profile::{BenchmarkProfile, OverheadGroup};
+
+/// A multithreaded PARSEC-style workload: one profile executed by `threads`
+/// cores over a shared working set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsecWorkload {
+    /// The per-thread behaviour.
+    pub profile: BenchmarkProfile,
+    /// Fraction of the working set shared by all threads; the rest is
+    /// thread-private (models partitioned data plus shared structures).
+    pub shared_fraction: f64,
+}
+
+fn profile(
+    name: &'static str,
+    group: OverheadGroup,
+    gap: f64,
+    ws: u64,
+    wr: f64,
+    loc: f64,
+    mlp: usize,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name,
+        group,
+        avg_gap_ns: gap,
+        working_set_blocks: ws,
+        write_fraction: wr,
+        locality: loc,
+        mlp,
+    }
+}
+
+/// The PARSEC workload set used for Fig 19.
+pub fn all() -> Vec<ParsecWorkload> {
+    use OverheadGroup::{High, Low};
+    vec![
+        ParsecWorkload {
+            profile: profile("canneal", High, 600.0, 1 << 22, 0.30, 0.25, 24),
+            shared_fraction: 0.8,
+        },
+        ParsecWorkload {
+            profile: profile("streamcluster", High, 800.0, 1 << 21, 0.25, 0.85, 32),
+            shared_fraction: 0.7,
+        },
+        ParsecWorkload {
+            profile: profile("facesim", High, 1800.0, 1 << 21, 0.40, 0.70, 16),
+            shared_fraction: 0.5,
+        },
+        ParsecWorkload {
+            profile: profile("fluidanimate", High, 2000.0, 1 << 20, 0.40, 0.65, 12),
+            shared_fraction: 0.5,
+        },
+        ParsecWorkload {
+            profile: profile("dedup", Low, 3600.0, 1 << 20, 0.45, 0.55, 8),
+            shared_fraction: 0.6,
+        },
+        ParsecWorkload {
+            profile: profile("x264", Low, 4400.0, 1 << 19, 0.35, 0.70, 8),
+            shared_fraction: 0.4,
+        },
+        ParsecWorkload {
+            profile: profile("bodytrack", Low, 5600.0, 1 << 18, 0.30, 0.60, 6),
+            shared_fraction: 0.5,
+        },
+        ParsecWorkload {
+            profile: profile("blackscholes", Low, 10400.0, 1 << 17, 0.25, 0.80, 2),
+            shared_fraction: 0.3,
+        },
+        ParsecWorkload {
+            profile: profile("swaptions", Low, 12800.0, 1 << 16, 0.20, 0.60, 2),
+            shared_fraction: 0.2,
+        },
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<ParsecWorkload> {
+    all().into_iter().find(|w| w.profile.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_validate() {
+        let set = all();
+        assert!(set.len() >= 8);
+        for w in &set {
+            w.profile.validate().unwrap();
+            assert!((0.0..=1.0).contains(&w.shared_fraction), "{}", w.profile.name);
+        }
+    }
+
+    #[test]
+    fn spans_intensity_range() {
+        let set = all();
+        let min = set.iter().map(|w| w.profile.avg_gap_ns).fold(f64::INFINITY, f64::min);
+        let max = set.iter().map(|w| w.profile.avg_gap_ns).fold(0.0f64, f64::max);
+        assert!(max / min > 10.0, "need memory-bound through compute-bound");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("canneal").is_some());
+        assert!(by_name("quake").is_none());
+    }
+}

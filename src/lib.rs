@@ -1,0 +1,27 @@
+//! # fork-path-oram
+//!
+//! Facade crate for the Fork Path ORAM (MICRO 2015) reproduction workspace.
+//!
+//! Re-exports the subsystem crates so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`crypto`] — counter-mode probabilistic encryption, PRF, seedable RNGs.
+//! * [`dram`] — DDR3 timing/energy simulator with subtree layout.
+//! * [`path_oram`] — baseline Path ORAM: tree, stash, recursion, controller.
+//! * [`core`] — the paper's contribution: path merging, request scheduling,
+//!   dummy replacing, merging-aware caching, the Fork Path controller.
+//! * [`workloads`] — synthetic SPEC/PARSEC stand-ins and the CPU frontend.
+//! * [`sim`] — full-system simulation, metrics, and energy accounting.
+//! * [`stats`] — the statistical tests behind the security audit.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use fp_core as core;
+pub use fp_crypto as crypto;
+pub use fp_dram as dram;
+pub use fp_path_oram as path_oram;
+pub use fp_sim as sim;
+pub use fp_stats as stats;
+pub use fp_workloads as workloads;

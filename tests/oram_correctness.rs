@@ -1,0 +1,225 @@
+//! Cross-crate functional correctness: both controllers must behave as a
+//! standard RAM against a reference model, under random operation storms,
+//! recursion, scheduling reorders, hazards, and real encryption.
+
+use std::collections::HashMap;
+
+use fork_path_oram::core::{ForkConfig, ForkPathController};
+use fork_path_oram::crypto::Xoshiro256;
+use fork_path_oram::dram::{DramConfig, DramSystem};
+use fork_path_oram::path_oram::{BaselineController, CipherMode, Op, OramConfig};
+
+fn dram() -> DramSystem {
+    DramSystem::new(DramConfig::ddr3_1600(2))
+}
+
+/// Drives `ops` random operations through the fork controller, checking
+/// reads against a reference HashMap.
+fn storm_fork(cfg: OramConfig, seed: u64, ops: usize, addr_space: u64) {
+    let block = cfg.block_bytes;
+    let mut ctl = ForkPathController::new(cfg, ForkConfig::default(), dram(), seed);
+    let mut rng = Xoshiro256::new(seed ^ 0xABCD);
+    let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut expected: HashMap<u64, Vec<u8>> = HashMap::new(); // id -> data
+
+    for i in 0..ops {
+        let addr = rng.next_below(addr_space);
+        if rng.gen_bool(0.45) {
+            let mut payload = vec![(i & 0xFF) as u8; block];
+            payload[0] = addr as u8;
+            reference.insert(addr, payload.clone());
+            ctl.submit(addr, Op::Write, payload, ctl.clock_ps());
+        } else {
+            let want = reference.get(&addr).cloned().unwrap_or_else(|| vec![0u8; block]);
+            let id = ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
+            expected.insert(id, want);
+        }
+        // Occasionally let the controller drain, so both batched and
+        // incremental processing paths are exercised.
+        if rng.gen_bool(0.25) {
+            for c in ctl.run_to_idle() {
+                if let Some(want) = expected.remove(&c.id) {
+                    assert_eq!(c.data, want, "read {} returned wrong data", c.addr);
+                }
+            }
+        }
+    }
+    for c in ctl.run_to_idle() {
+        if let Some(want) = expected.remove(&c.id) {
+            assert_eq!(c.data, want, "read {} returned wrong data", c.addr);
+        }
+    }
+    assert!(expected.is_empty(), "all reads completed");
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn fork_random_storm_small_config() {
+    storm_fork(OramConfig::small_test(), 1, 600, 256);
+}
+
+#[test]
+fn fork_random_storm_narrow_addresses_forces_hazards() {
+    // 8 addresses: constant same-address traffic exercises forwarding,
+    // cancellation, and same-block serialization.
+    storm_fork(OramConfig::small_test(), 2, 400, 8);
+}
+
+#[test]
+fn fork_random_storm_with_real_encryption() {
+    let mut cfg = OramConfig::small_test();
+    cfg.cipher_mode = CipherMode::Real;
+    storm_fork(cfg, 3, 250, 128);
+}
+
+#[test]
+fn fork_random_storm_paper_geometry() {
+    // The full 4 GB tree geometry (sparse): deep paths, 3 posmap levels.
+    storm_fork(OramConfig::paper_default(4 << 30), 4, 150, 4096);
+}
+
+#[test]
+fn baseline_random_storm_matches_reference() {
+    let cfg = OramConfig::small_test();
+    let block = cfg.block_bytes;
+    let mut ctl = BaselineController::new(cfg, dram(), 9);
+    let mut rng = Xoshiro256::new(77);
+    let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+    for i in 0..500u64 {
+        let addr = rng.next_below(200);
+        if rng.gen_bool(0.5) {
+            let payload = vec![(i & 0xFF) as u8; block];
+            reference.insert(addr, payload.clone());
+            ctl.access_sync(addr, Op::Write, payload);
+        } else {
+            let got = ctl.access_sync(addr, Op::Read, vec![]);
+            let want = reference.get(&addr).cloned().unwrap_or_else(|| vec![0u8; block]);
+            assert_eq!(got, want, "addr {addr}");
+        }
+    }
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn fork_and_baseline_agree_on_final_state() {
+    // The same operation sequence must produce the same program-visible
+    // memory under both controllers.
+    let ops: Vec<(u64, Option<u8>)> = {
+        let mut rng = Xoshiro256::new(31);
+        (0..300)
+            .map(|_| {
+                let addr = rng.next_below(64);
+                let write = rng.gen_bool(0.5).then(|| rng.next_below(255) as u8);
+                (addr, write)
+            })
+            .collect()
+    };
+
+    let cfg = OramConfig::small_test();
+    let block = cfg.block_bytes;
+
+    let mut base = BaselineController::new(cfg.clone(), dram(), 5);
+    for &(addr, w) in &ops {
+        match w {
+            Some(b) => {
+                base.access_sync(addr, Op::Write, vec![b; block]);
+            }
+            None => {
+                base.access_sync(addr, Op::Read, vec![]);
+            }
+        }
+    }
+
+    let mut fork = ForkPathController::new(cfg, ForkConfig::default(), dram(), 6);
+    for &(addr, w) in &ops {
+        match w {
+            Some(b) => fork.submit(addr, Op::Write, vec![b; block], fork.clock_ps()),
+            None => fork.submit(addr, Op::Read, vec![], fork.clock_ps()),
+        };
+    }
+    fork.run_to_idle();
+
+    for addr in 0..64u64 {
+        let a = base.access_sync(addr, Op::Read, vec![]);
+        fork.submit(addr, Op::Read, vec![], fork.clock_ps());
+        let b = fork.run_to_idle().pop().unwrap().data;
+        assert_eq!(a, b, "state diverged at address {addr}");
+    }
+}
+
+#[test]
+fn tiny_queue_and_huge_queue_both_correct() {
+    for queue in [1usize, 128] {
+        let cfg = OramConfig::small_test();
+        let block = cfg.block_bytes;
+        let fork_cfg = ForkConfig { label_queue_size: queue, ..ForkConfig::default() };
+        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 8);
+        for a in 0..40u64 {
+            ctl.submit(a, Op::Write, vec![a as u8; block], 0);
+        }
+        ctl.run_to_idle();
+        for a in 0..40u64 {
+            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+        }
+        for c in ctl.run_to_idle() {
+            assert_eq!(c.data[0], c.addr as u8, "queue={queue}");
+        }
+        ctl.state().check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn ablation_variants_remain_correct() {
+    // Disabling each technique must never affect functional behaviour.
+    for (merging, scheduling, replacing) in
+        [(false, false, false), (true, false, false), (true, true, false), (true, true, true)]
+    {
+        let cfg = OramConfig::small_test();
+        let block = cfg.block_bytes;
+        let fork_cfg = ForkConfig { merging, scheduling, replacing, ..ForkConfig::default() };
+        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 10);
+        for a in 0..32u64 {
+            ctl.submit(a, Op::Write, vec![!(a as u8); block], 0);
+        }
+        ctl.run_to_idle();
+        for a in 0..32u64 {
+            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+        }
+        for c in ctl.run_to_idle() {
+            assert_eq!(
+                c.data[0],
+                !(c.addr as u8),
+                "merging={merging} scheduling={scheduling} replacing={replacing}"
+            );
+        }
+        ctl.state().check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn caches_do_not_change_functional_results() {
+    use fork_path_oram::core::CacheChoice;
+    for cache in [
+        CacheChoice::None,
+        CacheChoice::Treetop { bytes: 8 << 10 },
+        CacheChoice::MergingAware { bytes: 8 << 10, ways: 4 },
+    ] {
+        let cfg = OramConfig::small_test();
+        let block = cfg.block_bytes;
+        let fork_cfg = ForkConfig { cache, ..ForkConfig::default() };
+        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 12);
+        for round in 0..3 {
+            for a in 0..48u64 {
+                ctl.submit(a, Op::Write, vec![a as u8 ^ round; block], ctl.clock_ps());
+            }
+            ctl.run_to_idle();
+            for a in 0..48u64 {
+                ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+            }
+            for c in ctl.run_to_idle() {
+                assert_eq!(c.data[0], c.addr as u8 ^ round, "{cache:?}");
+            }
+        }
+        ctl.state().check_invariants().unwrap();
+    }
+}

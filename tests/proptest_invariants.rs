@@ -1,0 +1,207 @@
+//! Property-based tests over the core data structures and the end-to-end
+//! controllers: Path ORAM invariants, path arithmetic, eviction legality,
+//! cache geometry, and RAM semantics under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use fork_path_oram::core::{ForkConfig, ForkPathController, MergingAwareCache};
+use fork_path_oram::dram::{DramConfig, DramSystem};
+use fork_path_oram::path_oram::cache::BucketCache;
+use fork_path_oram::path_oram::path::{
+    divergence_level, node_at_level, node_level, overlap_degree, path_contains, path_nodes,
+};
+use fork_path_oram::path_oram::{Block, Op, OramConfig, OramState, Stash};
+
+fn dram() -> DramSystem {
+    DramSystem::new(DramConfig::ddr3_1600(2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- path arithmetic ----------------------------------------
+
+    #[test]
+    fn overlap_matches_explicit_path_intersection(
+        levels in 1u32..12,
+        a in 0u64..4096,
+        b in 0u64..4096,
+    ) {
+        let leaves = 1u64 << levels;
+        let (a, b) = (a % leaves, b % leaves);
+        let pa = path_nodes(levels, a);
+        let pb = path_nodes(levels, b);
+        let shared = pa.iter().filter(|n| pb.contains(n)).count() as u32;
+        prop_assert_eq!(overlap_degree(levels, a, b), shared);
+    }
+
+    #[test]
+    fn divergence_is_deepest_shared_level(
+        levels in 1u32..12,
+        a in 0u64..4096,
+        b in 0u64..4096,
+    ) {
+        let leaves = 1u64 << levels;
+        let (a, b) = (a % leaves, b % leaves);
+        let d = divergence_level(levels, a, b);
+        prop_assert_eq!(node_at_level(levels, a, d), node_at_level(levels, b, d));
+        if d < levels {
+            prop_assert_ne!(
+                node_at_level(levels, a, d + 1),
+                node_at_level(levels, b, d + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn every_path_node_contains_its_leaf(levels in 1u32..12, leaf in 0u64..4096) {
+        let leaf = leaf % (1 << levels);
+        for (d, node) in path_nodes(levels, leaf).iter().enumerate() {
+            prop_assert_eq!(node_level(*node), d as u32);
+            prop_assert!(path_contains(levels, leaf, *node));
+        }
+    }
+
+    // ---------- stash eviction ------------------------------------------
+
+    #[test]
+    fn eviction_only_places_legal_blocks(
+        leaf in 0u64..256,
+        block_leaves in prop::collection::vec(0u64..256, 1..64),
+        lo in 0u32..8,
+    ) {
+        let levels = 8u32;
+        let hi = levels;
+        let mut stash = Stash::new(256);
+        for (i, &bl) in block_leaves.iter().enumerate() {
+            stash.insert(Block::new(i as u64, bl, vec![0u8; 8]));
+        }
+        let before = stash.len();
+        let plan = stash.plan_eviction(levels, leaf, lo, hi, 4);
+        let mut evicted = 0usize;
+        for (level, blocks) in &plan {
+            prop_assert!(blocks.len() <= 4, "bucket capacity");
+            prop_assert!((lo..=hi).contains(level));
+            for b in blocks {
+                // Path ORAM invariant: the block's path passes through the
+                // bucket it is placed in.
+                let bucket = node_at_level(levels, leaf, *level);
+                prop_assert!(path_contains(levels, b.leaf, bucket));
+                evicted += 1;
+            }
+        }
+        prop_assert_eq!(evicted + stash.len(), before, "no block lost");
+    }
+
+    // ---------- MAC geometry --------------------------------------------
+
+    #[test]
+    fn mac_set_index_stays_in_bounds(
+        sets in 1usize..512,
+        ways in 1usize..8,
+        m1 in 1u32..8,
+        y in 0u64..65536,
+    ) {
+        let mut mac = MergingAwareCache::new(sets, ways, m1);
+        let deepest = mac.deepest_level();
+        for level in m1..=deepest {
+            let node = (1u64 << level) + (y % (1 << level));
+            // Inserting must never panic and never evict from resident
+            // levels beyond capacity.
+            let _ = mac.insert_on_write(node);
+            let _ = mac.lookup_for_read(node);
+        }
+    }
+
+    // ---------- whole-ORAM state ------------------------------------------
+
+    #[test]
+    fn state_invariants_hold_under_random_access_mix(
+        seed in 0u64..1000,
+        addrs in prop::collection::vec(0u64..512, 1..40),
+    ) {
+        let cfg = OramConfig::small_test();
+        let levels = cfg.levels;
+        let mut st = OramState::new(cfg, seed);
+        for &addr in &addrs {
+            let chain = st.chain(addr);
+            let (mut old, mut new, _) = st.start_chain(addr);
+            for (i, &u) in chain.iter().enumerate() {
+                st.load_path_range(old, 0, levels);
+                if i + 1 < chain.len() {
+                    let (o, n, _) = st.chain_step(u, new, chain[i + 1]);
+                    st.evict_range(old, 0, levels);
+                    old = o;
+                    new = n;
+                } else {
+                    let _ = st.apply_op(u, new, Some(&[addr as u8]));
+                    st.evict_range(old, 0, levels);
+                }
+            }
+        }
+        prop_assert!(st.check_invariants().is_ok());
+    }
+
+    // ---------- end-to-end RAM semantics ---------------------------------
+
+    #[test]
+    fn fork_controller_behaves_like_ram(
+        seed in 0u64..500,
+        ops in prop::collection::vec((0u64..48, prop::option::of(0u8..255)), 1..48),
+    ) {
+        let cfg = OramConfig::small_test();
+        let block = cfg.block_bytes;
+        let mut ctl = ForkPathController::new(cfg, ForkConfig::default(), dram(), seed);
+        let mut shadow: std::collections::HashMap<u64, u8> = Default::default();
+        let mut expected: std::collections::HashMap<u64, u8> = Default::default();
+        for &(addr, wr) in &ops {
+            match wr {
+                Some(byte) => {
+                    shadow.insert(addr, byte);
+                    ctl.submit(addr, Op::Write, vec![byte; block], ctl.clock_ps());
+                }
+                None => {
+                    let want = shadow.get(&addr).copied().unwrap_or(0);
+                    let id = ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
+                    expected.insert(id, want);
+                }
+            }
+        }
+        for c in ctl.run_to_idle() {
+            if let Some(want) = expected.remove(&c.id) {
+                prop_assert_eq!(c.data[0], want, "addr {}", c.addr);
+            }
+        }
+        prop_assert!(expected.is_empty());
+        prop_assert!(ctl.state().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn label_queue_sizes_never_break_ram_semantics(
+        queue in 1usize..16,
+        ops in prop::collection::vec((0u64..24, 0u8..255), 4..24),
+    ) {
+        let cfg = OramConfig::small_test();
+        let block = cfg.block_bytes;
+        let fork_cfg = ForkConfig { label_queue_size: queue, ..ForkConfig::default() };
+        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 7);
+        // Writes first (all at t=0 to force scheduling), then verify reads.
+        let mut last: std::collections::HashMap<u64, u8> = Default::default();
+        for &(addr, byte) in &ops {
+            last.insert(addr, byte);
+            ctl.submit(addr, Op::Write, vec![byte; block], 0);
+        }
+        ctl.run_to_idle();
+        let mut expected = std::collections::HashMap::new();
+        for (&addr, &byte) in &last {
+            let id = ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
+            expected.insert(id, byte);
+        }
+        for c in ctl.run_to_idle() {
+            if let Some(want) = expected.remove(&c.id) {
+                prop_assert_eq!(c.data[0], want);
+            }
+        }
+        prop_assert!(expected.is_empty());
+    }
+}

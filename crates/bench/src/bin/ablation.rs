@@ -14,7 +14,10 @@ fn variant(merging: bool, scheduling: bool, replacing: bool, mac: bool) -> Schem
         scheduling,
         replacing,
         cache: if mac {
-            CacheChoice::MergingAware { bytes: 1 << 20, ways: 4 }
+            CacheChoice::MergingAware {
+                bytes: 1 << 20,
+                ways: 4,
+            }
         } else {
             CacheChoice::None
         },
@@ -24,7 +27,10 @@ fn variant(merging: bool, scheduling: bool, replacing: bool, mac: bool) -> Schem
 
 fn with_plb(blocks: usize) -> Scheme {
     Scheme::Fork(ForkConfig {
-        cache: CacheChoice::MergingAware { bytes: 1 << 20, ways: 4 },
+        cache: CacheChoice::MergingAware {
+            bytes: 1 << 20,
+            ways: 4,
+        },
         plb_blocks: blocks,
         ..ForkConfig::default()
     })
@@ -41,7 +47,10 @@ fn main() {
     let variants: Vec<(&str, Scheme)> = vec![
         ("traditional", Scheme::Traditional),
         ("merge only (q=1)", {
-            Scheme::Fork(ForkConfig { label_queue_size: 1, ..ForkConfig::default() })
+            Scheme::Fork(ForkConfig {
+                label_queue_size: 1,
+                ..ForkConfig::default()
+            })
         }),
         ("merge, no sched", variant(true, false, true, false)),
         ("merge+sched, no repl", variant(true, true, false, false)),
@@ -50,7 +59,15 @@ fn main() {
         ("all + MAC + PLB64", with_plb(64)),
     ];
 
-    print_cols("variant", &["normLat".into(), "path".into(), "dummyFrac".into(), "acc/req".into()]);
+    print_cols(
+        "variant",
+        &[
+            "normLat".into(),
+            "path".into(),
+            "dummyFrac".into(),
+            "acc/req".into(),
+        ],
+    );
     for (name, scheme) in &variants {
         let results = run_all_mixes(&cfg, scheme, budget);
         let norm = geomean(

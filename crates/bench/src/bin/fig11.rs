@@ -40,16 +40,28 @@ fn main() {
         );
     }
 
-    print_cols("mix", &queue_sizes.iter().map(|q| format!("q={q}")).collect::<Vec<_>>());
+    print_cols(
+        "mix",
+        &queue_sizes
+            .iter()
+            .map(|q| format!("q={q}"))
+            .collect::<Vec<_>>(),
+    );
     for (i, b) in baseline.iter().enumerate() {
         let row: Vec<f64> = inflation.iter().map(|col| col[i]).collect();
         print_row(&b.workload, &row);
     }
-    let means: Vec<f64> = inflation.iter().map(|col| geomean(col.iter().copied())).collect();
+    let means: Vec<f64> = inflation
+        .iter()
+        .map(|col| geomean(col.iter().copied()))
+        .collect();
     print_row("geomean", &means);
 
     print_title("(side effect) real accesses vs baseline (stash-hit / PLB-like savings)");
-    let side: Vec<f64> = real_vs_base.iter().map(|col| geomean(col.iter().copied())).collect();
+    let side: Vec<f64> = real_vs_base
+        .iter()
+        .map(|col| geomean(col.iter().copied()))
+        .collect();
     print_row("geomean", &side);
     println!("\n(paper: mean inflation ~5% at q=128; low-intensity mixes like Mix2");
     println!(" reach ~25%)");

@@ -37,13 +37,21 @@ fn main() {
         println!("(raw data written to {})", path.display());
     }
 
-    print_cols("mix", &queue_sizes.iter().map(|q| format!("q={q}")).collect::<Vec<_>>());
+    print_cols(
+        "mix",
+        &queue_sizes
+            .iter()
+            .map(|q| format!("q={q}"))
+            .collect::<Vec<_>>(),
+    );
     for (i, b) in baseline.iter().enumerate() {
         let row: Vec<f64> = per_queue.iter().map(|col| col[i]).collect();
         print_row(&b.workload, &row);
     }
-    let means: Vec<f64> =
-        per_queue.iter().map(|col| geomean(col.iter().copied())).collect();
+    let means: Vec<f64> = per_queue
+        .iter()
+        .map(|col| geomean(col.iter().copied()))
+        .collect();
     print_row("geomean", &means);
     println!("\n(paper: best around q=64; q=128's extra dummies erode the gain)");
 }

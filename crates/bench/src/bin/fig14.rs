@@ -17,9 +17,12 @@ fn main() {
     print_title("Fig 14: full-system slowdown vs insecure processor");
 
     let insecure = run_all_mixes(&cfg, &Scheme::Insecure, budget);
-    let mut schemes: Vec<(String, Scheme)> =
-        vec![("Traditional".to_string(), Scheme::Traditional)];
-    schemes.extend(caching_schemes().into_iter().map(|(n, s)| (n.to_string(), s)));
+    let mut schemes: Vec<(String, Scheme)> = vec![("Traditional".to_string(), Scheme::Traditional)];
+    schemes.extend(
+        caching_schemes()
+            .into_iter()
+            .map(|(n, s)| (n.to_string(), s)),
+    );
 
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for (_, scheme) in &schemes {

@@ -31,7 +31,13 @@ fn main() {
         );
     }
 
-    print_cols("mix", &schemes.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>());
+    print_cols(
+        "mix",
+        &schemes
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect::<Vec<_>>(),
+    );
     for (i, b) in baseline.iter().enumerate() {
         let row: Vec<f64> = columns.iter().map(|c| c[i]).collect();
         print_row(&b.workload, &row);

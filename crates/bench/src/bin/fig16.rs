@@ -18,27 +18,25 @@ fn main() {
 
     print_title("Fig 16: normalized ORAM latency, in-order vs out-of-order");
 
-    print_cols(
-        "pipeline",
-        &["fork/trad".into(), "dummyFrac".into()],
-    );
-    for (name, pipeline) in
-        [("Out-of-order", PipelineKind::OutOfOrder), ("In-order", PipelineKind::InOrder)]
-    {
+    print_cols("pipeline", &["fork/trad".into(), "dummyFrac".into()]);
+    for (name, pipeline) in [
+        ("Out-of-order", PipelineKind::OutOfOrder),
+        ("In-order", PipelineKind::InOrder),
+    ] {
         let mut ratios = Vec::new();
         let mut dummy_fracs = Vec::new();
         for mix in mixes::all() {
-            let base =
-                run_mix_with_pipeline(&cfg, &Scheme::Traditional, &mix, pipeline, 4, budget);
-            let fork =
-                run_mix_with_pipeline(&cfg, &Scheme::ForkDefault, &mix, pipeline, 4, budget);
+            let base = run_mix_with_pipeline(&cfg, &Scheme::Traditional, &mix, pipeline, 4, budget);
+            let fork = run_mix_with_pipeline(&cfg, &Scheme::ForkDefault, &mix, pipeline, 4, budget);
             ratios.push(fork.oram_latency_ns / base.oram_latency_ns);
-            dummy_fracs
-                .push(fork.dummy_accesses as f64 / fork.oram_accesses.max(1) as f64);
+            dummy_fracs.push(fork.dummy_accesses as f64 / fork.oram_accesses.max(1) as f64);
         }
         print_row(
             name,
-            &[geomean(ratios), dummy_fracs.iter().sum::<f64>() / dummy_fracs.len() as f64],
+            &[
+                geomean(ratios),
+                dummy_fracs.iter().sum::<f64>() / dummy_fracs.len() as f64,
+            ],
         );
     }
     println!("\n(paper: in-order executes many more dummy requests, eroding the");

@@ -21,14 +21,21 @@ fn run(super_block: u64, locality: f64, requests: u64) -> (f64, f64) {
     let mut addr = 0u64;
     let span = 1u64 << 20;
     for _ in 0..requests {
-        addr = if rng.gen_bool(locality) { (addr + 1) % span } else { rng.next_below(span) };
+        addr = if rng.gen_bool(locality) {
+            (addr + 1) % span
+        } else {
+            rng.next_below(span)
+        };
         ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
         if rng.gen_bool(0.2) {
             ctl.run_to_idle();
         }
     }
     let mut src = NoFeedback;
-    while ctl.process_one(&mut src) {}
+    while ctl
+        .process_one(&mut src)
+        .expect("controller invariant violated")
+    {}
     let s = ctl.stats();
     (s.accesses_per_request(), s.avg_latency_ns())
 }
@@ -38,12 +45,19 @@ fn main() {
     let requests = if fast { 400 } else { 2_000 };
 
     print_title("Super-block prefetching: ORAM accesses per LLC request");
-    print_cols("locality", &["sb=1".into(), "sb=2".into(), "sb=4".into(), "sb=8".into()]);
-    for &(name, locality) in
-        &[("sequential 0.9", 0.9f64), ("mixed 0.5", 0.5), ("random 0.1", 0.1)]
-    {
-        let row: Vec<f64> =
-            [1u64, 2, 4, 8].iter().map(|&sb| run(sb, locality, requests).0).collect();
+    print_cols(
+        "locality",
+        &["sb=1".into(), "sb=2".into(), "sb=4".into(), "sb=8".into()],
+    );
+    for &(name, locality) in &[
+        ("sequential 0.9", 0.9f64),
+        ("mixed 0.5", 0.5),
+        ("random 0.1", 0.1),
+    ] {
+        let row: Vec<f64> = [1u64, 2, 4, 8]
+            .iter()
+            .map(|&sb| run(sb, locality, requests).0)
+            .collect();
         print_row(name, &row);
     }
     println!("\n(grouping pays on spatially local traffic and costs little on");

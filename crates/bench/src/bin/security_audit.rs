@@ -27,7 +27,10 @@ fn dram() -> DramSystem {
 fn fork_trace(pattern: &[u64], scheduling: bool, seed: u64) -> (Vec<u64>, u64) {
     let cfg = OramConfig::small_test();
     let leaves = cfg.leaf_count();
-    let fork_cfg = ForkConfig { scheduling, ..ForkConfig::default() };
+    let fork_cfg = ForkConfig {
+        scheduling,
+        ..ForkConfig::default()
+    };
     let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), seed);
     ctl.enable_label_trace();
     for &addr in pattern {

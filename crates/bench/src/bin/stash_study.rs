@@ -24,7 +24,10 @@ fn main() {
     let capacity = cfg.oram.stash_capacity as f64;
     let mut worst = 0usize;
     for (b, f) in base.iter().zip(&fork) {
-        print_row(&b.workload, &[b.stash_high_water as f64, f.stash_high_water as f64]);
+        print_row(
+            &b.workload,
+            &[b.stash_high_water as f64, f.stash_high_water as f64],
+        );
         worst = worst.max(f.stash_high_water);
     }
     println!(

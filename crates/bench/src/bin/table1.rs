@@ -17,7 +17,10 @@ fn main() {
         cfg.oram.path_len()
     );
     println!("Block slots per bucket Z  {}", cfg.oram.z);
-    println!("Stash capacity            {} blocks", cfg.oram.stash_capacity);
+    println!(
+        "Stash capacity            {} blocks",
+        cfg.oram.stash_capacity
+    );
     println!(
         "PosMap recursion          {} levels in-tree, {} entries on chip ({} KiB)",
         h.posmap_levels(),
@@ -28,7 +31,10 @@ fn main() {
         "Unified tree blocks       {} (data + posmap)",
         h.total_blocks()
     );
-    println!("Memory type               DDR3-1600 (tCK = {} ps)", cfg.dram.timing.t_ck);
+    println!(
+        "Memory type               DDR3-1600 (tCK = {} ps)",
+        cfg.dram.timing.t_ck
+    );
     println!("Memory channels           {}", cfg.dram.channels);
     // 2 transfers/clock x 8 bytes on a x64 bus: 16000 / tCK(ps) GB/s.
     println!(

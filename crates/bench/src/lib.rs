@@ -32,7 +32,10 @@ use fp_sim::Scheme;
 
 /// Fork Path with an explicit label-queue size and no cache.
 pub fn fork_with_queue(queue: usize) -> Scheme {
-    Scheme::Fork(ForkConfig { label_queue_size: queue, ..ForkConfig::default() })
+    Scheme::Fork(ForkConfig {
+        label_queue_size: queue,
+        ..ForkConfig::default()
+    })
 }
 
 /// Fork Path (queue 64) with a merging-aware cache of `bytes`.

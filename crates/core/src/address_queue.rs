@@ -107,7 +107,9 @@ impl AddressQueue {
                 {
                     let cancelled = self.queue.remove(pos).expect("index valid");
                     self.queue.push_back(req);
-                    return SubmitEffect::CancelledOlderWrite { cancelled_id: cancelled.id };
+                    return SubmitEffect::CancelledOlderWrite {
+                        cancelled_id: cancelled.id,
+                    };
                 }
                 self.queue.push_back(req);
                 SubmitEffect::Queued
@@ -163,11 +165,25 @@ mod tests {
     use super::*;
 
     fn read(id: u64, addr: u64, t: u64) -> LlcRequest {
-        LlcRequest { id, addr, op: Op::Read, data: None, arrival_ps: t, tag: 0 }
+        LlcRequest {
+            id,
+            addr,
+            op: Op::Read,
+            data: None,
+            arrival_ps: t,
+            tag: 0,
+        }
     }
 
     fn write(id: u64, addr: u64, byte: u8, t: u64) -> LlcRequest {
-        LlcRequest { id, addr, op: Op::Write, data: Some(vec![byte]), arrival_ps: t, tag: 0 }
+        LlcRequest {
+            id,
+            addr,
+            op: Op::Write,
+            data: Some(vec![byte]),
+            arrival_ps: t,
+            tag: 0,
+        }
     }
 
     #[test]
@@ -192,7 +208,7 @@ mod tests {
         let mut aq = AddressQueue::new();
         aq.submit(write(1, 5, 1, 0));
         aq.submit(read(9, 6, 0)); // unrelated
-        // WaW cancels the older write; the read must see the newer data.
+                                  // WaW cancels the older write; the read must see the newer data.
         aq.submit(write(2, 5, 2, 1));
         let effect = aq.submit(read(3, 5, 2));
         assert_eq!(effect, SubmitEffect::Forwarded { data: vec![2] });
@@ -217,7 +233,10 @@ mod tests {
         let mut aq = AddressQueue::new();
         aq.submit(write(1, 5, 1, 0));
         let effect = aq.submit(write(2, 5, 2, 1));
-        assert_eq!(effect, SubmitEffect::CancelledOlderWrite { cancelled_id: 1 });
+        assert_eq!(
+            effect,
+            SubmitEffect::CancelledOlderWrite { cancelled_id: 1 }
+        );
         assert_eq!(aq.len(), 1);
         let survivor = aq.pop_ready(10).unwrap();
         assert_eq!(survivor.id, 2);
@@ -230,7 +249,10 @@ mod tests {
         let r = aq.pop_ready(0).unwrap();
         assert_eq!(r.id, 1);
         aq.submit(write(2, 5, 9, 1));
-        assert!(aq.pop_ready(10).is_none(), "write stalls behind in-flight read");
+        assert!(
+            aq.pop_ready(10).is_none(),
+            "write stalls behind in-flight read"
+        );
         aq.complete(5, Op::Read);
         assert_eq!(aq.pop_ready(10).unwrap().id, 2);
     }

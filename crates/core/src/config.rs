@@ -68,7 +68,10 @@ impl ForkConfig {
     /// merging-aware cache.
     pub fn paper_best() -> Self {
         Self {
-            cache: CacheChoice::MergingAware { bytes: 1 << 20, ways: 4 },
+            cache: CacheChoice::MergingAware {
+                bytes: 1 << 20,
+                ways: 4,
+            },
             ..Self::default()
         }
     }
@@ -154,7 +157,10 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = ForkConfig::default();
-        c.cache = CacheChoice::MergingAware { bytes: 1024, ways: 0 };
+        c.cache = CacheChoice::MergingAware {
+            bytes: 1024,
+            ways: 0,
+        };
         assert!(c.validate().is_err());
     }
 }

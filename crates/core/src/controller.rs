@@ -1,129 +1,77 @@
-//! The Fork Path ORAM controller (§4, Fig 9).
+//! The Fork Path ORAM controller (§4, Fig 9) — a thin facade over the
+//! staged pipeline.
 //!
-//! Orchestrates the three techniques over the `fp-path-oram` substrate:
-//!
-//! * the **address queue** absorbs LLC requests and resolves data hazards;
-//! * transformed requests (and each subsequent posmap chain step) enter the
-//!   **label queue**, which is kept full with dummy padding;
-//! * each executed ORAM access reads only the part of its path not shared
-//!   with the previous one, and its refill — an ordered leaf-to-root bucket
-//!   stream — stops above the part shared with the *pending* (next) request;
-//! * while the refill runs, a late-arriving request may replace the pending
-//!   one as long as the bucket where the paths cross is uncommitted.
+//! Each paper technique lives in its own stage module (see
+//! [`crate::pipeline`]): request reordering in [`RequestScheduler`], fork
+//! geometry in [`PathMerger`], dummy materialization and mid-refill
+//! replacement in [`DummyReplacer`], and the bucket cache plus DRAM batch
+//! generation in [`WritebackEngine`]. The facade owns the trusted ORAM
+//! state, the address queue, the in-flight posmap chains
+//! ([`crate::flight`]), and the clock, and sequences the stages per
+//! access. Accessors and the timing-protection surface live in the
+//! `controller_api` child module.
 
-use std::collections::{HashMap, VecDeque};
-
-use fp_dram::layout::{SubtreeLayout, TreeLayout};
-use fp_dram::{AccessKind, DramSystem};
-use fp_path_oram::cache::{BucketCache, NoCache, TreetopCache, WriteOutcome};
-use fp_path_oram::path::{divergence_level, overlap_degree};
+use fp_dram::DramSystem;
 use fp_path_oram::{Completion, LlcRequest, Op, OramConfig, OramState, OramStats};
 
 use crate::address_queue::{AddressQueue, SubmitEffect};
-use crate::config::{CacheChoice, ForkConfig};
-use crate::mac::MergingAwareCache;
+use crate::config::ForkConfig;
+use crate::dummy::DummyReplacer;
+use crate::error::{must, ControllerError};
+use crate::flight::{FlightTable, StalledStep, StepCtx};
+use crate::merge::PathMerger;
 use crate::plb::PosMapLookasideBuffer;
-use crate::queue::{Entry, EntryKind, LabelQueue};
+use crate::queue::{Entry, EntryKind};
+use crate::reactive::{NoFeedback, ReactiveSource};
+use crate::scheduler::RequestScheduler;
+use crate::writeback::WritebackEngine;
+
+#[path = "controller_api.rs"]
+mod controller_api;
 
 /// Fixed controller pipeline latency charged once per phase.
-const CTRL_PHASE_LATENCY_PS: u64 = 20_000; // 20 ns
-
+pub(crate) const CTRL_PHASE_LATENCY_PS: u64 = 20_000; // 20 ns
 /// Latency of answering a request on chip (forwarding / hazard shortcut).
-const ONCHIP_ANSWER_PS: u64 = 5_000; // 5 ns
+pub(crate) const ONCHIP_ANSWER_PS: u64 = 5_000; // 5 ns
 
-/// A follow-up request produced by a [`ReactiveSource`] when a completion is
-/// delivered mid-simulation.
-#[derive(Debug, Clone)]
-pub struct NewRequest {
-    /// Program (data-block) address.
-    pub addr: u64,
-    /// Direction.
-    pub op: Op,
-    /// Payload for writes.
-    pub data: Vec<u8>,
-    /// Arrival time at the controller, picoseconds.
-    pub arrival_ps: u64,
-    /// Opaque routing tag echoed in the completion.
-    pub tag: u64,
+/// Disjoint mutable borrows of the facade fields a chain step may touch.
+macro_rules! step_ctx {
+    ($self:ident) => {
+        StepCtx {
+            state: &mut $self.state,
+            plb: &mut $self.plb,
+            aq: &mut $self.aq,
+            sched: &mut $self.sched,
+            stats: &mut $self.stats,
+            completions: &mut $self.completions,
+        }
+    };
 }
 
-/// Closed-loop request feedback: the system simulator implements this so
-/// that a core whose miss completes during an access can issue its next miss
-/// in time to participate in dummy replacement.
-pub trait ReactiveSource {
-    /// Called the moment `completion`'s data is returned; any produced
-    /// requests are submitted before the refill decision.
-    fn on_complete(&mut self, completion: &Completion) -> Vec<NewRequest>;
-}
-
-/// A no-op source for open-loop use.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NoFeedback;
-
-impl ReactiveSource for NoFeedback {
-    fn on_complete(&mut self, _completion: &Completion) -> Vec<NewRequest> {
-        Vec::new()
-    }
-}
-
-/// An in-progress LLC request walking its posmap chain.
-#[derive(Debug, Clone)]
-struct Flight {
-    req: LlcRequest,
-    chain: Vec<u64>,
-    /// Index of the chain element the queued label-queue entry refers to.
-    idx: usize,
-    old_label: u64,
-    new_label: u64,
-}
-
-/// A chain step that could not enter the label queue yet (same-block
-/// serialization or a queue full of real requests).
-#[derive(Debug, Clone, Copy)]
-struct StalledStep {
-    flight: u64,
-    ready_ps: u64,
-}
-
-/// The Fork Path ORAM controller.
-///
-/// See the crate-level docs for an end-to-end example.
+/// The Fork Path ORAM controller (see the crate docs for an example).
 #[derive(Debug)]
 pub struct ForkPathController {
     state: OramState,
-    fork: ForkConfig,
     dram: DramSystem,
-    layout: SubtreeLayout,
-    cache: Box<dyn BucketCache + Send>,
     aq: AddressQueue,
-    lq: LabelQueue,
-    flights: HashMap<u64, Flight>,
-    next_flight: u64,
+    sched: RequestScheduler,
+    merge: PathMerger,
+    dummy: DummyReplacer,
+    writeback: WritebackEngine,
+    flights: FlightTable,
     next_req_id: u64,
-    /// FIFO of flights waiting to access each unified block. The front is
-    /// the owner; everyone else is parked. A step joins the queue the
-    /// moment it is *created* — even while stalled outside the label queue
-    /// — so same-block steps from different flights always execute in
-    /// creation order (a newly created step can never overtake a parked
-    /// one, which would let it run with a stale label).
-    busy: HashMap<u64, VecDeque<u64>>,
-    stalled: VecDeque<StalledStep>,
-    /// Path of the previous access (`None` = next read takes the full path).
-    prev_label: Option<u64>,
     /// The already-revealed next access (selected during the last refill).
     current: Option<Entry>,
     clock_ps: u64,
-    /// Fixed-rate (timing-protection) mode: dummy padding is materialized
-    /// even when no real work exists, so the stream never pauses.
+    /// Fixed-rate (timing-protection) mode: dummies are materialized even
+    /// when no real work exists, so the access stream never pauses.
     fixed_rate: bool,
-    /// Freecursive-style PLB: hot posmap blocks pinned in the stash.
     plb: PosMapLookasideBuffer,
     stats: OramStats,
     completions: Vec<Completion>,
     /// Completions before this index have been fed to the reactive source.
     feedback_cursor: usize,
     label_trace: Option<Vec<u64>>,
-    bursts_per_bucket: u64,
 }
 
 impl ForkPathController {
@@ -131,45 +79,45 @@ impl ForkPathController {
     ///
     /// # Panics
     ///
-    /// Panics if either configuration fails validation.
+    /// Panics on an invalid fork configuration; see
+    /// [`ForkPathController::try_new`] for a fallible variant.
     pub fn new(cfg: OramConfig, fork: ForkConfig, dram: DramSystem, seed: u64) -> Self {
-        fork.validate().expect("invalid fork config");
-        let layout = SubtreeLayout::fit_row(
-            cfg.path_len(),
+        must(Self::try_new(cfg, fork, dram, seed))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::InvalidConfig`] on a rejected fork configuration.
+    pub fn try_new(
+        cfg: OramConfig,
+        fork: ForkConfig,
+        dram: DramSystem,
+        seed: u64,
+    ) -> Result<Self, ControllerError> {
+        fork.validate().map_err(ControllerError::InvalidConfig)?;
+        let writeback = WritebackEngine::new(
+            &fork,
             cfg.bucket_bytes(),
+            cfg.path_len(),
             dram.config().row_bytes,
+            dram.config().burst_bytes,
         );
-        let bursts_per_bucket = cfg.bucket_bytes().div_ceil(dram.config().burst_bytes).max(1);
-        let cache: Box<dyn BucketCache + Send> = match fork.cache {
-            CacheChoice::None => Box::new(NoCache),
-            CacheChoice::Treetop { bytes } => {
-                Box::new(TreetopCache::with_capacity_bytes(bytes, cfg.bucket_bytes()))
-            }
-            CacheChoice::MergingAware { bytes, ways } => {
-                let m1 = fork.mac_bypass_levels.unwrap_or_else(|| fork.derived_mac_bypass());
-                Box::new(MergingAwareCache::with_capacity_bytes(
-                    bytes,
-                    cfg.bucket_bytes(),
-                    ways,
-                    m1,
-                ))
-            }
-        };
-        let lq = LabelQueue::new(fork.label_queue_size, fork.starvation_threshold);
-        Self {
+        Ok(Self {
             state: OramState::new(cfg, seed),
-            fork,
             dram,
-            layout,
-            cache,
             aq: AddressQueue::new(),
-            lq,
-            flights: HashMap::new(),
-            next_flight: 0,
+            sched: RequestScheduler::new(
+                fork.label_queue_size,
+                fork.starvation_threshold,
+                fork.scheduling,
+            ),
+            merge: PathMerger::new(fork.merging),
+            dummy: DummyReplacer::new(fork.replacing),
+            writeback,
+            flights: FlightTable::default(),
             next_req_id: 0,
-            busy: HashMap::new(),
-            stalled: VecDeque::new(),
-            prev_label: None,
             current: None,
             clock_ps: 0,
             fixed_rate: false,
@@ -178,19 +126,22 @@ impl ForkPathController {
             completions: Vec::new(),
             feedback_cursor: 0,
             label_trace: None,
-            bursts_per_bucket,
-        }
+        })
     }
 
     /// Enqueues an LLC request; returns its id. Hazard shortcuts (forwarding
     /// / cancellation) may complete requests immediately — collect them via
     /// [`ForkPathController::drain_completions`].
     pub fn submit(&mut self, addr: u64, op: Op, data: Vec<u8>, arrival_ps: u64) -> u64 {
-        self.submit_tagged(addr, op, data, arrival_ps, 0)
+        must(self.submit_tagged(addr, op, data, arrival_ps, 0))
     }
 
     /// [`ForkPathController::submit`] with an opaque routing tag echoed in
     /// the completion.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal bookkeeping invariant violations.
     pub fn submit_tagged(
         &mut self,
         addr: u64,
@@ -198,14 +149,21 @@ impl ForkPathController {
         data: Vec<u8>,
         arrival_ps: u64,
         tag: u64,
-    ) -> u64 {
+    ) -> Result<u64, ControllerError> {
         let id = self.next_req_id;
         self.next_req_id += 1;
         let payload = match op {
             Op::Write => Some(data),
             Op::Read => None,
         };
-        let req = LlcRequest { id, addr, op, data: payload, arrival_ps, tag };
+        let req = LlcRequest {
+            id,
+            addr,
+            op,
+            data: payload,
+            arrival_ps,
+            tag,
+        };
         match self.aq.submit(req) {
             SubmitEffect::Queued => {}
             SubmitEffect::Forwarded { data } => {
@@ -221,8 +179,7 @@ impl ForkPathController {
                 });
             }
             SubmitEffect::CancelledOlderWrite { cancelled_id } => {
-                // The cancelled write is acknowledged; its data was
-                // superseded before leaving the trusted boundary.
+                // The cancelled write is acknowledged: superseded on chip.
                 self.completions.push(Completion {
                     id: cancelled_id,
                     addr,
@@ -233,356 +190,94 @@ impl ForkPathController {
                 });
             }
         }
-        self.pump();
-        id
+        self.pump()?;
+        Ok(id)
     }
 
-    /// Completions produced since the last drain. Only completions that
-    /// have already been routed through the reactive feedback are returned;
-    /// anything newer is delivered on a later drain (after the next
-    /// [`ForkPathController::process_one`] flushes it).
-    pub fn drain_completions(&mut self) -> Vec<Completion> {
-        let flushed: Vec<Completion> = self.completions.drain(..self.feedback_cursor).collect();
-        self.feedback_cursor = 0;
-        flushed
-    }
-
-    /// Routes every not-yet-fed completion through `source`, submitting any
-    /// follow-up requests it produces (which may in turn complete on chip
-    /// and extend the queue — the loop runs until quiescent).
-    fn flush_feedback<S: ReactiveSource>(&mut self, source: &mut S) {
-        while self.feedback_cursor < self.completions.len() {
-            let completion = self.completions[self.feedback_cursor].clone();
-            self.feedback_cursor += 1;
-            for r in source.on_complete(&completion) {
-                self.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag);
-            }
-        }
-    }
-
-    /// Executes one ORAM access (read phase, block handling, refill with
-    /// pending selection and dummy replacing). Returns `false` when no work
-    /// remains.
-    pub fn process_one<S: ReactiveSource>(&mut self, source: &mut S) -> bool {
+    /// Executes one ORAM access (read phase, block handling, refill).
+    /// Returns `Ok(false)` when no work remains.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal bookkeeping invariant violations.
+    pub fn process_one<S: ReactiveSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<bool, ControllerError> {
         self.process_one_at(source, 0)
     }
 
     /// Like [`ForkPathController::process_one`], but the access starts no
-    /// earlier than `not_before_ps` — used by the fixed-rate stream to pin
-    /// every access to a cadence slot.
+    /// earlier than `not_before_ps` (the fixed-rate stream's cadence slot).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal bookkeeping invariant violations.
     pub fn process_one_at<S: ReactiveSource>(
         &mut self,
         source: &mut S,
         not_before_ps: u64,
-    ) -> bool {
-        self.flush_feedback(source);
-        self.pump();
-        let mut cur = match self.current.take() {
-            Some(c) => c,
-            None => match self.pick_initial() {
-                Some(c) => c,
-                None => return false,
-            },
+    ) -> Result<bool, ControllerError> {
+        self.flush_feedback(source)?;
+        self.pump()?;
+        let revealed = match self.current.take() {
+            Some(c) => Some(c),
+            None => self.pick_initial()?,
+        };
+        let Some(mut cur) = revealed else {
+            return Ok(false);
         };
         cur.ready_ps = cur.ready_ps.max(not_before_ps);
-        self.execute(cur, source);
-        true
+        self.execute(cur, source)?;
+        Ok(true)
     }
 
     /// Runs until no real work remains; returns all completions.
     pub fn run_to_idle(&mut self) -> Vec<Completion> {
         let mut source = NoFeedback;
-        while self.process_one(&mut source) {}
+        while must(self.process_one(&mut source)) {}
         self.drain_completions()
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> &OramStats {
-        &self.stats
-    }
-
-    /// The DRAM system (for command/energy statistics).
-    pub fn dram(&self) -> &DramSystem {
-        &self.dram
-    }
-
-    /// The trusted ORAM state (for invariant checks in tests).
-    pub fn state(&self) -> &OramState {
-        &self.state
-    }
-
-    /// Current controller clock, picoseconds.
-    pub fn clock_ps(&self) -> u64 {
-        self.clock_ps
-    }
-
-    /// Starts recording the externally visible label sequence.
-    pub fn enable_label_trace(&mut self) {
-        self.label_trace = Some(Vec::new());
-    }
-
-    /// The recorded label sequence.
-    pub fn label_trace(&self) -> Option<&[u64]> {
-        self.label_trace.as_deref()
-    }
-
-    /// Number of buckets currently resident in the on-chip cache.
-    pub fn cache_resident(&self) -> usize {
-        self.cache.resident()
-    }
-
-    /// Enables or disables fixed-rate (timing-protection) mode; see
-    /// [`crate::timing::enforce_fixed_rate`]. While enabled, refills always
-    /// select a pending request (materializing dummies when idle), so
-    /// [`ForkPathController::run_to_idle`] would not terminate — drive the
-    /// controller with an explicit horizon instead.
-    pub fn set_fixed_rate(&mut self, on: bool) {
-        self.fixed_rate = on;
-        if !on && self.current.as_ref().is_some_and(|c| c.is_dummy()) && !self.has_real_work() {
-            // Drop a revealed-but-unexecuted trailing dummy so the
-            // controller can go idle. Its reveal was part of the protected
-            // window that just ended.
-            self.current = None;
-            self.prev_label = None;
-        }
-    }
-
-    /// Executes one dummy ORAM access immediately (timing-protection
-    /// padding). Uses the revealed pending access if one exists.
-    pub fn force_dummy_access(&mut self) {
-        self.force_dummy_at(self.clock_ps);
-    }
-
-    /// Like [`ForkPathController::force_dummy_access`], but the access
-    /// starts no earlier than `not_before_ps` — the pacing primitive of the
-    /// fixed-rate stream (one access per interval, not back-to-back).
-    pub fn force_dummy_at(&mut self, not_before_ps: u64) {
-        let mut cur = match self.current.take() {
-            Some(c) => c,
-            None => {
-                let label = self.state.random_label();
-                Entry::dummy(label, self.clock_ps)
-            }
-        };
-        cur.ready_ps = cur.ready_ps.max(not_before_ps);
-        let mut source = NoFeedback;
-        self.execute(cur, &mut source);
-    }
-
-    /// Whether the next schedulable work would leave an idle bus gap longer
-    /// than `interval_ps` (used by the fixed-rate enforcer).
-    pub fn next_work_gap(&self, interval_ps: u64) -> bool {
-        let mut next: Option<u64> = None;
-        if let Some(c) = &self.current {
-            next = Some(c.ready_ps);
-        }
-        if let Some(t) =
-            self.lq.iter().filter(|e| !e.is_dummy()).map(|e| e.ready_ps).min()
+    /// Moves work forward: stalled chain steps first (they are older), then
+    /// address-queue transformations, as far as space and hazards allow.
+    fn pump(&mut self) -> Result<(), ControllerError> {
         {
-            next = Some(next.map_or(t, |n| n.min(t)));
+            let mut ctx = step_ctx!(self);
+            self.flights.retry_stalled(&mut ctx)?;
         }
-        if let Some(t) = self.aq.head_arrival() {
-            next = Some(next.map_or(t, |n| n.min(t)));
-        }
-        match next {
-            Some(t) => t > self.clock_ps + interval_ps,
-            None => true,
-        }
-    }
-
-    /// Whether any real work (queued, stalled, or in flight) exists.
-    fn has_real_work(&self) -> bool {
-        !self.aq.is_empty() || !self.flights.is_empty()
-    }
-
-    /// Moves work forward: stalled chain steps, then address-queue
-    /// transformations, as far as label-queue space and hazards allow.
-    fn pump(&mut self) {
-        // Retry stalled chain steps first (they are older).
-        let mut requeue = VecDeque::new();
-        while let Some(step) = self.stalled.pop_front() {
-            if !self.try_enqueue_step(step) {
-                requeue.push_back(step);
-            }
-        }
-        self.stalled = requeue;
 
         // Transform new LLC requests in order.
-        while self.lq.has_space_for_real() {
-            let Some(req) = self.aq.pop_ready(u64::MAX) else { break };
+        while self.sched.has_space_for_real() {
+            let Some(req) = self.aq.pop_ready(u64::MAX) else {
+                break;
+            };
             let (old, new, _) = self.state.start_chain(req.addr);
             let chain = self.state.chain(req.addr);
-            let flight_id = self.next_flight;
-            self.next_flight += 1;
             let arrival = req.arrival_ps;
-            self.flights.insert(
-                flight_id,
-                Flight { req, chain, idx: 0, old_label: old, new_label: new },
-            );
-            let step = StalledStep { flight: flight_id, ready_ps: arrival };
-            if !self.try_enqueue_step(step) {
-                self.stalled.push_back(step);
+            let flight_id = self.flights.open(req, chain, old, new);
+            let step = StalledStep {
+                flight: flight_id,
+                ready_ps: arrival,
+            };
+            let mut ctx = step_ctx!(self);
+            if !self.flights.try_enqueue_step(&mut ctx, step)? {
+                self.flights.push_stalled(step);
             }
         }
 
-        // Keep the queue padded with dummies (Fig 7b); labels come from the
-        // ORAM state's deterministic label stream.
+        // Keep the queue padded with dummies (Fig 7b).
         let state = &mut self.state;
-        self.lq.pad_with(|| state.random_label());
-    }
-
-    /// Places a flight's current chain step: consecutive steps whose block
-    /// is already in the stash are completed on chip with no ORAM access
-    /// (the paper's Step 1 — a stash hit is "returned to LLC immediately");
-    /// the first missing step enters the label queue. Fails (leaving the
-    /// step stalled) when the target block already has a live entry
-    /// (same-block serialization) or the queue is full of reals.
-    /// Serialization key: posmap blocks serialize on themselves; data
-    /// blocks serialize on their super-block group (group members share a
-    /// label, so their accesses must stay ordered). Group ids live below
-    /// the data-block range, posmap addresses above it — no collisions.
-    fn serialize_key(&self, block: u64) -> u64 {
-        if block < self.state.config().data_blocks {
-            block / self.state.config().super_block
-        } else {
-            block
-        }
-    }
-
-    fn try_enqueue_step(&mut self, step: StalledStep) -> bool {
-        let mut ready = step.ready_ps;
-        loop {
-            let flight = &self.flights[&step.flight];
-            let block = self.serialize_key(flight.chain[flight.idx]);
-            // Join (or verify ownership of) the block's waiter queue.
-            {
-                let waiters = self.busy.entry(block).or_default();
-                match waiters.front() {
-                    Some(&owner) if owner != step.flight => {
-                        if !waiters.contains(&step.flight) {
-                            waiters.push_back(step.flight);
-                        }
-                        return false;
-                    }
-                    Some(_) => {} // already the owner (retry)
-                    None => waiters.push_back(step.flight),
-                }
-            }
-            let real_block = flight.chain[flight.idx];
-            let at_last_step = flight.idx + 1 >= flight.chain.len();
-            let shortcut_ok = self.state.stash_hit(real_block)
-                && (!at_last_step || self.state.group_shortcut_safe(real_block));
-            if shortcut_ok {
-                // On-chip fast path: relabel + payload handling, no access.
-                self.release_block(block, step.flight);
-                self.stats.stash_hits += 1;
-                ready += ONCHIP_ANSWER_PS;
-                if !at_last_step {
-                    let flight = &self.flights[&step.flight];
-                    let next_block = flight.chain[flight.idx + 1];
-                    let new_label = flight.new_label;
-                    let (o, n, _) = self.state.chain_step(real_block, new_label, next_block);
-                    self.note_posmap_use(real_block);
-                    let flight = self.flights.get_mut(&step.flight).expect("flight exists");
-                    flight.idx += 1;
-                    flight.old_label = o;
-                    flight.new_label = n;
-                    continue;
-                }
-                let flight = self.flights.get_mut(&step.flight).expect("flight exists");
-                let new_label = flight.new_label;
-                let wdata = flight.req.data.clone();
-                let (data, _) = self.state.apply_op(real_block, new_label, wdata.as_deref());
-                let flight = self.flights.remove(&step.flight).expect("flight exists");
-                self.aq.complete(flight.req.addr, flight.req.op);
-                self.stats.completed_requests += 1;
-                self.stats.sum_latency_ps += ready.saturating_sub(flight.req.arrival_ps);
-                self.completions.push(Completion {
-                    id: flight.req.id,
-                    addr: flight.req.addr,
-                    data,
-                    arrival_ps: flight.req.arrival_ps,
-                    done_ps: ready,
-                    tag: flight.req.tag,
-                });
-                return true;
-            }
-            // Ownership (queue front) is already held; a failed label-queue
-            // insertion keeps it so later same-block steps stay parked.
-            let label = flight.old_label;
-            if self
-                .lq
-                .insert_real(label, EntryKind::Real { flight: step.flight }, ready)
-                .is_err()
-            {
-                return false;
-            }
-            return true;
-        }
-    }
-
-    /// Records a posmap-block use in the PLB, pinning it in the stash and
-    /// unpinning the evicted victim (Freecursive [12]; no-op when the PLB
-    /// is disabled).
-    fn note_posmap_use(&mut self, block: u64) {
-        if self.plb.is_disabled() {
-            return;
-        }
-        self.state.pin_block(block);
-        if let Some(evicted) = self.plb.touch(block) {
-            self.state.unpin_block(evicted);
-        }
-    }
-
-    /// Releases a flight's ownership of `block`, passing it to the oldest
-    /// parked waiter (which will claim it on its next stalled retry).
-    fn release_block(&mut self, block: u64, flight: u64) {
-        if let Some(waiters) = self.busy.get_mut(&block) {
-            debug_assert_eq!(waiters.front(), Some(&flight), "only the owner releases");
-            waiters.pop_front();
-            if waiters.is_empty() {
-                self.busy.remove(&block);
-            }
-        }
-    }
-
-    /// First access after start-up or an idle gap: only real entries count —
-    /// unrevealed dummy padding is silently discarded rather than executed.
-    fn pick_initial(&mut self) -> Option<Entry> {
-        if !self.has_real_work() {
-            return None;
-        }
-        let levels = self.state.config().levels;
-        let anchor = self.prev_label.unwrap_or(0);
-        // Earliest time a real entry is ready.
-        let min_ready = self
-            .lq
-            .iter()
-            .filter(|e| !e.is_dummy())
-            .map(|e| e.ready_ps)
-            .min()
-            .or_else(|| self.aq.head_arrival())?;
-        let t = self.clock_ps.max(min_ready);
-        self.clock_ps = t;
-        self.pump();
-        // Select among reals only: temporarily treat dummies as not ready by
-        // selecting and restoring until a real appears.
-        let mut discarded = Vec::new();
-        let picked = loop {
-            match self.lq.select(levels, anchor, t, self.fork.scheduling) {
-                Some(e) if e.is_dummy() => discarded.push(e),
-                other => break other,
-            }
-        };
-        // Unrevealed dummies go back (they are free padding).
-        for e in discarded {
-            self.lq.restore(e);
-        }
-        picked
+        self.sched.pad_with(|| state.random_label());
+        Ok(())
     }
 
     /// Executes one ORAM access end to end.
-    fn execute<S: ReactiveSource>(&mut self, cur: Entry, source: &mut S) {
+    fn execute<S: ReactiveSource>(
+        &mut self,
+        cur: Entry,
+        source: &mut S,
+    ) -> Result<(), ControllerError> {
         let levels = self.state.config().levels;
         let start = self.clock_ps.max(cur.ready_ps);
         self.clock_ps = start;
@@ -592,596 +287,101 @@ impl ForkPathController {
         }
 
         // --- Read phase: skip the prefix shared with the previous path ---
-        let read_lo = match self.prev_label {
-            Some(prev) if self.fork.merging => divergence_level(levels, prev, cur.label) + 1,
-            _ => 0,
-        };
+        let read_lo = self.merge.read_floor(levels, cur.label);
         let read_end = if read_lo <= levels {
             let nodes = self.state.load_path_range(cur.label, read_lo, levels);
             self.stats.buckets_read += nodes.len() as u64;
-            self.read_phase_timing(&nodes)
+            self.writeback.read_path(&mut self.dram, &nodes, start) + CTRL_PHASE_LATENCY_PS
         } else {
-            // Entire path already in the stash (equal labels).
-            start + CTRL_PHASE_LATENCY_PS
+            start + CTRL_PHASE_LATENCY_PS // entire path in the stash already
         };
 
         // --- Block handling ---
         match cur.kind {
-            EntryKind::Dummy => {
-                self.stats.dummy_accesses += 1;
-            }
+            EntryKind::Dummy => self.dummy.note_executed(),
             EntryKind::Real { flight } => {
                 self.stats.real_accesses += 1;
-                self.handle_real(flight, read_end, source);
+                let completed = {
+                    let mut ctx = step_ctx!(self);
+                    self.flights
+                        .advance_after_access(&mut ctx, flight, read_end)?
+                };
+                if completed {
+                    // Closed-loop feedback may land inside this refill.
+                    self.flush_feedback(source)?;
+                }
             }
         }
         self.stats.oram_accesses += 1;
 
         // --- Refill with pending selection and dummy replacing ---
-        self.refill(cur.label, read_end);
+        self.refill(cur.label, read_end)?;
         self.stats.access_busy_ps += self.clock_ps.saturating_sub(start);
         self.stats.stash_size_sum += self.state.stash().len() as u64;
         self.stats.stash_samples += 1;
         self.stats.finish_time_ps = self.clock_ps;
+        self.sync_stats();
+        Ok(())
     }
 
-    /// Chain-step or data handling for a real access.
-    fn handle_real<S: ReactiveSource>(&mut self, flight_id: u64, read_end: u64, source: &mut S) {
-        let flight = self.flights.get_mut(&flight_id).expect("flight exists");
-        let block = flight.chain[flight.idx];
-        let at_last_step = flight.idx + 1 >= flight.chain.len();
-        let key = self.serialize_key(block);
-        self.release_block(key, flight_id);
-        let flight = self.flights.get_mut(&flight_id).expect("flight exists");
-
-        if !at_last_step {
-            let next_block = flight.chain[flight.idx + 1];
-            let new_label = flight.new_label;
-            let (o, n, _) = self.state.chain_step(block, new_label, next_block);
-            self.note_posmap_use(block);
-            let flight = self.flights.get_mut(&flight_id).expect("flight exists");
-            flight.idx += 1;
-            flight.old_label = o;
-            flight.new_label = n;
-            let step = StalledStep { flight: flight_id, ready_ps: read_end };
-            if !self.try_enqueue_step(step) {
-                self.stalled.push_back(step);
-            }
-        } else {
-            let new_label = flight.new_label;
-            let wdata = flight.req.data.clone();
-            let (data, _) = self.state.apply_op(block, new_label, wdata.as_deref());
-            let flight = self.flights.remove(&flight_id).expect("flight exists");
-            self.aq.complete(flight.req.addr, flight.req.op);
-            let completion = Completion {
-                id: flight.req.id,
-                addr: flight.req.addr,
-                data,
-                arrival_ps: flight.req.arrival_ps,
-                done_ps: read_end,
-                tag: flight.req.tag,
-            };
-            self.stats.completed_requests += 1;
-            self.stats.sum_latency_ps += read_end.saturating_sub(flight.req.arrival_ps);
-            self.completions.push(completion);
-            // Closed-loop feedback: the consumer may fire follow-up requests
-            // that land inside this access's refill window.
-            self.flush_feedback(source);
-        }
-    }
-
-    /// The refill: an ordered leaf-to-root bucket stream that stops above
-    /// the divergence with the pending request, with mid-stream replacement.
-    fn refill(&mut self, leaf: u64, read_end: u64) {
+    /// The refill: an ordered leaf-to-root bucket stream stopping above the
+    /// divergence with the pending request, with mid-stream replacement.
+    fn refill(&mut self, leaf: u64, read_end: u64) -> Result<(), ControllerError> {
         let levels = self.state.config().levels;
         let sel_time = read_end;
-        self.pump();
+        self.pump()?;
 
-        self.stats.sched_ready_reals += self
-            .lq
-            .iter()
-            .filter(|e| !e.is_dummy() && e.ready_ps <= sel_time)
-            .count() as u64;
-        self.stats.sched_rounds += 1;
-        let mut pending = self.lq.select(levels, leaf, sel_time, self.fork.scheduling);
-        if let Some(p) = &pending {
-            // Queue padding is only *revealed* if it is actually merged
-            // with live traffic; when the system is draining to idle the
-            // padding dummy is silently dropped instead of executed, so a
-            // finite workload terminates (a real controller would keep
-            // issuing timing-protection dummies forever — which is exactly
-            // what fixed-rate mode restores; see `timing`).
-            if p.is_dummy() && !self.has_real_work() && !self.fixed_rate {
-                pending = None;
-            }
-        }
-        if pending.is_none() && (self.has_real_work() || self.fixed_rate) {
-            // Conceptual dummy padding materialized: §3.2 step 6.
-            let label = self.state.random_label();
-            pending = Some(Entry::dummy(label, sel_time));
-        }
+        let selected = self.sched.select_pending(levels, leaf, sel_time);
+        let has_real_work = self.has_real_work();
+        let fixed_rate = self.fixed_rate;
+        let state = &mut self.state;
+        let mut pending =
+            self.dummy
+                .finalize(selected, has_real_work, fixed_rate, sel_time, || {
+                    state.random_label()
+                });
 
-        let mut stop = match (&pending, self.fork.merging) {
-            (Some(p), true) => divergence_level(levels, leaf, p.label) + 1,
-            _ => 0,
-        };
+        let mut stop = self
+            .merge
+            .write_stop(levels, leaf, pending.as_ref().map(|p| p.label));
 
         let mut t = read_end;
         let mut level = levels as i64;
         while level >= stop as i64 {
             // Replacement check before committing this bucket (Fig 5).
-            if self.fork.replacing {
-                if let Some(p) = &pending {
-                    let p_overlap = overlap_degree(levels, leaf, p.label);
-                    if let Some(incoming) = self.lq.take_replacement(
-                        levels,
-                        leaf,
-                        sel_time,
-                        t,
-                        p_overlap,
-                        p.is_dummy(),
-                        level as u32,
-                    ) {
-                        let old = pending.replace(incoming).expect("pending existed");
-                        if old.is_dummy() {
-                            self.stats.dummies_replaced += 1;
-                        } else {
-                            self.lq.restore(old);
-                        }
-                        let p = pending.as_ref().expect("just set");
-                        stop = divergence_level(levels, leaf, p.label) + 1;
-                        if (level as u32) < stop {
-                            break;
-                        }
-                    }
+            if self.dummy.try_replace(
+                &mut self.sched,
+                levels,
+                leaf,
+                sel_time,
+                t,
+                level as u32,
+                &mut pending,
+            )? {
+                let p = pending.as_ref().ok_or(ControllerError::MissingPending)?;
+                stop = PathMerger::replacement_stop(levels, leaf, p.label);
+                if (level as u32) < stop {
+                    break;
                 }
             }
             let nodes = self.state.evict_range(leaf, level as u32, level as u32);
-            debug_assert_eq!(nodes.len(), 1);
-            t = self.write_bucket(nodes[0], t);
-            self.stats.buckets_written += 1;
+            if nodes.len() != 1 {
+                return Err(ControllerError::EmptyEviction {
+                    leaf,
+                    level: level as u32,
+                });
+            }
+            t = self.writeback.write_bucket(&mut self.dram, nodes[0], t);
             level -= 1;
         }
         self.clock_ps = t + CTRL_PHASE_LATENCY_PS;
 
-        if pending.is_none() {
-            // Idle: the full path was written; the next access reads a full
-            // path again.
-            self.prev_label = None;
-        } else {
-            self.prev_label = Some(leaf);
+        match &pending {
+            // Idle: the full path was written; the next read is full again.
+            None => self.merge.reset(),
+            Some(_) => self.merge.commit(leaf),
         }
         self.current = pending;
-    }
-
-    /// DRAM reads for a path range (minus cache hits), FR-FCFS batched.
-    fn read_phase_timing(&mut self, nodes: &[u64]) -> u64 {
-        let mut batch = Vec::with_capacity(nodes.len() * self.bursts_per_bucket as usize);
-        for &node in nodes {
-            if self.cache.lookup_for_read(node) {
-                self.stats.cache_hits += 1;
-                continue;
-            }
-            self.stats.cache_misses += 1;
-            let base = self.layout.bucket_address(node);
-            for i in 0..self.bursts_per_bucket {
-                batch.push((base + i * self.dram.config().burst_bytes, AccessKind::Read));
-            }
-        }
-        if batch.is_empty() {
-            return self.clock_ps + CTRL_PHASE_LATENCY_PS;
-        }
-        self.stats.dram_blocks_read += batch.len() as u64;
-        let result = self.dram.access_batch(self.clock_ps, &batch);
-        result.batch_finish_ps + CTRL_PHASE_LATENCY_PS
-    }
-
-    /// One bucket write through the cache; returns its commit time.
-    fn write_bucket(&mut self, node: u64, t: u64) -> u64 {
-        match self.cache.insert_on_write(node) {
-            WriteOutcome::Cached => t,
-            WriteOutcome::WriteThrough => self.write_bucket_dram(node, t),
-            WriteOutcome::CachedEvicting { victim } => self.write_bucket_dram(victim, t),
-        }
-    }
-
-    fn write_bucket_dram(&mut self, node: u64, t: u64) -> u64 {
-        let base = self.layout.bucket_address(node);
-        let batch: Vec<_> = (0..self.bursts_per_bucket)
-            .map(|i| (base + i * self.dram.config().burst_bytes, AccessKind::Write))
-            .collect();
-        self.stats.dram_blocks_written += batch.len() as u64;
-        self.dram.access_batch(t, &batch).batch_finish_ps
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fp_dram::DramConfig;
-    use fp_path_oram::BaselineController;
-
-    fn dram() -> DramSystem {
-        DramSystem::new(DramConfig::ddr3_1600(2))
-    }
-
-    fn fork(cfg: ForkConfig) -> ForkPathController {
-        ForkPathController::new(OramConfig::small_test(), cfg, dram(), 11)
-    }
-
-    #[test]
-    fn write_then_read_roundtrips() {
-        let mut ctl = fork(ForkConfig::default());
-        ctl.submit(77, Op::Write, vec![0xEE; 16], 0);
-        let _ = ctl.run_to_idle();
-        ctl.submit(77, Op::Read, vec![], ctl.clock_ps());
-        let done = ctl.run_to_idle();
-        let read = done.iter().find(|c| c.addr == 77).unwrap();
-        assert_eq!(read.data, vec![0xEE; 16]);
-        ctl.state().check_invariants().unwrap();
-    }
-
-    #[test]
-    fn many_interleaved_requests_stay_consistent() {
-        let mut ctl = fork(ForkConfig::default());
-        // Writes to 32 addresses, then reads, submitted in bulk so
-        // scheduling reorders aggressively.
-        for a in 0..32u64 {
-            ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
-        }
-        let _ = ctl.run_to_idle();
-        for a in 0..32u64 {
-            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
-        }
-        let done = ctl.run_to_idle();
-        for c in done {
-            assert_eq!(c.data, vec![c.addr as u8; 16], "addr {}", c.addr);
-        }
-        ctl.state().check_invariants().unwrap();
-    }
-
-    #[test]
-    fn merging_shortens_paths_vs_baseline() {
-        let mut base = BaselineController::new(OramConfig::small_test(), dram(), 11);
-        let mut ctl = fork(ForkConfig::default());
-        for a in 0..64u64 {
-            base.submit(a, Op::Read, vec![], 0);
-            ctl.submit(a, Op::Read, vec![], 0);
-        }
-        base.run_to_idle();
-        ctl.run_to_idle();
-        let full = base.stats().avg_path_len();
-        let merged = ctl.stats().avg_path_len();
-        assert_eq!(full, 10.0, "baseline reads/writes complete paths");
-        assert!(merged < full - 1.0, "merged {merged} vs full {full}");
-    }
-
-    #[test]
-    fn bigger_queue_shortens_paths_further() {
-        let run = |m: usize| {
-            let mut cfg = ForkConfig::default();
-            cfg.label_queue_size = m;
-            let mut ctl = fork(cfg);
-            for a in 0..200u64 {
-                ctl.submit(a % 96, Op::Read, vec![], 0);
-            }
-            ctl.run_to_idle();
-            ctl.stats().avg_path_len()
-        };
-        let q1 = run(1);
-        let q16 = run(16);
-        assert!(q16 < q1 - 0.5, "queue 16 ({q16}) beats queue 1 ({q1})");
-    }
-
-    #[test]
-    fn sparse_arrivals_insert_dummies() {
-        let mut ctl = fork(ForkConfig::default());
-        // Requests arriving far apart: each refill needs a pending request,
-        // so dummies are materialized.
-        let gap = 10_000_000; // 10 us
-        for a in 0..8u64 {
-            ctl.submit(a, Op::Read, vec![], a * gap);
-        }
-        ctl.run_to_idle();
-        assert!(ctl.stats().dummy_accesses > 0, "sparse arrivals force dummies");
-    }
-
-    #[test]
-    fn dense_arrivals_avoid_dummies() {
-        let mut ctl = fork(ForkConfig::default());
-        for a in 0..64u64 {
-            ctl.submit(a, Op::Read, vec![], 0);
-        }
-        ctl.run_to_idle();
-        let frac = ctl.stats().dummy_fraction();
-        assert!(frac < 0.2, "dense queue rarely needs dummies: {frac}");
-    }
-
-    #[test]
-    fn replacement_rescues_dummies_in_closed_loop() {
-        struct Chaser {
-            next_addr: u64,
-            remaining: u32,
-            gap_ps: u64,
-        }
-        impl ReactiveSource for Chaser {
-            fn on_complete(&mut self, c: &Completion) -> Vec<NewRequest> {
-                if self.remaining == 0 {
-                    return Vec::new();
-                }
-                self.remaining -= 1;
-                self.next_addr += 1;
-                vec![NewRequest {
-                    addr: self.next_addr,
-                    op: Op::Read,
-                    data: Vec::new(),
-                    arrival_ps: c.done_ps + self.gap_ps,
-                    tag: 0,
-                }]
-            }
-        }
-        // A dependent chain of requests, each arriving shortly after the
-        // previous completes — inside the refill window.
-        let mut ctl = fork(ForkConfig::default());
-        let mut src = Chaser { next_addr: 100, remaining: 60, gap_ps: 30_000 };
-        ctl.submit(100, Op::Read, vec![], 0);
-        while ctl.process_one(&mut src) {}
-        let s = ctl.stats();
-        assert!(
-            s.dummies_replaced > 0,
-            "chained arrivals should replace pending dummies: {s:?}"
-        );
-        ctl.state().check_invariants().unwrap();
-    }
-
-    #[test]
-    fn replacing_flag_controls_replacement() {
-        let run = |replacing: bool| {
-            let mut cfg = ForkConfig::default();
-            cfg.replacing = replacing;
-            let mut ctl = fork(cfg);
-            // Moderate gaps: some arrivals land inside refill windows.
-            for a in 0..48u64 {
-                ctl.submit(a, Op::Read, vec![], a * 400_000);
-            }
-            ctl.run_to_idle();
-            (ctl.stats().dummies_replaced, ctl.stats().dummy_accesses)
-        };
-        let (replaced_on, _) = run(true);
-        let (replaced_off, dummies_off) = run(false);
-        assert!(replaced_on > 0, "staggered arrivals should replace some dummies");
-        assert_eq!(replaced_off, 0, "flag off must never replace");
-        assert!(dummies_off > 0, "without replacing, pending dummies execute");
-    }
-
-    #[test]
-    fn merging_off_reads_full_paths() {
-        let mut cfg = ForkConfig::default();
-        cfg.merging = false;
-        let mut ctl = fork(cfg);
-        for a in 0..16u64 {
-            ctl.submit(a, Op::Read, vec![], 0);
-        }
-        ctl.run_to_idle();
-        assert_eq!(ctl.stats().avg_path_len(), 10.0);
-    }
-
-    #[test]
-    fn mac_reduces_dram_traffic() {
-        let run = |cache: CacheChoice| {
-            let mut cfg = ForkConfig::default();
-            cfg.cache = cache;
-            cfg.mac_bypass_levels = Some(3);
-            let mut ctl = fork(cfg);
-            for round in 0..4u64 {
-                for a in 0..48u64 {
-                    ctl.submit(a, Op::Read, vec![], round);
-                }
-            }
-            ctl.run_to_idle();
-            (ctl.stats().dram_blocks_read, ctl.stats().dram_blocks_written)
-        };
-        let (plain_r, plain_w) = run(CacheChoice::None);
-        let (mac_r, mac_w) = run(CacheChoice::MergingAware { bytes: 8 << 10, ways: 4 });
-        assert!(mac_r < plain_r, "MAC cuts reads: {mac_r} vs {plain_r}");
-        assert!(mac_w < plain_w, "MAC cuts writes: {mac_w} vs {plain_w}");
-    }
-
-    #[test]
-    fn label_trace_is_roughly_uniform() {
-        let mut ctl = fork(ForkConfig::default());
-        ctl.enable_label_trace();
-        for a in 0..256u64 {
-            ctl.submit(a % 100, Op::Read, vec![], 0);
-        }
-        ctl.run_to_idle();
-        let trace = ctl.label_trace().unwrap().to_vec();
-        assert_eq!(trace.len() as u64, ctl.stats().oram_accesses);
-        assert!(trace.len() > 100, "expect a decent sample, got {}", trace.len());
-        let leaves = ctl.state().config().leaf_count();
-        // Coarse uniformity: split leaf space into 8 octants.
-        let mut counts = [0u32; 8];
-        for &l in &trace {
-            counts[(l * 8 / leaves) as usize] += 1;
-        }
-        let expected = trace.len() as f64 / 8.0;
-        let chi2: f64 = counts
-            .iter()
-            .map(|&c| {
-                let d = c as f64 - expected;
-                d * d / expected
-            })
-            .sum();
-        // 7 dof, 99.9th percentile ~ 24.3.
-        assert!(chi2 < 24.3, "label octants skewed: chi2={chi2} {counts:?}");
-    }
-
-    #[test]
-    fn hazard_forwarding_and_cancellation_complete_requests() {
-        // Queue of one plus a blocker keeps w1 resident in the address
-        // queue, exercising the §4 hazard rules.
-        let mut cfg = ForkConfig::default();
-        cfg.label_queue_size = 1;
-        let mut ctl = fork(cfg);
-        let _blocker = ctl.submit(900, Op::Read, vec![], 0);
-        let w1 = ctl.submit(5, Op::Write, vec![1; 16], 0);
-        let w2 = ctl.submit(5, Op::Write, vec![2; 16], 10);
-        let r = ctl.submit(5, Op::Read, vec![], 20);
-        let done = ctl.run_to_idle();
-        let by_id = |id: u64| done.iter().find(|c| c.id == id).unwrap();
-        // w1 cancelled by w2 (Write-before-Write): acknowledged with no data.
-        assert!(by_id(w1).data.is_empty());
-        // r forwarded from w2 (Write-before-Read).
-        assert_eq!(by_id(r).data, vec![2; 16]);
-        let _ = by_id(w2);
-        // A later read (after the write completed) sees the stored value.
-        ctl.submit(5, Op::Read, vec![], ctl.clock_ps());
-        let done = ctl.run_to_idle();
-        assert_eq!(done[0].data, vec![2; 16]);
-    }
-
-    #[test]
-    fn idle_gap_resets_merging_cleanly() {
-        let mut ctl = fork(ForkConfig::default());
-        ctl.submit(1, Op::Write, vec![7; 16], 0);
-        let _ = ctl.run_to_idle();
-        // Long idle; next burst must still behave correctly.
-        let later = ctl.clock_ps() + 1_000_000_000;
-        ctl.submit(1, Op::Read, vec![], later);
-        let done = ctl.run_to_idle();
-        assert_eq!(done[0].data, vec![7; 16]);
-        ctl.state().check_invariants().unwrap();
-    }
-
-    #[test]
-    fn stash_stays_bounded() {
-        let mut ctl = fork(ForkConfig::default());
-        for i in 0..400u64 {
-            ctl.submit(i % 80, if i % 3 == 0 { Op::Write } else { Op::Read }, vec![3; 16], 0);
-        }
-        ctl.run_to_idle();
-        let hw = ctl.state().stash().high_water();
-        assert!(hw < 200, "stash high water {hw}");
-        ctl.state().check_invariants().unwrap();
-    }
-}
-
-#[cfg(test)]
-mod plb_tests {
-    use super::*;
-    use fp_dram::DramConfig;
-
-    #[test]
-    fn plb_cuts_posmap_accesses() {
-        let run = |plb_blocks: usize| {
-            let cfg = OramConfig::small_test();
-            let fork_cfg = ForkConfig { plb_blocks, ..ForkConfig::default() };
-            let dram = DramSystem::new(DramConfig::ddr3_1600(2));
-            let mut ctl = ForkPathController::new(cfg, fork_cfg, dram, 44);
-            // Strided reads with posmap-block reuse.
-            for round in 0..4u64 {
-                for a in 0..64u64 {
-                    ctl.submit(a, Op::Read, vec![], round);
-                }
-                ctl.run_to_idle();
-            }
-            (ctl.stats().accesses_per_request(), ctl.state().stash().high_water())
-        };
-        let (without, _) = run(0);
-        let (with, hw) = run(32);
-        assert!(
-            with < without,
-            "PLB should cut accesses/request: {with:.2} vs {without:.2}"
-        );
-        assert!(hw < 200, "pinning must not blow up the stash: {hw}");
-    }
-
-    #[test]
-    fn plb_preserves_correctness() {
-        let cfg = OramConfig::small_test();
-        let fork_cfg = ForkConfig { plb_blocks: 16, ..ForkConfig::default() };
-        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
-        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram, 45);
-        for a in 0..80u64 {
-            ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
-        }
-        ctl.run_to_idle();
-        for a in 0..80u64 {
-            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
-        }
-        for c in ctl.run_to_idle() {
-            assert_eq!(c.data[0], c.addr as u8);
-        }
-        ctl.state().check_invariants().unwrap();
-    }
-}
-
-#[cfg(test)]
-mod super_block_tests {
-    use super::*;
-    use fp_dram::DramConfig;
-
-    fn ctl_with_sb(sb: u64) -> ForkPathController {
-        let mut cfg = OramConfig::small_test();
-        cfg.super_block = sb;
-        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
-        ForkPathController::new(cfg, ForkConfig::default(), dram, 61)
-    }
-
-    #[test]
-    fn super_blocks_preserve_ram_semantics() {
-        for sb in [2u64, 4, 8] {
-            let mut ctl = ctl_with_sb(sb);
-            for a in 0..96u64 {
-                ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
-            }
-            ctl.run_to_idle();
-            for a in 0..96u64 {
-                ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
-            }
-            for c in ctl.run_to_idle() {
-                assert_eq!(c.data[0], c.addr as u8, "sb={sb} addr={}", c.addr);
-            }
-            ctl.state().check_invariants().unwrap();
-        }
-    }
-
-    #[test]
-    fn super_blocks_prefetch_sequential_access() {
-        // Sequential scans hit the prefetched group members on chip.
-        let run = |sb: u64| {
-            let mut ctl = ctl_with_sb(sb);
-            for a in 0..128u64 {
-                ctl.submit(a, Op::Read, vec![], 0);
-            }
-            ctl.run_to_idle();
-            ctl.stats().accesses_per_request()
-        };
-        let plain = run(1);
-        let grouped = run(4);
-        assert!(
-            grouped < plain - 0.1,
-            "super blocks should cut accesses on sequential scans: {grouped:.2} vs {plain:.2}"
-        );
-    }
-
-    #[test]
-    fn interleaved_group_members_stay_consistent() {
-        // Writes and reads ping-ponging within one group exercise the
-        // group-serialization path.
-        let mut ctl = ctl_with_sb(4);
-        for round in 0..6u8 {
-            for a in 0..4u64 {
-                ctl.submit(a, Op::Write, vec![round * 10 + a as u8; 16], ctl.clock_ps());
-            }
-        }
-        ctl.run_to_idle();
-        for a in 0..4u64 {
-            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
-        }
-        for c in ctl.run_to_idle() {
-            assert_eq!(c.data[0], 50 + c.addr as u8);
-        }
-        ctl.state().check_invariants().unwrap();
+        Ok(())
     }
 }

@@ -1,0 +1,199 @@
+//! Introspection and timing-protection surface of [`ForkPathController`] —
+//! a child module of `controller` so it can reach the facade's private
+//! fields; the access data path itself stays in `controller.rs`.
+
+use fp_dram::DramSystem;
+use fp_path_oram::{Completion, OramState, OramStats};
+
+use super::ForkPathController;
+use crate::dummy::DummyReplacer;
+use crate::error::{must, ControllerError};
+use crate::merge::PathMerger;
+use crate::pipeline::PipelineStage;
+use crate::queue::Entry;
+use crate::reactive::{NoFeedback, ReactiveSource};
+use crate::scheduler::RequestScheduler;
+use crate::writeback::WritebackEngine;
+
+impl ForkPathController {
+    /// Whether any real work (queued, stalled, or in flight) exists.
+    pub(super) fn has_real_work(&self) -> bool {
+        !self.aq.is_empty() || !self.flights.is_empty()
+    }
+
+    /// Routes every not-yet-fed completion through `source`, submitting any
+    /// follow-up requests it produces, until quiescent.
+    pub(super) fn flush_feedback<S: ReactiveSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<(), ControllerError> {
+        while self.feedback_cursor < self.completions.len() {
+            let completion = self.completions[self.feedback_cursor].clone();
+            self.feedback_cursor += 1;
+            for r in source.on_complete(&completion) {
+                self.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// First access after start-up or an idle gap: unrevealed dummy padding
+    /// is silently discarded rather than executed.
+    pub(super) fn pick_initial(&mut self) -> Result<Option<Entry>, ControllerError> {
+        if !self.has_real_work() {
+            return Ok(None);
+        }
+        let levels = self.state.config().levels;
+        let anchor = self.merge.prev_label().unwrap_or(0);
+        let earliest = self
+            .sched
+            .earliest_real_ready()
+            .or_else(|| self.aq.head_arrival());
+        let Some(min_ready) = earliest else {
+            return Ok(None);
+        };
+        let t = self.clock_ps.max(min_ready);
+        self.clock_ps = t;
+        self.pump()?;
+        Ok(self.sched.select_initial(levels, anchor, t))
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &OramStats {
+        &self.stats
+    }
+
+    /// The DRAM system (for command/energy statistics).
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
+    /// The trusted ORAM state (for invariant checks in tests).
+    pub fn state(&self) -> &OramState {
+        &self.state
+    }
+
+    /// Current controller clock, picoseconds.
+    pub fn clock_ps(&self) -> u64 {
+        self.clock_ps
+    }
+
+    /// The scheduling stage (per-stage stats / tests).
+    pub fn scheduler(&self) -> &RequestScheduler {
+        &self.sched
+    }
+
+    /// The path-merging stage (per-stage stats / tests).
+    pub fn merger(&self) -> &PathMerger {
+        &self.merge
+    }
+
+    /// The dummy-replacing stage (per-stage stats / tests).
+    pub fn dummy_replacer(&self) -> &DummyReplacer {
+        &self.dummy
+    }
+
+    /// The writeback stage (per-stage stats / tests).
+    pub fn writeback(&self) -> &WritebackEngine {
+        &self.writeback
+    }
+
+    /// Starts recording the externally visible label sequence.
+    pub fn enable_label_trace(&mut self) {
+        self.label_trace = Some(Vec::new());
+    }
+
+    /// The recorded label sequence.
+    pub fn label_trace(&self) -> Option<&[u64]> {
+        self.label_trace.as_deref()
+    }
+
+    /// Number of buckets currently resident in the on-chip cache.
+    pub fn cache_resident(&self) -> usize {
+        self.writeback.resident()
+    }
+
+    /// Completions produced since the last drain. Only completions that
+    /// have already been routed through the reactive feedback are returned;
+    /// anything newer is delivered on a later drain (after the next
+    /// [`ForkPathController::process_one`] flushes it).
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        let flushed: Vec<Completion> = self.completions.drain(..self.feedback_cursor).collect();
+        self.feedback_cursor = 0;
+        flushed
+    }
+
+    /// Enables or disables fixed-rate (timing-protection) mode; see
+    /// [`crate::timing::enforce_fixed_rate`]. While enabled, refills always
+    /// select a pending request (materializing dummies when idle), so
+    /// [`ForkPathController::run_to_idle`] would not terminate — drive the
+    /// controller with an explicit horizon instead.
+    pub fn set_fixed_rate(&mut self, on: bool) {
+        self.fixed_rate = on;
+        if !on && self.current.as_ref().is_some_and(|c| c.is_dummy()) && !self.has_real_work() {
+            // Drop a revealed-but-unexecuted trailing dummy so the
+            // controller can go idle. Its reveal was part of the protected
+            // window that just ended.
+            self.current = None;
+            self.merge.reset();
+        }
+    }
+
+    /// Executes one dummy ORAM access immediately (timing-protection
+    /// padding). Uses the revealed pending access if one exists.
+    pub fn force_dummy_access(&mut self) {
+        self.force_dummy_at(self.clock_ps);
+    }
+
+    /// Like [`ForkPathController::force_dummy_access`], but the access
+    /// starts no earlier than `not_before_ps` — the pacing primitive of the
+    /// fixed-rate stream (one access per interval, not back-to-back).
+    pub fn force_dummy_at(&mut self, not_before_ps: u64) {
+        let mut cur = match self.current.take() {
+            Some(c) => c,
+            None => {
+                let label = self.state.random_label();
+                Entry::dummy(label, self.clock_ps)
+            }
+        };
+        cur.ready_ps = cur.ready_ps.max(not_before_ps);
+        let mut source = NoFeedback;
+        must(self.execute(cur, &mut source));
+    }
+
+    /// Whether the next schedulable work would leave an idle bus gap longer
+    /// than `interval_ps` (used by the fixed-rate enforcer).
+    pub fn next_work_gap(&self, interval_ps: u64) -> bool {
+        let mut next: Option<u64> = None;
+        if let Some(c) = &self.current {
+            next = Some(c.ready_ps);
+        }
+        if let Some(t) = self.sched.earliest_real_ready() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        if let Some(t) = self.aq.head_arrival() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        match next {
+            Some(t) => t > self.clock_ps + interval_ps,
+            None => true,
+        }
+    }
+
+    /// Copies the cumulative per-stage counters into the aggregate
+    /// [`OramStats`] record existing consumers read.
+    pub(super) fn sync_stats(&mut self) {
+        let s = self.sched.stats();
+        self.stats.sched_rounds = s.rounds;
+        self.stats.sched_ready_reals = s.ready_reals;
+        let d = self.dummy.stats();
+        self.stats.dummy_accesses = d.executed;
+        self.stats.dummies_replaced = d.replaced;
+        let w = self.writeback.stats();
+        self.stats.cache_hits = w.cache_hits;
+        self.stats.cache_misses = w.cache_misses;
+        self.stats.dram_blocks_read = w.dram_blocks_read;
+        self.stats.dram_blocks_written = w.dram_blocks_written;
+        self.stats.buckets_written = w.buckets_written;
+    }
+}

@@ -1,0 +1,263 @@
+//! Pipeline stage: **dummy-request management and replacing** (§3.3, §4.3).
+//!
+//! Two responsibilities:
+//!
+//! * deciding, after the scheduler picked (or failed to pick) a pending
+//!   request, whether conceptual queue padding must be **materialized** as
+//!   an executable dummy — or, conversely, whether a selected padding
+//!   dummy should be silently dropped because the system is draining to
+//!   idle ([`DummyReplacer::finalize`]);
+//! * the mid-refill **replacement** check (Fig 5): a real request arriving
+//!   while the bucket where its path crosses the current one is still
+//!   uncommitted may take the pending slot, cancelling a dummy outright or
+//!   swapping out a lower-overlap real ([`DummyReplacer::try_replace`]).
+
+use fp_path_oram::path::overlap_degree;
+
+use crate::error::ControllerError;
+use crate::pipeline::PipelineStage;
+use crate::queue::Entry;
+use crate::scheduler::RequestScheduler;
+
+/// Statistics of the dummy stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DummyStats {
+    /// Conceptual padding materialized as an executable pending dummy.
+    pub materialized: u64,
+    /// Pending dummies replaced mid-refill by a late real request (§3.3).
+    pub replaced: u64,
+    /// Dummy accesses actually executed (read + refill).
+    pub executed: u64,
+    /// Selected padding dummies dropped while draining to idle.
+    pub trailing_discarded: u64,
+}
+
+/// The dummy-request replacing stage.
+#[derive(Debug, Clone)]
+pub struct DummyReplacer {
+    replacing: bool,
+    stats: DummyStats,
+}
+
+impl DummyReplacer {
+    /// Creates the stage; `replacing` toggles mid-refill replacement
+    /// (false = the ablation baseline where pending dummies always run).
+    pub fn new(replacing: bool) -> Self {
+        Self {
+            replacing,
+            stats: DummyStats::default(),
+        }
+    }
+
+    /// Whether mid-refill replacement is active.
+    pub fn replacing(&self) -> bool {
+        self.replacing
+    }
+
+    /// Post-selection fixup of the pending request (§3.2 step 6):
+    ///
+    /// * a selected padding dummy is dropped when no real work remains and
+    ///   fixed-rate protection is off, so finite workloads terminate;
+    /// * when nothing was selected but work (or fixed-rate mode) demands a
+    ///   pending request, padding is materialized as a dummy with a fresh
+    ///   uniform label, ready at `sel_time_ps`.
+    pub fn finalize(
+        &mut self,
+        mut pending: Option<Entry>,
+        has_real_work: bool,
+        fixed_rate: bool,
+        sel_time_ps: u64,
+        fresh_label: impl FnOnce() -> u64,
+    ) -> Option<Entry> {
+        if pending.as_ref().is_some_and(Entry::is_dummy) && !has_real_work && !fixed_rate {
+            pending = None;
+            self.stats.trailing_discarded += 1;
+        }
+        if pending.is_none() && (has_real_work || fixed_rate) {
+            self.stats.materialized += 1;
+            pending = Some(Entry::dummy(fresh_label(), sel_time_ps));
+        }
+        pending
+    }
+
+    /// Attempts one mid-refill replacement of `pending` before committing
+    /// the bucket at `level` (Fig 5 case 3). Returns `true` when the
+    /// pending request changed — the caller must recompute its write stop.
+    /// A replaced dummy is cancelled outright; a displaced real goes back
+    /// into the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::MissingPending`] if the pending slot emptied
+    /// mid-swap (an internal invariant violation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_replace(
+        &mut self,
+        sched: &mut RequestScheduler,
+        levels: u32,
+        leaf: u64,
+        window_lo_ps: u64,
+        now_ps: u64,
+        level: u32,
+        pending: &mut Option<Entry>,
+    ) -> Result<bool, ControllerError> {
+        if !self.replacing {
+            return Ok(false);
+        }
+        let Some(p) = pending.as_ref() else {
+            return Ok(false);
+        };
+        let p_overlap = overlap_degree(levels, leaf, p.label);
+        let Some(incoming) = sched.take_replacement(
+            levels,
+            leaf,
+            window_lo_ps,
+            now_ps,
+            p_overlap,
+            p.is_dummy(),
+            level,
+        ) else {
+            return Ok(false);
+        };
+        let old = pending
+            .replace(incoming)
+            .ok_or(ControllerError::MissingPending)?;
+        if old.is_dummy() {
+            self.stats.replaced += 1;
+        } else {
+            sched.restore(old);
+        }
+        Ok(true)
+    }
+
+    /// Records that a dummy access executed (for the stats record).
+    pub fn note_executed(&mut self) {
+        self.stats.executed += 1;
+    }
+}
+
+impl PipelineStage for DummyReplacer {
+    type Stats = DummyStats;
+
+    fn name(&self) -> &'static str {
+        "dummy"
+    }
+
+    fn stats(&self) -> &DummyStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DummyStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EntryKind;
+
+    fn real_entry(sched: &mut RequestScheduler, label: u64, flight: u64, ready: u64) {
+        sched
+            .insert_real(label, EntryKind::Real { flight }, ready)
+            .unwrap();
+    }
+
+    /// (b) The replacer never fires when real work is queued: a selected
+    /// real pending request passes through untouched, and no dummy is
+    /// materialized alongside it.
+    #[test]
+    fn never_materializes_when_a_real_was_selected() {
+        let mut d = DummyReplacer::new(true);
+        let mut s = RequestScheduler::new(4, 64, true);
+        real_entry(&mut s, 3, 7, 0);
+        s.pad_with(|| 1);
+        let picked = s.select_pending(3, 3, 0);
+        assert!(picked.as_ref().is_some_and(|e| !e.is_dummy()));
+        let out = d.finalize(picked, true, false, 0, || panic!("must not draw a label"));
+        assert!(out.is_some_and(|e| !e.is_dummy()));
+        assert_eq!(d.stats().materialized, 0);
+        assert_eq!(d.stats().trailing_discarded, 0);
+    }
+
+    #[test]
+    fn materializes_only_when_work_or_fixed_rate_demands_it() {
+        let mut d = DummyReplacer::new(true);
+        // Idle, no fixed rate: nothing pending, nothing materialized.
+        assert!(d.finalize(None, false, false, 10, || 5).is_none());
+        assert_eq!(d.stats().materialized, 0);
+        // Real work exists but none was schedulable: padding materializes.
+        let out = d.finalize(None, true, false, 10, || 5).unwrap();
+        assert!(out.is_dummy());
+        assert_eq!(out.label, 5);
+        assert_eq!(out.ready_ps, 10);
+        assert_eq!(d.stats().materialized, 1);
+        // Fixed-rate mode materializes even when idle.
+        assert!(d.finalize(None, false, true, 20, || 6).is_some());
+        assert_eq!(d.stats().materialized, 2);
+    }
+
+    #[test]
+    fn trailing_dummy_is_dropped_when_draining() {
+        let mut d = DummyReplacer::new(true);
+        let pad = Entry::dummy(9, 0);
+        assert!(d.finalize(Some(pad), false, false, 0, || 1).is_none());
+        assert_eq!(d.stats().trailing_discarded, 1);
+        // ...but kept under fixed-rate protection.
+        let pad = Entry::dummy(9, 0);
+        assert!(d.finalize(Some(pad), false, true, 0, || 1).is_some());
+        assert_eq!(d.stats().trailing_discarded, 1);
+    }
+
+    #[test]
+    fn replaces_pending_dummy_with_late_real() {
+        let mut d = DummyReplacer::new(true);
+        let mut s = RequestScheduler::new(4, 64, true);
+        // A real arriving at t=50, inside the (0, 100] replacement window.
+        real_entry(&mut s, 3, 1, 50);
+        let mut pending = Some(Entry::dummy(0, 0));
+        // Refill of leaf 3 still at the leaf level: every cross-bucket is
+        // uncommitted, so the late real is eligible.
+        let changed = d
+            .try_replace(&mut s, 3, 3, 0, 100, 3, &mut pending)
+            .unwrap();
+        assert!(changed);
+        assert!(pending.is_some_and(|e| !e.is_dummy()));
+        assert_eq!(d.stats().replaced, 1);
+    }
+
+    #[test]
+    fn displaced_real_returns_to_scheduler() {
+        let mut d = DummyReplacer::new(true);
+        let mut s = RequestScheduler::new(4, 64, true);
+        // Incoming real with perfect overlap (same leaf).
+        real_entry(&mut s, 3, 2, 50);
+        // Pending real with zero overlap, pulled out of a scratch queue.
+        let mut scratch = RequestScheduler::new(1, 64, true);
+        real_entry(&mut scratch, 4, 9, 0);
+        let mut pending = scratch.select_pending(3, 4, 0);
+        assert!(pending.as_ref().is_some_and(|e| !e.is_dummy()));
+        let changed = d
+            .try_replace(&mut s, 3, 3, 0, 100, 3, &mut pending)
+            .unwrap();
+        assert!(changed);
+        assert_eq!(
+            d.stats().replaced,
+            0,
+            "a displaced real is not a replaced dummy"
+        );
+        assert_eq!(s.real_count(), 1, "the displaced real went back");
+    }
+
+    #[test]
+    fn replacing_off_never_fires() {
+        let mut d = DummyReplacer::new(false);
+        let mut s = RequestScheduler::new(4, 64, true);
+        real_entry(&mut s, 3, 1, 50);
+        let mut pending = Some(Entry::dummy(0, 0));
+        assert!(!d
+            .try_replace(&mut s, 3, 3, 0, 100, 0, &mut pending)
+            .unwrap());
+        assert!(pending.unwrap().is_dummy());
+    }
+}

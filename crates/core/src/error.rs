@@ -1,0 +1,109 @@
+//! Typed controller errors.
+//!
+//! The Fork Path controller is deterministic and its internal bookkeeping
+//! invariants (every label-queue entry names a live flight, every eviction
+//! range yields a bucket, …) are unreachable-by-construction. They used to
+//! be enforced with `unwrap`/`expect`; they are now surfaced as a typed
+//! [`ControllerError`] propagated through the fallible API
+//! ([`crate::ForkPathController::submit_tagged`],
+//! [`crate::ForkPathController::process_one`]). The infallible convenience
+//! wrappers (`submit`, `run_to_idle`) convert an error into a panic at the
+//! API boundary, keeping their historical signatures.
+
+use std::fmt;
+
+/// Internal invariant violations of the Fork Path controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The Fork configuration failed validation.
+    InvalidConfig(String),
+    /// A label-queue entry or stalled step referenced a flight id with no
+    /// live flight record.
+    UnknownFlight(u64),
+    /// A flight's chain index ran past the end of its posmap chain.
+    ChainIndexOutOfRange {
+        /// The offending flight.
+        flight: u64,
+        /// The out-of-range chain index.
+        idx: usize,
+        /// The chain length.
+        len: usize,
+    },
+    /// A single-level eviction range produced no bucket.
+    EmptyEviction {
+        /// The leaf whose path was being refilled.
+        leaf: u64,
+        /// The level that produced no bucket.
+        level: u32,
+    },
+    /// The refill's pending request vanished mid-replacement.
+    MissingPending,
+    /// A block's waiter queue was released by a flight that did not own it.
+    NotBlockOwner {
+        /// The serialization key (block / super-block group id).
+        block: u64,
+        /// The flight that attempted the release.
+        flight: u64,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid fork config: {msg}"),
+            Self::UnknownFlight(id) => write!(f, "no live flight with id {id}"),
+            Self::ChainIndexOutOfRange { flight, idx, len } => {
+                write!(
+                    f,
+                    "flight {flight}: chain index {idx} out of range (len {len})"
+                )
+            }
+            Self::EmptyEviction { leaf, level } => {
+                write!(
+                    f,
+                    "refill of leaf {leaf} produced no bucket at level {level}"
+                )
+            }
+            Self::MissingPending => write!(f, "pending request vanished mid-replacement"),
+            Self::NotBlockOwner { block, flight } => {
+                write!(f, "flight {flight} released block {block} it does not own")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// Converts an internal-invariant error into a panic at the infallible API
+/// boundary (`submit`, `run_to_idle`, `force_dummy_access`).
+pub(crate) fn must<T>(r: Result<T, ControllerError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("fork-path controller invariant violated: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ControllerError::UnknownFlight(7);
+        assert_eq!(e.to_string(), "no live flight with id 7");
+        let e = ControllerError::ChainIndexOutOfRange {
+            flight: 1,
+            idx: 4,
+            len: 3,
+        };
+        assert!(e.to_string().contains("chain index 4"));
+        let e = ControllerError::InvalidConfig("queue empty".into());
+        assert!(e.to_string().contains("queue empty"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(ControllerError::MissingPending);
+        assert!(e.to_string().contains("pending"));
+    }
+}

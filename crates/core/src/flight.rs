@@ -1,0 +1,346 @@
+//! In-flight LLC requests walking their posmap chains.
+//!
+//! Internal support machinery for the pipeline (not one of the four paper
+//! stages): tracks every LLC request from transformation until its data
+//! step completes, enforces same-block serialization through per-block
+//! waiter queues, and retries chain steps that could not enter the label
+//! queue. Stash-hit steps are completed on chip here (the paper's Step 1 —
+//! a hit is "returned to LLC immediately").
+
+use std::collections::{HashMap, VecDeque};
+
+use fp_path_oram::{Completion, LlcRequest, OramConfig, OramState, OramStats};
+
+use crate::address_queue::AddressQueue;
+use crate::controller::ONCHIP_ANSWER_PS;
+use crate::error::ControllerError;
+use crate::plb::PosMapLookasideBuffer;
+use crate::queue::EntryKind;
+use crate::scheduler::RequestScheduler;
+
+/// An in-progress LLC request walking its posmap chain.
+#[derive(Debug, Clone)]
+pub(crate) struct Flight {
+    pub req: LlcRequest,
+    pub chain: Vec<u64>,
+    /// Index of the chain element the queued label-queue entry refers to.
+    pub idx: usize,
+    pub old_label: u64,
+    pub new_label: u64,
+}
+
+/// A chain step that could not enter the label queue yet (same-block
+/// serialization or a queue full of real requests).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StalledStep {
+    pub flight: u64,
+    pub ready_ps: u64,
+}
+
+/// The controller state a chain step may touch while being placed:
+/// disjoint mutable borrows of the facade's other fields.
+pub(crate) struct StepCtx<'a> {
+    pub state: &'a mut OramState,
+    pub plb: &'a mut PosMapLookasideBuffer,
+    pub aq: &'a mut AddressQueue,
+    pub sched: &'a mut RequestScheduler,
+    pub stats: &'a mut OramStats,
+    pub completions: &'a mut Vec<Completion>,
+}
+
+/// Serialization key of a block: posmap blocks serialize on themselves;
+/// data blocks serialize on their super-block group (group members share a
+/// label, so their accesses must stay ordered). Group ids live below the
+/// data-block range, posmap addresses above it — no collisions.
+pub(crate) fn serialize_key(cfg: &OramConfig, block: u64) -> u64 {
+    if block < cfg.data_blocks {
+        block / cfg.super_block
+    } else {
+        block
+    }
+}
+
+/// Records a posmap-block use in the PLB, pinning it in the stash and
+/// unpinning the evicted victim (Freecursive [12]; no-op when disabled).
+pub(crate) fn note_posmap_use(state: &mut OramState, plb: &mut PosMapLookasideBuffer, block: u64) {
+    if plb.is_disabled() {
+        return;
+    }
+    state.pin_block(block);
+    if let Some(evicted) = plb.touch(block) {
+        state.unpin_block(evicted);
+    }
+}
+
+/// Live flights plus the serialization and retry bookkeeping around them.
+#[derive(Debug, Default)]
+pub(crate) struct FlightTable {
+    flights: HashMap<u64, Flight>,
+    next_flight: u64,
+    /// FIFO of flights waiting to access each unified block. The front is
+    /// the owner; everyone else is parked. A step joins the queue the
+    /// moment it is *created* — even while stalled outside the label queue
+    /// — so same-block steps from different flights always execute in
+    /// creation order (a newly created step can never overtake a parked
+    /// one, which would let it run with a stale label).
+    busy: HashMap<u64, VecDeque<u64>>,
+    stalled: VecDeque<StalledStep>,
+}
+
+impl FlightTable {
+    /// Whether any request is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.flights.is_empty()
+    }
+
+    /// Registers a new flight; returns its id.
+    pub fn open(
+        &mut self,
+        req: LlcRequest,
+        chain: Vec<u64>,
+        old_label: u64,
+        new_label: u64,
+    ) -> u64 {
+        let id = self.next_flight;
+        self.next_flight += 1;
+        self.flights.insert(
+            id,
+            Flight {
+                req,
+                chain,
+                idx: 0,
+                old_label,
+                new_label,
+            },
+        );
+        id
+    }
+
+    pub fn get(&self, id: u64) -> Result<&Flight, ControllerError> {
+        self.flights
+            .get(&id)
+            .ok_or(ControllerError::UnknownFlight(id))
+    }
+
+    pub fn get_mut(&mut self, id: u64) -> Result<&mut Flight, ControllerError> {
+        self.flights
+            .get_mut(&id)
+            .ok_or(ControllerError::UnknownFlight(id))
+    }
+
+    pub fn remove(&mut self, id: u64) -> Result<Flight, ControllerError> {
+        self.flights
+            .remove(&id)
+            .ok_or(ControllerError::UnknownFlight(id))
+    }
+
+    /// Parks a step that could not be placed.
+    pub fn push_stalled(&mut self, step: StalledStep) {
+        self.stalled.push_back(step);
+    }
+
+    /// Retries every stalled chain step once (they are older than anything
+    /// the address queue could produce).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invariant violations from step placement.
+    pub fn retry_stalled(&mut self, ctx: &mut StepCtx<'_>) -> Result<(), ControllerError> {
+        let mut requeue = VecDeque::new();
+        while let Some(step) = self.stalled.pop_front() {
+            if !self.try_enqueue_step(ctx, step)? {
+                requeue.push_back(step);
+            }
+        }
+        self.stalled = requeue;
+        Ok(())
+    }
+
+    /// Releases a flight's ownership of `block`, passing it to the oldest
+    /// parked waiter (which will claim it on its next stalled retry).
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::NotBlockOwner`] if `flight` is not at the front
+    /// of the block's waiter queue.
+    pub fn release_block(&mut self, block: u64, flight: u64) -> Result<(), ControllerError> {
+        if let Some(waiters) = self.busy.get_mut(&block) {
+            if waiters.front() != Some(&flight) {
+                return Err(ControllerError::NotBlockOwner { block, flight });
+            }
+            waiters.pop_front();
+            if waiters.is_empty() {
+                self.busy.remove(&block);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances a flight whose ORAM access returned data at `read_end_ps`:
+    /// a mid-chain posmap step is relabelled and its successor scheduled
+    /// (stalled if it cannot be placed); the final data step applies the
+    /// request's operation and completes it. Returns `true` when the
+    /// request completed — the caller must then flush reactive feedback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bookkeeping invariant violations.
+    pub fn advance_after_access(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        flight_id: u64,
+        read_end_ps: u64,
+    ) -> Result<bool, ControllerError> {
+        let flight = self.get(flight_id)?;
+        let (idx, len) = (flight.idx, flight.chain.len());
+        if idx >= len {
+            return Err(ControllerError::ChainIndexOutOfRange {
+                flight: flight_id,
+                idx,
+                len,
+            });
+        }
+        let block = flight.chain[idx];
+        let at_last_step = idx + 1 >= len;
+        let key = serialize_key(ctx.state.config(), block);
+        self.release_block(key, flight_id)?;
+
+        if !at_last_step {
+            let flight = self.get(flight_id)?;
+            let next_block = flight.chain[idx + 1];
+            let new_label = flight.new_label;
+            let (o, n, _) = ctx.state.chain_step(block, new_label, next_block);
+            note_posmap_use(ctx.state, ctx.plb, block);
+            let flight = self.get_mut(flight_id)?;
+            flight.idx += 1;
+            flight.old_label = o;
+            flight.new_label = n;
+            let step = StalledStep {
+                flight: flight_id,
+                ready_ps: read_end_ps,
+            };
+            if !self.try_enqueue_step(ctx, step)? {
+                self.push_stalled(step);
+            }
+            Ok(false)
+        } else {
+            let flight = self.get_mut(flight_id)?;
+            let new_label = flight.new_label;
+            let wdata = flight.req.data.clone();
+            let (data, _) = ctx.state.apply_op(block, new_label, wdata.as_deref());
+            let flight = self.remove(flight_id)?;
+            ctx.aq.complete(flight.req.addr, flight.req.op);
+            ctx.stats.completed_requests += 1;
+            ctx.stats.sum_latency_ps += read_end_ps.saturating_sub(flight.req.arrival_ps);
+            ctx.completions.push(Completion {
+                id: flight.req.id,
+                addr: flight.req.addr,
+                data,
+                arrival_ps: flight.req.arrival_ps,
+                done_ps: read_end_ps,
+                tag: flight.req.tag,
+            });
+            Ok(true)
+        }
+    }
+
+    /// Places a flight's current chain step: consecutive steps whose block
+    /// is already in the stash are completed on chip with no ORAM access;
+    /// the first missing step enters the label queue. Returns `false`
+    /// (leaving the step stalled) when the target block already has a live
+    /// entry (same-block serialization) or the queue is full of reals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bookkeeping invariant violations (unknown flight, chain
+    /// index overrun, foreign block release).
+    pub fn try_enqueue_step(
+        &mut self,
+        ctx: &mut StepCtx<'_>,
+        step: StalledStep,
+    ) -> Result<bool, ControllerError> {
+        let mut ready = step.ready_ps;
+        loop {
+            let flight = self.get(step.flight)?;
+            let (idx, len) = (flight.idx, flight.chain.len());
+            if idx >= len {
+                return Err(ControllerError::ChainIndexOutOfRange {
+                    flight: step.flight,
+                    idx,
+                    len,
+                });
+            }
+            let real_block = flight.chain[idx];
+            let block = serialize_key(ctx.state.config(), real_block);
+            // Join (or verify ownership of) the block's waiter queue.
+            {
+                let waiters = self.busy.entry(block).or_default();
+                match waiters.front() {
+                    Some(&owner) if owner != step.flight => {
+                        if !waiters.contains(&step.flight) {
+                            waiters.push_back(step.flight);
+                        }
+                        return Ok(false);
+                    }
+                    Some(_) => {} // already the owner (retry)
+                    None => waiters.push_back(step.flight),
+                }
+            }
+            let at_last_step = idx + 1 >= len;
+            let shortcut_ok = ctx.state.stash_hit(real_block)
+                && (!at_last_step || ctx.state.group_shortcut_safe(real_block));
+            if shortcut_ok {
+                // On-chip fast path: relabel + payload handling, no access.
+                self.release_block(block, step.flight)?;
+                ctx.stats.stash_hits += 1;
+                ready += ONCHIP_ANSWER_PS;
+                if !at_last_step {
+                    let flight = self.get(step.flight)?;
+                    let next_block = flight.chain[idx + 1];
+                    let new_label = flight.new_label;
+                    let (o, n, _) = ctx.state.chain_step(real_block, new_label, next_block);
+                    note_posmap_use(ctx.state, ctx.plb, real_block);
+                    let flight = self.get_mut(step.flight)?;
+                    flight.idx += 1;
+                    flight.old_label = o;
+                    flight.new_label = n;
+                    continue;
+                }
+                let flight = self.get_mut(step.flight)?;
+                let new_label = flight.new_label;
+                let wdata = flight.req.data.clone();
+                let (data, _) = ctx.state.apply_op(real_block, new_label, wdata.as_deref());
+                let flight = self.remove(step.flight)?;
+                ctx.aq.complete(flight.req.addr, flight.req.op);
+                ctx.stats.completed_requests += 1;
+                ctx.stats.sum_latency_ps += ready.saturating_sub(flight.req.arrival_ps);
+                ctx.completions.push(Completion {
+                    id: flight.req.id,
+                    addr: flight.req.addr,
+                    data,
+                    arrival_ps: flight.req.arrival_ps,
+                    done_ps: ready,
+                    tag: flight.req.tag,
+                });
+                return Ok(true);
+            }
+            // Ownership (queue front) is already held; a failed label-queue
+            // insertion keeps it so later same-block steps stay parked.
+            let label = self.get(step.flight)?.old_label;
+            if ctx
+                .sched
+                .insert_real(
+                    label,
+                    EntryKind::Real {
+                        flight: step.flight,
+                    },
+                    ready,
+                )
+                .is_err()
+            {
+                return Ok(false);
+            }
+            return Ok(true);
+        }
+    }
+}

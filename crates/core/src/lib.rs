@@ -57,14 +57,29 @@
 mod address_queue;
 mod config;
 mod controller;
+pub mod dummy;
+pub mod error;
+mod flight;
 mod mac;
+pub mod merge;
+pub mod pipeline;
 mod plb;
 mod queue;
+pub mod reactive;
+pub mod scheduler;
 pub mod timing;
+pub mod writeback;
 
 pub use address_queue::{AddressQueue, SubmitEffect};
 pub use config::{CacheChoice, ForkConfig};
-pub use controller::{ForkPathController, NewRequest, NoFeedback, ReactiveSource};
+pub use controller::ForkPathController;
+pub use dummy::{DummyReplacer, DummyStats};
+pub use error::ControllerError;
 pub use mac::MergingAwareCache;
+pub use merge::{MergeStats, PathMerger};
+pub use pipeline::PipelineStage;
 pub use plb::PosMapLookasideBuffer;
 pub use queue::{Entry, EntryKind, LabelQueue};
+pub use reactive::{NewRequest, NoFeedback, ReactiveSource};
+pub use scheduler::{RequestScheduler, SchedulerStats};
+pub use writeback::{WritebackEngine, WritebackStats};

@@ -85,8 +85,7 @@ impl MergingAwareCache {
         // bucket slots; find the largest k that fits (possibly zero for
         // tiny caches — then everything folds into one region).
         let mut full_levels = 0u32;
-        while full_levels < 40
-            && (1u128 << (m1 + full_levels + 1)) - (1u128 << m1) <= slots as u128
+        while full_levels < 40 && (1u128 << (m1 + full_levels + 1)) - (1u128 << m1) <= slots as u128
         {
             full_levels += 1;
         }
@@ -204,7 +203,11 @@ impl BucketCache for MergingAwareCache {
             return WriteOutcome::Cached;
         }
         if lines.len() < ways {
-            lines.push(Line { node, last_use: tick, state: LineState::Dirty });
+            lines.push(Line {
+                node,
+                last_use: tick,
+                state: LineState::Dirty,
+            });
             self.resident += 1;
             return WriteOutcome::Cached;
         }
@@ -215,9 +218,15 @@ impl BucketCache for MergingAwareCache {
             .min_by_key(|(_, l)| (l.state == LineState::Dirty, l.last_use))
             .expect("set non-empty");
         let victim = lines[victim_pos];
-        lines[victim_pos] = Line { node, last_use: tick, state: LineState::Dirty };
+        lines[victim_pos] = Line {
+            node,
+            last_use: tick,
+            state: LineState::Dirty,
+        };
         match victim.state {
-            LineState::Dirty => WriteOutcome::CachedEvicting { victim: victim.node },
+            LineState::Dirty => WriteOutcome::CachedEvicting {
+                victim: victim.node,
+            },
             LineState::Placeholder => WriteOutcome::Cached,
         }
     }
@@ -305,9 +314,7 @@ mod tests {
         // partial-level bucket (resident levels are untouchable).
         let mut evicted = 0;
         for y in 0..(1u64 << 13) {
-            if let WriteOutcome::CachedEvicting { victim } =
-                mac.insert_on_write(node_at(13, y))
-            {
+            if let WriteOutcome::CachedEvicting { victim } = mac.insert_on_write(node_at(13, y)) {
                 assert_eq!(node_level(victim), 13);
                 evicted += 1;
             }
@@ -319,9 +326,18 @@ mod tests {
     fn m2_scales_with_capacity() {
         // Block-granular density (2x): 1 MiB -> levels 7..=12;
         // 256 KiB -> 7..=10; 128 KiB -> 7..=9.
-        assert_eq!(MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7).m2(), 12);
-        assert_eq!(MergingAwareCache::with_capacity_bytes(256 << 10, 256, 4, 7).m2(), 10);
-        assert_eq!(MergingAwareCache::with_capacity_bytes(128 << 10, 256, 4, 7).m2(), 9);
+        assert_eq!(
+            MergingAwareCache::with_capacity_bytes(1 << 20, 256, 4, 7).m2(),
+            12
+        );
+        assert_eq!(
+            MergingAwareCache::with_capacity_bytes(256 << 10, 256, 4, 7).m2(),
+            10
+        );
+        assert_eq!(
+            MergingAwareCache::with_capacity_bytes(128 << 10, 256, 4, 7).m2(),
+            9
+        );
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Pipeline stage: **path merging** (§3.2, §4.1).
+//!
+//! Consecutive root-to-leaf paths always share a prefix (at least the
+//! root). This stage computes the fork geometry of each access:
+//!
+//! * the **read floor** — the shallowest level the read phase must fetch,
+//!   everything above being shared with the *previous* path and therefore
+//!   still in the stash;
+//! * the **write stop** — the shallowest level the refill must commit,
+//!   everything above being shared with the *next* (pending) path and
+//!   therefore allowed to stay in the stash.
+//!
+//! It also owns the previous-path label, whose lifecycle (commit on a
+//! merged refill, reset across idle gaps) defines when merging applies.
+
+use fp_path_oram::path::{divergence_level, node_at_level};
+
+use crate::pipeline::PipelineStage;
+
+/// Statistics of the merge stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Read phases that skipped a shared prefix.
+    pub merged_reads: u64,
+    /// Read phases that fetched the full path (cold start / after idle).
+    pub full_reads: u64,
+    /// Total levels skipped across read phases (shared-prefix buckets the
+    /// stash already held).
+    pub read_levels_skipped: u64,
+    /// Times the previous-path anchor was dropped (idle drain, fixed-rate
+    /// exit) so the next read takes a full path.
+    pub resets: u64,
+}
+
+/// The path-merging stage: fork-point computation over consecutive labels.
+#[derive(Debug, Clone)]
+pub struct PathMerger {
+    enabled: bool,
+    prev_label: Option<u64>,
+    stats: MergeStats,
+}
+
+impl PathMerger {
+    /// Creates the stage; when `enabled` is false every access degenerates
+    /// to full-path reads and writes (the ablation baseline).
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            prev_label: None,
+            stats: MergeStats::default(),
+        }
+    }
+
+    /// The previous access's label (`None` = next read takes a full path).
+    pub fn prev_label(&self) -> Option<u64> {
+        self.prev_label
+    }
+
+    /// Whether merging is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Shallowest level the read phase of an access to `label` must fetch:
+    /// one below the divergence with the previous path, or 0 (the root)
+    /// when there is no previous path or merging is disabled.
+    pub fn read_floor(&mut self, levels: u32, label: u64) -> u32 {
+        match self.prev_label {
+            Some(prev) if self.enabled => {
+                let floor = divergence_level(levels, prev, label) + 1;
+                self.stats.merged_reads += 1;
+                self.stats.read_levels_skipped += u64::from(floor);
+                floor
+            }
+            _ => {
+                self.stats.full_reads += 1;
+                0
+            }
+        }
+    }
+
+    /// Shallowest level the refill of `leaf` must commit given the pending
+    /// request's label: one below their divergence, or 0 (commit the whole
+    /// path) when idle or merging is disabled.
+    pub fn write_stop(&self, levels: u32, leaf: u64, pending_label: Option<u64>) -> u32 {
+        match pending_label {
+            Some(next) if self.enabled => divergence_level(levels, leaf, next) + 1,
+            _ => 0,
+        }
+    }
+
+    /// Write stop after a mid-refill replacement: the replacement itself
+    /// creates a fork with the incoming path, so the stream stops above the
+    /// divergence even when merging of ordinary accesses is disabled
+    /// (replacing is a separate technique and implies this fork).
+    pub fn replacement_stop(levels: u32, leaf: u64, next: u64) -> u32 {
+        divergence_level(levels, leaf, next) + 1
+    }
+
+    /// Records that a refill of `leaf` handed its shared prefix to a
+    /// pending request: the next read merges against `leaf`.
+    pub fn commit(&mut self, leaf: u64) {
+        self.prev_label = Some(leaf);
+    }
+
+    /// Drops the anchor: the controller went idle (full path written), so
+    /// the next read must fetch a complete path.
+    pub fn reset(&mut self) {
+        if self.prev_label.take().is_some() {
+            self.stats.resets += 1;
+        }
+    }
+
+    /// The exact set of buckets two paths share — the prefix above their
+    /// divergence level. Exposed for invariant checks and tests; the data
+    /// path only needs the fork levels.
+    pub fn common_prefix(levels: u32, a: u64, b: u64) -> Vec<u64> {
+        let d = divergence_level(levels, a, b);
+        (0..=d).map(|l| node_at_level(levels, a, l)).collect()
+    }
+}
+
+impl PipelineStage for PathMerger {
+    type Stats = MergeStats;
+
+    fn name(&self) -> &'static str {
+        "merge"
+    }
+
+    fn stats(&self) -> &MergeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MergeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_path_oram::path::path_nodes;
+
+    /// (a) The merge computation yields the exact common-prefix bucket set
+    /// for two labels, cross-checked against explicit path intersection.
+    #[test]
+    fn common_prefix_is_exact_path_intersection() {
+        let levels = 10u32;
+        for (a, b) in [
+            (0u64, 0u64),
+            (0, 1),
+            (3, 515),
+            (1023, 0),
+            (700, 701),
+            (512, 513),
+        ] {
+            let pa = path_nodes(levels, a);
+            let pb = path_nodes(levels, b);
+            let expected: Vec<u64> = pa.iter().copied().filter(|n| pb.contains(n)).collect();
+            let got = PathMerger::common_prefix(levels, a, b);
+            assert_eq!(got, expected, "labels ({a}, {b})");
+            assert!(!got.is_empty(), "paths always share the root");
+        }
+    }
+
+    #[test]
+    fn read_floor_skips_exactly_the_shared_prefix() {
+        let levels = 10u32;
+        let mut m = PathMerger::new(true);
+        assert_eq!(m.read_floor(levels, 5), 0, "cold start reads the full path");
+        m.commit(5);
+        let floor = m.read_floor(levels, 7);
+        // Everything above `floor` is in the common prefix; `floor` is not.
+        let prefix = PathMerger::common_prefix(levels, 5, 7);
+        assert_eq!(floor as usize, prefix.len());
+        assert_eq!(m.stats().merged_reads, 1);
+        assert_eq!(m.stats().full_reads, 1);
+        assert_eq!(m.stats().read_levels_skipped, prefix.len() as u64);
+    }
+
+    #[test]
+    fn equal_labels_share_the_entire_path() {
+        let levels = 10u32;
+        let mut m = PathMerger::new(true);
+        m.commit(9);
+        assert_eq!(m.read_floor(levels, 9), levels + 1, "nothing left to read");
+        assert_eq!(
+            m.write_stop(levels, 9, Some(9)),
+            levels + 1,
+            "nothing left to write"
+        );
+    }
+
+    #[test]
+    fn disabled_merging_always_takes_full_paths() {
+        let mut m = PathMerger::new(false);
+        m.commit(5);
+        assert_eq!(m.read_floor(10, 5), 0);
+        assert_eq!(m.write_stop(10, 5, Some(5)), 0);
+    }
+
+    #[test]
+    fn write_stop_without_pending_commits_whole_path() {
+        let m = PathMerger::new(true);
+        assert_eq!(m.write_stop(10, 123, None), 0);
+    }
+
+    #[test]
+    fn reset_drops_anchor_and_counts() {
+        let mut m = PathMerger::new(true);
+        m.commit(4);
+        m.reset();
+        assert_eq!(m.prev_label(), None);
+        assert_eq!(m.stats().resets, 1);
+        m.reset(); // idempotent: no anchor to drop
+        assert_eq!(m.stats().resets, 1);
+        assert_eq!(m.read_floor(10, 4), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The staged-pipeline contract shared by the controller's four stages.
+//!
+//! [`crate::ForkPathController`] is a thin facade over four explicit
+//! stages, one per paper contribution:
+//!
+//! | Stage | Module | Paper |
+//! |---|---|---|
+//! | [`crate::RequestScheduler`] | `scheduler` | request reordering + candidate selection (§3.4/§4.2) |
+//! | [`crate::PathMerger`] | `merge` | fork-path common-subpath computation (§3.2/§4.1) |
+//! | [`crate::DummyReplacer`] | `dummy` | dummy-request replacing (§3.3/§4.3) |
+//! | [`crate::WritebackEngine`] | `writeback` | merging-aware caching + deferred writeback (§3.5/§4.4) |
+//!
+//! Each stage owns its tunables and a dedicated stats struct; the facade
+//! aggregates those into the crate-wide
+//! [`fp_path_oram::OramStats`] after every access so existing consumers
+//! keep reading one record. Decoupling the stages is what lets future work
+//! overlap and parallelize accesses (sharding, batching, async) without
+//! re-entangling the controller.
+
+use std::fmt::Debug;
+
+/// A stage of the Fork Path controller pipeline.
+///
+/// Deliberately small: stages expose their own typed statistics and a
+/// reset hook; the data-path methods stay stage-specific because each
+/// stage transforms a different part of an access (labels, path ranges,
+/// pending entries, bucket streams).
+pub trait PipelineStage {
+    /// The stage's statistics record.
+    type Stats: Debug + Default + Clone;
+
+    /// Short stable stage name (used in logs and stats dumps).
+    fn name(&self) -> &'static str;
+
+    /// Statistics accumulated since construction or the last reset.
+    fn stats(&self) -> &Self::Stats;
+
+    /// Clears the stage's statistics.
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DummyReplacer, PathMerger, PipelineStage, RequestScheduler, WritebackEngine};
+
+    #[test]
+    fn stage_names_are_distinct_and_stable() {
+        let sched = RequestScheduler::new(4, 64, true);
+        let merge = PathMerger::new(true);
+        let dummy = DummyReplacer::new(true);
+        let wb = WritebackEngine::new(
+            &crate::ForkConfig::default(),
+            256,
+            10,
+            fp_dram::DramConfig::ddr3_1600(1).row_bytes,
+            64,
+        );
+        let names = [
+            PipelineStage::name(&sched),
+            PipelineStage::name(&merge),
+            PipelineStage::name(&dummy),
+            PipelineStage::name(&wb),
+        ];
+        assert_eq!(names, ["scheduler", "merge", "dummy", "writeback"]);
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut merge = PathMerger::new(true);
+        merge.read_floor(10, 5);
+        merge.commit(5);
+        merge.read_floor(10, 5);
+        assert!(merge.stats().merged_reads > 0);
+        merge.reset_stats();
+        assert_eq!(merge.stats().merged_reads, 0);
+    }
+}

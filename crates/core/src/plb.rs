@@ -38,7 +38,10 @@ pub struct PosMapLookasideBuffer {
 impl PosMapLookasideBuffer {
     /// Creates a PLB holding up to `capacity` posmap blocks (0 disables).
     pub fn new(capacity: usize) -> Self {
-        Self { lru: VecDeque::with_capacity(capacity), capacity }
+        Self {
+            lru: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Whether the PLB is disabled.

@@ -44,7 +44,13 @@ impl Entry {
     /// A free-standing dummy entry (used when the controller materializes
     /// the conceptual queue padding as the pending request).
     pub fn dummy(label: u64, ready_ps: u64) -> Self {
-        Self { label, kind: EntryKind::Dummy, ready_ps, age: 0, seq: u64::MAX }
+        Self {
+            label,
+            kind: EntryKind::Dummy,
+            ready_ps,
+            age: 0,
+            seq: u64::MAX,
+        }
     }
 }
 
@@ -72,7 +78,12 @@ impl LabelQueue {
     /// Creates an empty queue with capacity `M`.
     pub fn new(capacity: usize, starvation_threshold: u32) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        Self { entries: Vec::with_capacity(capacity), capacity, starvation_threshold, next_seq: 0 }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            starvation_threshold,
+            next_seq: 0,
+        }
     }
 
     /// Number of entries (equals capacity once padded).
@@ -126,7 +137,13 @@ impl LabelQueue {
     ) -> Result<(), EntryKind> {
         debug_assert!(!matches!(kind, EntryKind::Dummy));
         let seq = self.bump_seq();
-        let entry = Entry { label, kind, ready_ps, age: 0, seq };
+        let entry = Entry {
+            label,
+            kind,
+            ready_ps,
+            age: 0,
+            seq,
+        };
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
             return Ok(());
@@ -166,8 +183,7 @@ impl LabelQueue {
         now_ps: u64,
         scheduling: bool,
     ) -> Option<Entry> {
-        let ready =
-            |e: &Entry| e.ready_ps <= now_ps;
+        let ready = |e: &Entry| e.ready_ps <= now_ps;
 
         // Starvation promotion first.
         let starved = self
@@ -364,11 +380,15 @@ mod tests {
     fn starvation_promotes_aged_entry() {
         let mut q = LabelQueue::new(4, 3); // threshold 3 rounds
         q.insert_real(4, real(99), 0).unwrap(); // poor overlap with current 0
-        // A stream of perfect-overlap competitors keeps winning...
+                                                // A stream of perfect-overlap competitors keeps winning...
         for i in 0..3 {
             q.insert_real(0, real(i), 0).unwrap();
             let e = q.select(3, 0, 0, true).unwrap();
-            assert_eq!(e.kind, real(i), "fresh perfect-overlap entry wins round {i}");
+            assert_eq!(
+                e.kind,
+                real(i),
+                "fresh perfect-overlap entry wins round {i}"
+            );
         }
         // ...until the old entry's age crosses the threshold.
         q.insert_real(0, real(7), 0).unwrap();

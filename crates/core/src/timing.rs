@@ -14,7 +14,9 @@
 
 use fp_path_oram::Completion;
 
-use crate::controller::{ForkPathController, ReactiveSource};
+use crate::controller::ForkPathController;
+use crate::error::must;
+use crate::reactive::ReactiveSource;
 
 /// Outcome of a fixed-rate enforcement run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,7 +53,7 @@ pub fn enforce_fixed_rate<S: ReactiveSource>(
     let origin = ctl.clock_ps();
     let mut slot = origin;
     while slot < horizon_ps {
-        if !ctl.process_one_at(source, slot) {
+        if !must(ctl.process_one_at(source, slot)) {
             ctl.force_dummy_at(slot);
         }
         slot += interval_ps;
@@ -70,10 +72,14 @@ pub fn enforce_fixed_rate<S: ReactiveSource>(
 }
 
 /// A [`ReactiveSource`] that never produces follow-up work (open loop).
-pub use crate::controller::NoFeedback;
+pub use crate::reactive::NoFeedback;
 
 /// Convenience: measure how many protection dummies a silent period costs.
-pub fn idle_cost(ctl: &mut ForkPathController, window_ps: u64, interval_ps: u64) -> FixedRateReport {
+pub fn idle_cost(
+    ctl: &mut ForkPathController,
+    window_ps: u64,
+    interval_ps: u64,
+) -> FixedRateReport {
     let horizon = ctl.clock_ps() + window_ps;
     let mut source = NoFeedback;
     enforce_fixed_rate(ctl, &mut source, horizon, interval_ps)
@@ -101,8 +107,14 @@ mod tests {
     fn silent_period_is_fully_padded() {
         let mut c = ctl();
         let report = idle_cost(&mut c, 50_000_000, 1_000_000); // 50 us, 1 us rate
-        assert!(report.forced_dummies >= 40, "~50 dummies expected: {report:?}");
-        assert!(report.forced_dummies <= 60, "paced, not back-to-back: {report:?}");
+        assert!(
+            report.forced_dummies >= 40,
+            "~50 dummies expected: {report:?}"
+        );
+        assert!(
+            report.forced_dummies <= 60,
+            "paced, not back-to-back: {report:?}"
+        );
         assert_eq!(report.real_accesses, 0);
         // The last slot starts before the horizon and may finish just shy
         // of it.

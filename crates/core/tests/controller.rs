@@ -1,0 +1,457 @@
+//! End-to-end tests of the [`ForkPathController`] facade, exercising all
+//! four pipeline stages through the public API only.
+
+use fp_core::{CacheChoice, ForkConfig, ForkPathController, NewRequest, ReactiveSource};
+use fp_dram::{DramConfig, DramSystem};
+use fp_path_oram::{BaselineController, Completion, Op, OramConfig};
+
+fn dram() -> DramSystem {
+    DramSystem::new(DramConfig::ddr3_1600(2))
+}
+
+fn fork(cfg: ForkConfig) -> ForkPathController {
+    ForkPathController::new(OramConfig::small_test(), cfg, dram(), 11)
+}
+
+#[test]
+fn write_then_read_roundtrips() {
+    let mut ctl = fork(ForkConfig::default());
+    ctl.submit(77, Op::Write, vec![0xEE; 16], 0);
+    let _ = ctl.run_to_idle();
+    ctl.submit(77, Op::Read, vec![], ctl.clock_ps());
+    let done = ctl.run_to_idle();
+    let read = done.iter().find(|c| c.addr == 77).unwrap();
+    assert_eq!(read.data, vec![0xEE; 16]);
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn many_interleaved_requests_stay_consistent() {
+    let mut ctl = fork(ForkConfig::default());
+    // Writes to 32 addresses, then reads, submitted in bulk so
+    // scheduling reorders aggressively.
+    for a in 0..32u64 {
+        ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
+    }
+    let _ = ctl.run_to_idle();
+    for a in 0..32u64 {
+        ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+    }
+    let done = ctl.run_to_idle();
+    for c in done {
+        assert_eq!(c.data, vec![c.addr as u8; 16], "addr {}", c.addr);
+    }
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn merging_shortens_paths_vs_baseline() {
+    let mut base = BaselineController::new(OramConfig::small_test(), dram(), 11);
+    let mut ctl = fork(ForkConfig::default());
+    for a in 0..64u64 {
+        base.submit(a, Op::Read, vec![], 0);
+        ctl.submit(a, Op::Read, vec![], 0);
+    }
+    base.run_to_idle();
+    ctl.run_to_idle();
+    let full = base.stats().avg_path_len();
+    let merged = ctl.stats().avg_path_len();
+    assert_eq!(full, 10.0, "baseline reads/writes complete paths");
+    assert!(merged < full - 1.0, "merged {merged} vs full {full}");
+}
+
+#[test]
+fn bigger_queue_shortens_paths_further() {
+    let run = |m: usize| {
+        let mut cfg = ForkConfig::default();
+        cfg.label_queue_size = m;
+        let mut ctl = fork(cfg);
+        for a in 0..200u64 {
+            ctl.submit(a % 96, Op::Read, vec![], 0);
+        }
+        ctl.run_to_idle();
+        ctl.stats().avg_path_len()
+    };
+    let q1 = run(1);
+    let q16 = run(16);
+    assert!(q16 < q1 - 0.5, "queue 16 ({q16}) beats queue 1 ({q1})");
+}
+
+#[test]
+fn sparse_arrivals_insert_dummies() {
+    let mut ctl = fork(ForkConfig::default());
+    // Requests arriving far apart: each refill needs a pending request,
+    // so dummies are materialized.
+    let gap = 10_000_000; // 10 us
+    for a in 0..8u64 {
+        ctl.submit(a, Op::Read, vec![], a * gap);
+    }
+    ctl.run_to_idle();
+    assert!(
+        ctl.stats().dummy_accesses > 0,
+        "sparse arrivals force dummies"
+    );
+}
+
+#[test]
+fn dense_arrivals_avoid_dummies() {
+    let mut ctl = fork(ForkConfig::default());
+    for a in 0..64u64 {
+        ctl.submit(a, Op::Read, vec![], 0);
+    }
+    ctl.run_to_idle();
+    let frac = ctl.stats().dummy_fraction();
+    assert!(frac < 0.2, "dense queue rarely needs dummies: {frac}");
+}
+
+#[test]
+fn replacement_rescues_dummies_in_closed_loop() {
+    struct Chaser {
+        next_addr: u64,
+        remaining: u32,
+        gap_ps: u64,
+    }
+    impl ReactiveSource for Chaser {
+        fn on_complete(&mut self, c: &Completion) -> Vec<NewRequest> {
+            if self.remaining == 0 {
+                return Vec::new();
+            }
+            self.remaining -= 1;
+            self.next_addr += 1;
+            vec![NewRequest {
+                addr: self.next_addr,
+                op: Op::Read,
+                data: Vec::new(),
+                arrival_ps: c.done_ps + self.gap_ps,
+                tag: 0,
+            }]
+        }
+    }
+    // A dependent chain of requests, each arriving shortly after the
+    // previous completes — inside the refill window.
+    let mut ctl = fork(ForkConfig::default());
+    let mut src = Chaser {
+        next_addr: 100,
+        remaining: 60,
+        gap_ps: 30_000,
+    };
+    ctl.submit(100, Op::Read, vec![], 0);
+    while ctl.process_one(&mut src).unwrap() {}
+    let s = ctl.stats();
+    assert!(
+        s.dummies_replaced > 0,
+        "chained arrivals should replace pending dummies: {s:?}"
+    );
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn replacing_flag_controls_replacement() {
+    let run = |replacing: bool| {
+        let mut cfg = ForkConfig::default();
+        cfg.replacing = replacing;
+        let mut ctl = fork(cfg);
+        // Moderate gaps: some arrivals land inside refill windows.
+        for a in 0..48u64 {
+            ctl.submit(a, Op::Read, vec![], a * 400_000);
+        }
+        ctl.run_to_idle();
+        (ctl.stats().dummies_replaced, ctl.stats().dummy_accesses)
+    };
+    let (replaced_on, _) = run(true);
+    let (replaced_off, dummies_off) = run(false);
+    assert!(
+        replaced_on > 0,
+        "staggered arrivals should replace some dummies"
+    );
+    assert_eq!(replaced_off, 0, "flag off must never replace");
+    assert!(
+        dummies_off > 0,
+        "without replacing, pending dummies execute"
+    );
+}
+
+#[test]
+fn merging_off_reads_full_paths() {
+    let mut cfg = ForkConfig::default();
+    cfg.merging = false;
+    let mut ctl = fork(cfg);
+    for a in 0..16u64 {
+        ctl.submit(a, Op::Read, vec![], 0);
+    }
+    ctl.run_to_idle();
+    assert_eq!(ctl.stats().avg_path_len(), 10.0);
+}
+
+#[test]
+fn mac_reduces_dram_traffic() {
+    let run = |cache: CacheChoice| {
+        let mut cfg = ForkConfig::default();
+        cfg.cache = cache;
+        cfg.mac_bypass_levels = Some(3);
+        let mut ctl = fork(cfg);
+        for round in 0..4u64 {
+            for a in 0..48u64 {
+                ctl.submit(a, Op::Read, vec![], round);
+            }
+        }
+        ctl.run_to_idle();
+        (
+            ctl.stats().dram_blocks_read,
+            ctl.stats().dram_blocks_written,
+        )
+    };
+    let (plain_r, plain_w) = run(CacheChoice::None);
+    let (mac_r, mac_w) = run(CacheChoice::MergingAware {
+        bytes: 8 << 10,
+        ways: 4,
+    });
+    assert!(mac_r < plain_r, "MAC cuts reads: {mac_r} vs {plain_r}");
+    assert!(mac_w < plain_w, "MAC cuts writes: {mac_w} vs {plain_w}");
+}
+
+#[test]
+fn label_trace_is_roughly_uniform() {
+    let mut ctl = fork(ForkConfig::default());
+    ctl.enable_label_trace();
+    for a in 0..256u64 {
+        ctl.submit(a % 100, Op::Read, vec![], 0);
+    }
+    ctl.run_to_idle();
+    let trace = ctl.label_trace().unwrap().to_vec();
+    assert_eq!(trace.len() as u64, ctl.stats().oram_accesses);
+    assert!(
+        trace.len() > 100,
+        "expect a decent sample, got {}",
+        trace.len()
+    );
+    let leaves = ctl.state().config().leaf_count();
+    // Coarse uniformity: split leaf space into 8 octants.
+    let mut counts = [0u32; 8];
+    for &l in &trace {
+        counts[(l * 8 / leaves) as usize] += 1;
+    }
+    let expected = trace.len() as f64 / 8.0;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // 7 dof, 99.9th percentile ~ 24.3.
+    assert!(chi2 < 24.3, "label octants skewed: chi2={chi2} {counts:?}");
+}
+
+#[test]
+fn hazard_forwarding_and_cancellation_complete_requests() {
+    // Queue of one plus a blocker keeps w1 resident in the address
+    // queue, exercising the §4 hazard rules.
+    let mut cfg = ForkConfig::default();
+    cfg.label_queue_size = 1;
+    let mut ctl = fork(cfg);
+    let _blocker = ctl.submit(900, Op::Read, vec![], 0);
+    let w1 = ctl.submit(5, Op::Write, vec![1; 16], 0);
+    let w2 = ctl.submit(5, Op::Write, vec![2; 16], 10);
+    let r = ctl.submit(5, Op::Read, vec![], 20);
+    let done = ctl.run_to_idle();
+    let by_id = |id: u64| done.iter().find(|c| c.id == id).unwrap();
+    // w1 cancelled by w2 (Write-before-Write): acknowledged with no data.
+    assert!(by_id(w1).data.is_empty());
+    // r forwarded from w2 (Write-before-Read).
+    assert_eq!(by_id(r).data, vec![2; 16]);
+    let _ = by_id(w2);
+    // A later read (after the write completed) sees the stored value.
+    ctl.submit(5, Op::Read, vec![], ctl.clock_ps());
+    let done = ctl.run_to_idle();
+    assert_eq!(done[0].data, vec![2; 16]);
+}
+
+#[test]
+fn idle_gap_resets_merging_cleanly() {
+    let mut ctl = fork(ForkConfig::default());
+    ctl.submit(1, Op::Write, vec![7; 16], 0);
+    let _ = ctl.run_to_idle();
+    // Long idle; next burst must still behave correctly.
+    let later = ctl.clock_ps() + 1_000_000_000;
+    ctl.submit(1, Op::Read, vec![], later);
+    let done = ctl.run_to_idle();
+    assert_eq!(done[0].data, vec![7; 16]);
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn stash_stays_bounded() {
+    let mut ctl = fork(ForkConfig::default());
+    for i in 0..400u64 {
+        ctl.submit(
+            i % 80,
+            if i % 3 == 0 { Op::Write } else { Op::Read },
+            vec![3; 16],
+            0,
+        );
+    }
+    ctl.run_to_idle();
+    let hw = ctl.state().stash().high_water();
+    assert!(hw < 200, "stash high water {hw}");
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn stage_stats_match_aggregate_record() {
+    use fp_core::PipelineStage;
+    let mut ctl = fork(ForkConfig::default());
+    for a in 0..48u64 {
+        ctl.submit(a, Op::Read, vec![], a * 200_000);
+    }
+    ctl.run_to_idle();
+    let agg = ctl.stats().clone();
+    assert_eq!(agg.sched_rounds, ctl.scheduler().stats().rounds);
+    assert_eq!(agg.sched_ready_reals, ctl.scheduler().stats().ready_reals);
+    assert_eq!(agg.dummy_accesses, ctl.dummy_replacer().stats().executed);
+    assert_eq!(agg.dummies_replaced, ctl.dummy_replacer().stats().replaced);
+    assert_eq!(agg.buckets_written, ctl.writeback().stats().buckets_written);
+    assert_eq!(
+        agg.dram_blocks_read,
+        ctl.writeback().stats().dram_blocks_read
+    );
+    assert_eq!(
+        ctl.merger().stats().merged_reads + ctl.merger().stats().full_reads,
+        agg.oram_accesses,
+        "every access takes exactly one read-floor decision"
+    );
+}
+
+#[test]
+fn invalid_config_surfaces_typed_error() {
+    use fp_core::ControllerError;
+    let mut cfg = ForkConfig::default();
+    cfg.label_queue_size = 0;
+    let err = ForkPathController::try_new(OramConfig::small_test(), cfg, dram(), 1).unwrap_err();
+    assert!(matches!(err, ControllerError::InvalidConfig(_)), "{err}");
+}
+
+mod plb_tests {
+    use super::*;
+
+    #[test]
+    fn plb_cuts_posmap_accesses() {
+        let run = |plb_blocks: usize| {
+            let cfg = OramConfig::small_test();
+            let fork_cfg = ForkConfig {
+                plb_blocks,
+                ..ForkConfig::default()
+            };
+            let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+            let mut ctl = ForkPathController::new(cfg, fork_cfg, dram, 44);
+            // Strided reads with posmap-block reuse.
+            for round in 0..4u64 {
+                for a in 0..64u64 {
+                    ctl.submit(a, Op::Read, vec![], round);
+                }
+                ctl.run_to_idle();
+            }
+            (
+                ctl.stats().accesses_per_request(),
+                ctl.state().stash().high_water(),
+            )
+        };
+        let (without, _) = run(0);
+        let (with, hw) = run(32);
+        assert!(
+            with < without,
+            "PLB should cut accesses/request: {with:.2} vs {without:.2}"
+        );
+        assert!(hw < 200, "pinning must not blow up the stash: {hw}");
+    }
+
+    #[test]
+    fn plb_preserves_correctness() {
+        let cfg = OramConfig::small_test();
+        let fork_cfg = ForkConfig {
+            plb_blocks: 16,
+            ..ForkConfig::default()
+        };
+        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram, 45);
+        for a in 0..80u64 {
+            ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
+        }
+        ctl.run_to_idle();
+        for a in 0..80u64 {
+            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+        }
+        for c in ctl.run_to_idle() {
+            assert_eq!(c.data[0], c.addr as u8);
+        }
+        ctl.state().check_invariants().unwrap();
+    }
+}
+
+mod super_block_tests {
+    use super::*;
+
+    fn ctl_with_sb(sb: u64) -> ForkPathController {
+        let mut cfg = OramConfig::small_test();
+        cfg.super_block = sb;
+        let dram = DramSystem::new(DramConfig::ddr3_1600(2));
+        ForkPathController::new(cfg, ForkConfig::default(), dram, 61)
+    }
+
+    #[test]
+    fn super_blocks_preserve_ram_semantics() {
+        for sb in [2u64, 4, 8] {
+            let mut ctl = ctl_with_sb(sb);
+            for a in 0..96u64 {
+                ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
+            }
+            ctl.run_to_idle();
+            for a in 0..96u64 {
+                ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+            }
+            for c in ctl.run_to_idle() {
+                assert_eq!(c.data[0], c.addr as u8, "sb={sb} addr={}", c.addr);
+            }
+            ctl.state().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn super_blocks_prefetch_sequential_access() {
+        // Sequential scans hit the prefetched group members on chip.
+        let run = |sb: u64| {
+            let mut ctl = ctl_with_sb(sb);
+            for a in 0..128u64 {
+                ctl.submit(a, Op::Read, vec![], 0);
+            }
+            ctl.run_to_idle();
+            ctl.stats().accesses_per_request()
+        };
+        let plain = run(1);
+        let grouped = run(4);
+        assert!(
+            grouped < plain - 0.1,
+            "super blocks should cut accesses on sequential scans: {grouped:.2} vs {plain:.2}"
+        );
+    }
+
+    #[test]
+    fn interleaved_group_members_stay_consistent() {
+        // Writes and reads ping-ponging within one group exercise the
+        // group-serialization path.
+        let mut ctl = ctl_with_sb(4);
+        for round in 0..6u8 {
+            for a in 0..4u64 {
+                ctl.submit(a, Op::Write, vec![round * 10 + a as u8; 16], ctl.clock_ps());
+            }
+        }
+        ctl.run_to_idle();
+        for a in 0..4u64 {
+            ctl.submit(a, Op::Read, vec![], ctl.clock_ps());
+        }
+        for c in ctl.run_to_idle() {
+            assert_eq!(c.data[0], 50 + c.addr as u8);
+        }
+        ctl.state().check_invariants().unwrap();
+    }
+}

@@ -34,7 +34,9 @@ pub struct StreamCipher {
 impl fmt::Debug for StreamCipher {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never leak key material through Debug output.
-        f.debug_struct("StreamCipher").field("key_words", &"<redacted>").finish()
+        f.debug_struct("StreamCipher")
+            .field("key_words", &"<redacted>")
+            .finish()
     }
 }
 
@@ -119,7 +121,10 @@ pub struct Nonce {
 impl Nonce {
     /// Creates a nonce from a write counter and a physical address.
     pub fn new(write_counter: u64, address: u32) -> Self {
-        Self { write_counter, address }
+        Self {
+            write_counter,
+            address,
+        }
     }
 
     fn to_bytes(self) -> [u8; 12] {
@@ -152,7 +157,9 @@ pub struct BlockCipher {
 impl BlockCipher {
     /// Creates a block cipher from a 256-bit key.
     pub fn new(key: [u8; 32]) -> Self {
-        Self { inner: StreamCipher::new(key) }
+        Self {
+            inner: StreamCipher::new(key),
+        }
     }
 
     /// Encrypts `plaintext` under `nonce`, returning the ciphertext.

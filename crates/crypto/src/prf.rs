@@ -25,7 +25,9 @@ pub struct Prf {
 impl Prf {
     /// Creates a PRF from a 256-bit key.
     pub fn new(key: [u8; 32]) -> Self {
-        Self { cipher: StreamCipher::new(key) }
+        Self {
+            cipher: StreamCipher::new(key),
+        }
     }
 
     /// Evaluates the PRF on `input`.
@@ -97,10 +99,13 @@ mod tests {
         }
         let expected = n as f64 / bound as f64;
         // Chi-square with 15 dof; 99.9th percentile ~ 37.7.
-        let chi2: f64 = counts.iter().map(|&c| {
-            let d = c as f64 - expected;
-            d * d / expected
-        }).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
         assert!(chi2 < 37.7, "chi2={chi2}");
     }
 

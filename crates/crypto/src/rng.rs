@@ -57,7 +57,9 @@ impl Xoshiro256 {
     /// Creates a generator, expanding `seed` via SplitMix64 as recommended.
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Returns the next 64-bit value.
@@ -154,10 +156,13 @@ mod tests {
             counts[v as usize] += 1;
         }
         let expected = 10_000.0;
-        let chi2: f64 = counts.iter().map(|&c| {
-            let d = c as f64 - expected;
-            d * d / expected
-        }).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
         // 9 dof, 99.9th percentile ~ 27.9.
         assert!(chi2 < 27.9, "chi2={chi2}");
     }

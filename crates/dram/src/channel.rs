@@ -56,10 +56,19 @@ impl Channel {
     pub(crate) fn new(cfg: &DramConfig) -> Self {
         let banks = vec![Bank::default(); cfg.ranks_per_channel * cfg.banks_per_rank];
         let ranks = vec![
-            RankWindow { next_refresh_due: cfg.timing.t_refi, ..RankWindow::default() };
+            RankWindow {
+                next_refresh_due: cfg.timing.t_refi,
+                ..RankWindow::default()
+            };
             cfg.ranks_per_channel
         ];
-        Self { banks, ranks, bus_free: 0, last_kind: None, banks_per_rank: cfg.banks_per_rank }
+        Self {
+            banks,
+            ranks,
+            bus_free: 0,
+            last_kind: None,
+            banks_per_rank: cfg.banks_per_rank,
+        }
     }
 
     /// Returns whether `loc`'s bank currently has `loc.row` open — the
@@ -187,7 +196,10 @@ impl Channel {
         self.bus_free = data_end;
         self.last_kind = Some(kind);
 
-        Scheduled { finish: data_end, row_hit }
+        Scheduled {
+            finish: data_end,
+            row_hit,
+        }
     }
 }
 
@@ -196,7 +208,12 @@ mod tests {
     use super::*;
 
     fn loc(bank: usize, row: u64) -> Location {
-        Location { channel: 0, rank: 0, bank, row }
+        Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+        }
     }
 
     fn setup() -> (DramConfig, Channel, DramStats) {
@@ -229,7 +246,10 @@ mod tests {
         let miss = ch2.schedule(&cfg2, loc(0, 9), AccessKind::Read, f.finish, &mut st2);
         assert!(!miss.row_hit);
         let miss_latency = miss.finish - f.finish;
-        assert!(miss_latency > hit_latency, "{miss_latency} vs {hit_latency}");
+        assert!(
+            miss_latency > hit_latency,
+            "{miss_latency} vs {hit_latency}"
+        );
         assert_eq!(st2.precharges, 1, "conflict forced a precharge");
     }
 
@@ -286,7 +306,12 @@ mod refresh_tests {
         let cfg = DramConfig::ddr3_1600(1);
         let mut ch = Channel::new(&cfg);
         let mut st = DramStats::default();
-        let loc = Location { channel: 0, rank: 0, bank: 0, row: 1 };
+        let loc = Location {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 1,
+        };
         // Land exactly on the first refresh due time.
         let due = cfg.timing.t_refi;
         let s = ch.schedule(&cfg, loc, AccessKind::Read, due, &mut st);
@@ -299,7 +324,12 @@ mod refresh_tests {
         let cfg = DramConfig::ddr3_1600(1);
         let mut ch = Channel::new(&cfg);
         let mut st = DramStats::default();
-        let loc = Location { channel: 0, rank: 0, bank: 0, row: 1 };
+        let loc = Location {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 1,
+        };
         // Arrive after ~10 refresh intervals of idleness.
         let t = cfg.timing.t_refi * 10 + cfg.timing.t_refi / 2;
         let s = ch.schedule(&cfg, loc, AccessKind::Read, t, &mut st);

@@ -129,7 +129,10 @@ impl DramConfig {
     /// DDR3-1066 variant of [`DramConfig::ddr3_1600`] for slower-memory
     /// sensitivity studies.
     pub fn ddr3_1066(channels: usize) -> Self {
-        Self { timing: DramTiming::ddr3_1066(), ..Self::ddr3_1600(channels) }
+        Self {
+            timing: DramTiming::ddr3_1066(),
+            ..Self::ddr3_1600(channels)
+        }
     }
 
     /// The paper's memory system: DDR3-1600 with `channels` channels
@@ -178,7 +181,12 @@ impl DramConfig {
                 let rank = (rest % self.ranks_per_channel as u64) as usize;
                 let row = rest / self.ranks_per_channel as u64;
                 let _ = col;
-                Location { channel, rank, bank, row }
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                }
             }
             AddressMapping::ChannelInterleaved => {
                 let channel = (burst % self.channels as u64) as usize;
@@ -190,7 +198,12 @@ impl DramConfig {
                 let rank = (rest % self.ranks_per_channel as u64) as usize;
                 let row = rest / self.ranks_per_channel as u64;
                 let _ = col;
-                Location { channel, rank, bank, row }
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                }
             }
         }
     }
@@ -243,9 +256,14 @@ mod tests {
     fn rows_distribute_over_banks() {
         let cfg = DramConfig::ddr3_1600(2);
         // Consecutive rows (in the default mapping) rotate channel then bank.
-        let locs: Vec<_> = (0..32u64).map(|i| cfg.decompose(i * cfg.row_bytes)).collect();
+        let locs: Vec<_> = (0..32u64)
+            .map(|i| cfg.decompose(i * cfg.row_bytes))
+            .collect();
         let distinct_banks: std::collections::HashSet<_> =
             locs.iter().map(|l| (l.channel, l.bank)).collect();
-        assert!(distinct_banks.len() >= 8, "rows spread over banks: {distinct_banks:?}");
+        assert!(
+            distinct_banks.len() >= 8,
+            "rows spread over banks: {distinct_banks:?}"
+        );
     }
 }

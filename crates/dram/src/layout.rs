@@ -33,7 +33,10 @@ impl LinearLayout {
     /// Panics if `levels` is zero.
     pub fn new(levels: u32, bucket_bytes: u64) -> Self {
         assert!(levels > 0, "tree must have at least one level");
-        Self { levels, bucket_bytes }
+        Self {
+            levels,
+            bucket_bytes,
+        }
     }
 }
 
@@ -87,7 +90,13 @@ impl SubtreeLayout {
             let subtrees = 1u64 << (layer * s);
             base += subtrees * stride;
         }
-        Self { levels, bucket_bytes, subtree_levels: s, layer_base, subtree_stride: stride }
+        Self {
+            levels,
+            bucket_bytes,
+            subtree_levels: s,
+            layer_base,
+            subtree_stride: stride,
+        }
     }
 
     /// Picks the subtree depth whose packed size best fills `row_bytes`, then
@@ -157,7 +166,9 @@ mod tests {
         let addrs: HashSet<u64> = all_nodes(6).map(|n| layout.bucket_address(n)).collect();
         assert_eq!(addrs.len(), 63);
         assert_eq!(layout.footprint_bytes(), 63 * 256);
-        assert!(addrs.iter().all(|a| a % 256 == 0 && *a < layout.footprint_bytes()));
+        assert!(addrs
+            .iter()
+            .all(|a| a % 256 == 0 && *a < layout.footprint_bytes()));
     }
 
     #[test]
@@ -165,8 +176,9 @@ mod tests {
         for levels in [1u32, 3, 5, 6, 10, 11] {
             for s in [1u32, 2, 3, 5] {
                 let layout = SubtreeLayout::new(levels, 256, s);
-                let addrs: HashSet<u64> =
-                    all_nodes(levels).map(|n| layout.bucket_address(n)).collect();
+                let addrs: HashSet<u64> = all_nodes(levels)
+                    .map(|n| layout.bucket_address(n))
+                    .collect();
                 assert_eq!(
                     addrs.len(),
                     (1usize << levels) - 1,

@@ -88,8 +88,16 @@ mod tests {
 
     #[test]
     fn since_subtracts_fields() {
-        let early = DramStats { reads: 2, writes: 1, ..Default::default() };
-        let late = DramStats { reads: 10, writes: 5, ..Default::default() };
+        let early = DramStats {
+            reads: 2,
+            writes: 1,
+            ..Default::default()
+        };
+        let late = DramStats {
+            reads: 10,
+            writes: 5,
+            ..Default::default()
+        };
         let d = late.since(&early);
         assert_eq!(d.reads, 8);
         assert_eq!(d.writes, 4);

@@ -64,8 +64,14 @@ pub struct DramSystem {
 impl DramSystem {
     /// Creates a memory system from `config`.
     pub fn new(config: DramConfig) -> Self {
-        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
-        Self { config, channels, stats: DramStats::default() }
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(&config))
+            .collect();
+        Self {
+            config,
+            channels,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration this system was built with.
@@ -83,7 +89,10 @@ impl DramSystem {
         let loc = self.config.decompose(addr);
         let sched =
             self.channels[loc.channel].schedule(&self.config, loc, kind, now_ps, &mut self.stats);
-        AccessResult { finish_ps: sched.finish, row_hit: sched.row_hit }
+        AccessResult {
+            finish_ps: sched.finish,
+            row_hit: sched.row_hit,
+        }
     }
 
     /// Performs a batch of accesses all arriving at `now_ps`, scheduled
@@ -97,7 +106,10 @@ impl DramSystem {
 
         // Partition by channel, preserving arrival order within a channel.
         let mut per_channel: Vec<Vec<usize>> = vec![Vec::new(); self.config.channels];
-        let locs: Vec<_> = accesses.iter().map(|&(a, _)| self.config.decompose(a)).collect();
+        let locs: Vec<_> = accesses
+            .iter()
+            .map(|&(a, _)| self.config.decompose(a))
+            .collect();
         for (idx, loc) in locs.iter().enumerate() {
             per_channel[loc.channel].push(idx);
         }
@@ -123,7 +135,10 @@ impl DramSystem {
             }
         }
 
-        BatchResult { finish_ps: finish, batch_finish_ps: batch_finish }
+        BatchResult {
+            finish_ps: finish,
+            batch_finish_ps: batch_finish,
+        }
     }
 
     /// Total rank count (for background-energy accounting).
@@ -174,11 +189,17 @@ mod tests {
         dram.access(0, 0, AccessKind::Read);
         // Batch: a conflicting row-miss first, then a row-hit. FR-FCFS
         // services the hit first, so the hit's finish < miss's finish.
-        let batch =
-            vec![(row * dram.config().banks_per_rank as u64, AccessKind::Read), (64, AccessKind::Read)];
+        let batch = vec![
+            (row * dram.config().banks_per_rank as u64, AccessKind::Read),
+            (64, AccessKind::Read),
+        ];
         // Both map to bank 0? ensure second is row 0 same bank: addr 64 is row 0.
         let r = dram.access_batch(100_000, &batch);
-        assert!(r.finish_ps[1] < r.finish_ps[0], "row hit serviced first: {:?}", r.finish_ps);
+        assert!(
+            r.finish_ps[1] < r.finish_ps[0],
+            "row hit serviced first: {:?}",
+            r.finish_ps
+        );
     }
 
     #[test]
@@ -196,8 +217,11 @@ mod tests {
     #[test]
     fn writes_and_reads_both_counted() {
         let mut dram = DramSystem::new(DramConfig::ddr3_1600(2));
-        let batch =
-            vec![(0u64, AccessKind::Read), (64, AccessKind::Write), (128, AccessKind::Write)];
+        let batch = vec![
+            (0u64, AccessKind::Read),
+            (64, AccessKind::Write),
+            (128, AccessKind::Write),
+        ];
         dram.access_batch(0, &batch);
         assert_eq!(dram.stats().reads, 1);
         assert_eq!(dram.stats().writes, 2);
@@ -206,7 +230,10 @@ mod tests {
 
     #[test]
     fn batch_latency_helper() {
-        let r = BatchResult { finish_ps: vec![10, 20], batch_finish_ps: 20 };
+        let r = BatchResult {
+            finish_ps: vec![10, 20],
+            batch_finish_ps: 20,
+        };
         assert_eq!(r.batch_latency(5), 15);
         assert_eq!(r.batch_latency(25), 0);
     }

@@ -90,7 +90,9 @@ impl TreetopCache {
         while (1u64 << (levels + 1)) - 1 <= buckets {
             levels += 1;
         }
-        Self { cached_levels: levels }
+        Self {
+            cached_levels: levels,
+        }
     }
 
     /// Number of pinned levels.

@@ -111,12 +111,12 @@ impl BaselineController {
         seed: u64,
         cache: Box<dyn BucketCache + Send>,
     ) -> Self {
-        let layout = SubtreeLayout::fit_row(
-            cfg.path_len(),
-            cfg.bucket_bytes(),
-            dram.config().row_bytes,
-        );
-        let bursts_per_bucket = cfg.bucket_bytes().div_ceil(dram.config().burst_bytes).max(1);
+        let layout =
+            SubtreeLayout::fit_row(cfg.path_len(), cfg.bucket_bytes(), dram.config().row_bytes);
+        let bursts_per_bucket = cfg
+            .bucket_bytes()
+            .div_ceil(dram.config().burst_bytes)
+            .max(1);
         Self {
             state: OramState::new(cfg, seed),
             dram,
@@ -151,7 +151,14 @@ impl BaselineController {
             Op::Write => Some(data),
             Op::Read => None,
         };
-        self.queue.push_back(LlcRequest { id, addr, op, data, arrival_ps, tag });
+        self.queue.push_back(LlcRequest {
+            id,
+            addr,
+            op,
+            data,
+            arrival_ps,
+            tag,
+        });
         id
     }
 
@@ -219,8 +226,7 @@ impl BaselineController {
             // no ORAM access ("returned to LLC immediately"). Under
             // super-block grouping the shortcut also requires the whole
             // group on chip (the relabel must not orphan tree residents).
-            if self.state.stash_hit(u)
-                && (i + 1 < chain.len() || self.state.group_shortcut_safe(u))
+            if self.state.stash_hit(u) && (i + 1 < chain.len() || self.state.group_shortcut_safe(u))
             {
                 self.stats.stash_hits += 1;
                 if i + 1 < chain.len() {
@@ -266,7 +272,14 @@ impl BaselineController {
         self.stats.completed_requests += 1;
         self.stats.sum_latency_ps += done_ps.saturating_sub(req.arrival_ps);
         self.stats.finish_time_ps = self.clock_ps;
-        Completion { id: req.id, addr: req.addr, data, arrival_ps: req.arrival_ps, done_ps, tag: req.tag }
+        Completion {
+            id: req.id,
+            addr: req.addr,
+            data,
+            arrival_ps: req.arrival_ps,
+            done_ps,
+            tag: req.tag,
+        }
     }
 
     /// Refills the full path and advances the clock past the write phase.
@@ -471,7 +484,11 @@ mod tests {
     fn stash_stays_bounded_under_load() {
         let mut ctl = controller();
         for i in 0..300u64 {
-            ctl.access_sync(i % 64, if i % 3 == 0 { Op::Write } else { Op::Read }, vec![1; 16]);
+            ctl.access_sync(
+                i % 64,
+                if i % 3 == 0 { Op::Write } else { Op::Read },
+                vec![1; 16],
+            );
         }
         ctl.state().check_invariants().unwrap();
         assert!(

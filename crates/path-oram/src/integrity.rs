@@ -139,11 +139,17 @@ impl MerkleTree {
 
     /// Default hash of an untouched node (commits to its id and depth).
     fn default_hash(&self, node: u64) -> u64 {
-        siphash24(self.key, &[b"empty".as_slice(), &node.to_le_bytes()].concat())
+        siphash24(
+            self.key,
+            &[b"empty".as_slice(), &node.to_le_bytes()].concat(),
+        )
     }
 
     fn stored(&self, node: u64) -> u64 {
-        self.hashes.get(&node).copied().unwrap_or_else(|| self.default_hash(node))
+        self.hashes
+            .get(&node)
+            .copied()
+            .unwrap_or_else(|| self.default_hash(node))
     }
 
     fn bucket_hash(&self, node: u64) -> u64 {
@@ -168,7 +174,8 @@ impl MerkleTree {
     /// Records new bucket bytes for `node` (called on every bucket write).
     /// [`MerkleTree::rehash_path`] must follow once the refill completes.
     pub fn update_bucket(&mut self, node: u64, bucket_bytes: &[u8]) {
-        self.bucket_hashes.insert(node, siphash24(self.key, bucket_bytes));
+        self.bucket_hashes
+            .insert(node, siphash24(self.key, bucket_bytes));
     }
 
     /// Recomputes the hash chain along the path to `leaf_label` (bottom-up)
@@ -258,7 +265,8 @@ mod tests {
         }
         for leaf in 0..16u64 {
             let node = (1 << 4) + leaf;
-            mt.verify_bucket(node, format!("bucket-{leaf}").as_bytes()).unwrap();
+            mt.verify_bucket(node, format!("bucket-{leaf}").as_bytes())
+                .unwrap();
         }
     }
 

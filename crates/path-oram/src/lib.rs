@@ -48,8 +48,8 @@
 
 pub mod cache;
 mod config;
-pub mod integrity;
 mod controller;
+pub mod integrity;
 pub mod path;
 mod posmap;
 mod stash;

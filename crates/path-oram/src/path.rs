@@ -35,7 +35,9 @@ pub fn node_at_level(levels: u32, label: u64, level: u32) -> u64 {
 
 /// All buckets on the path to `label`, indexed by level (root first).
 pub fn path_nodes(levels: u32, label: u64) -> Vec<u64> {
-    (0..=levels).map(|d| node_at_level(levels, label, d)).collect()
+    (0..=levels)
+        .map(|d| node_at_level(levels, label, d))
+        .collect()
 }
 
 /// Number of buckets shared by the paths to `a` and `b` (the paper's

@@ -166,7 +166,9 @@ pub(crate) struct OnChipMap {
 
 impl OnChipMap {
     pub(crate) fn new(entries: u64) -> Self {
-        Self { entries: vec![None; entries as usize] }
+        Self {
+            entries: vec![None; entries as usize],
+        }
     }
 
     pub(crate) fn get(&self, index: u64) -> Option<u64> {

@@ -54,7 +54,12 @@ impl Stash {
     /// capacity is advisory — Path ORAM proves overflow is negligible for
     /// C >= 200 at Z = 4 — and is used for the overflow watermark.
     pub fn new(capacity: usize) -> Self {
-        Self { blocks: HashMap::new(), pinned: HashSet::new(), capacity, high_water: 0 }
+        Self {
+            blocks: HashMap::new(),
+            pinned: HashSet::new(),
+            capacity,
+            high_water: 0,
+        }
     }
 
     /// Number of blocks currently held.
@@ -187,7 +192,12 @@ impl Stash {
     }
 
     /// Like [`Stash::plan_eviction`] for the full path (levels `0..=L`).
-    pub fn plan_full_eviction(&mut self, levels: u32, leaf: u64, z: usize) -> Vec<(u32, Vec<Block>)> {
+    pub fn plan_full_eviction(
+        &mut self,
+        levels: u32,
+        leaf: u64,
+        z: usize,
+    ) -> Vec<(u32, Vec<Block>)> {
         self.plan_eviction(levels, leaf, 0, levels, z)
     }
 }

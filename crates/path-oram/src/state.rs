@@ -74,8 +74,7 @@ impl OramState {
         assert!(cfg.levels <= 31, "labels must fit in 32-bit posmap entries");
         let hierarchy = PosMapHierarchy::new(&cfg);
         assert!(
-            hierarchy.posmap_levels() == 0
-                || cfg.block_bytes as u64 >= 4 * cfg.posmap_fanout,
+            hierarchy.posmap_levels() == 0 || cfg.block_bytes as u64 >= 4 * cfg.posmap_fanout,
             "block too small to hold {} posmap entries",
             cfg.posmap_fanout
         );
@@ -280,9 +279,8 @@ impl OramState {
             return true;
         }
         let base = addr / sb * sb;
-        (base..(base + sb).min(self.cfg.data_blocks)).all(|m| {
-            !self.existing.contains(&m) || self.stash.contains(m)
-        })
+        (base..(base + sb).min(self.cfg.data_blocks))
+            .all(|m| !self.existing.contains(&m) || self.stash.contains(m))
     }
 
     /// Refill phase: greedily evicts stash blocks into the buckets at
@@ -291,7 +289,9 @@ impl OramState {
     /// the order the refill commits on the bus, which the dummy-replacing
     /// window is defined over.
     pub fn evict_range(&mut self, leaf: u64, level_lo: u32, level_hi: u32) -> Vec<u64> {
-        let plan = self.stash.plan_eviction(self.cfg.levels, leaf, level_lo, level_hi, self.cfg.z);
+        let plan = self
+            .stash
+            .plan_eviction(self.cfg.levels, leaf, level_lo, level_hi, self.cfg.z);
         let mut nodes = Vec::with_capacity(plan.len());
         for (level, blocks) in plan {
             let node = node_at_level(self.cfg.levels, leaf, level);
@@ -403,8 +403,7 @@ mod tests {
                     old = o;
                     new = n;
                 } else {
-                    let (read, _) =
-                        s.apply_op(u, new, if write { Some(&payload) } else { None });
+                    let (read, _) = s.apply_op(u, new, if write { Some(&payload) } else { None });
                     s.evict_range(old, 0, levels);
                     if pass == 1 {
                         assert_eq!(read, payload, "read back what was written");
@@ -435,7 +434,10 @@ mod tests {
         let (child_old2, _, outcome3) = s.chain_step(chain[0], new2, chain[1]);
         s.evict_range(old2, 0, levels);
         assert_eq!(outcome3, AccessOutcome::Found);
-        assert_eq!(child_old2, child_new1, "child label survives in parent payload");
+        assert_eq!(
+            child_old2, child_new1,
+            "child label survives in parent payload"
+        );
     }
 
     #[test]
@@ -478,8 +480,10 @@ mod tests {
         // Blocks that could only live in levels 0..=2 must still be stashed.
         // (At minimum, nothing was lost: the data block is somewhere.)
         let in_stash = s.stash().contains(9);
-        let in_tree =
-            s.tree().iter_buckets().any(|(_, blocks)| blocks.iter().any(|b| b.addr == 9));
+        let in_tree = s
+            .tree()
+            .iter_buckets()
+            .any(|(_, blocks)| blocks.iter().any(|b| b.addr == 9));
         assert!(in_stash ^ in_tree, "block 9 in exactly one place");
     }
 

@@ -83,7 +83,12 @@ impl TreeStore {
     /// Panics if more than `Z` blocks are supplied or a payload has the
     /// wrong size.
     pub fn write_bucket(&mut self, node: u64, blocks: Vec<Block>) {
-        assert!(blocks.len() <= self.z, "bucket overflow: {} > Z={}", blocks.len(), self.z);
+        assert!(
+            blocks.len() <= self.z,
+            "bucket overflow: {} > Z={}",
+            blocks.len(),
+            self.z
+        );
         for b in &blocks {
             assert_eq!(b.data.len(), self.block_bytes, "payload size mismatch");
         }
@@ -104,9 +109,7 @@ impl TreeStore {
     /// by tests to confirm nothing recognizable leaks to untrusted memory.
     pub fn raw_bucket(&self, node: u64) -> Option<Vec<u8>> {
         match self.buckets.get(&node)? {
-            StoredBucket::Plain(blocks) => {
-                Some(serialize_bucket(blocks, self.z, self.block_bytes))
-            }
+            StoredBucket::Plain(blocks) => Some(serialize_bucket(blocks, self.z, self.block_bytes)),
             StoredBucket::Sealed { ciphertext, .. } => Some(ciphertext.clone()),
         }
     }

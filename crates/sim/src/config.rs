@@ -69,13 +69,19 @@ impl SystemConfig {
     /// Like [`SystemConfig::paper_default`] with an explicit ORAM capacity
     /// (Fig 17b sweeps 1–32 GB).
     pub fn with_capacity(capacity_bytes: u64) -> Self {
-        Self { oram: OramConfig::paper_default(capacity_bytes), ..Self::paper_default() }
+        Self {
+            oram: OramConfig::paper_default(capacity_bytes),
+            ..Self::paper_default()
+        }
     }
 
     /// Like [`SystemConfig::paper_default`] with an explicit channel count
     /// (Fig 18 sweeps 1/2/4).
     pub fn with_channels(channels: usize) -> Self {
-        Self { dram: DramConfig::ddr3_1600(channels), ..Self::paper_default() }
+        Self {
+            dram: DramConfig::ddr3_1600(channels),
+            ..Self::paper_default()
+        }
     }
 
     /// A small, fast configuration for unit/integration tests: a shallow
@@ -87,7 +93,11 @@ impl SystemConfig {
         oram.data_blocks = 1 << 16;
         oram.onchip_posmap_entries = 1 << 8;
         oram.levels = 15;
-        Self { oram, dram: DramConfig::ddr3_1600(2), seed: 99 }
+        Self {
+            oram,
+            dram: DramConfig::ddr3_1600(2),
+            seed: 99,
+        }
     }
 
     /// Enables real counter-mode encryption of tree contents (slower;

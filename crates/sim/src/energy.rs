@@ -134,7 +134,14 @@ mod tests {
             cache_misses: 40_000,
             ..Default::default()
         };
-        let e = compute(&EnergyParams::default(), &dram, &oram, 1_000_000_000, 2, 150);
+        let e = compute(
+            &EnergyParams::default(),
+            &dram,
+            &oram,
+            1_000_000_000,
+            2,
+            150,
+        );
         assert!(
             e.dram_dynamic_pj + e.dram_background_pj > 3 * e.controller_dynamic_pj,
             "{e:?}"

@@ -1,6 +1,7 @@
 //! Sweep helpers shared by the figure-regeneration binaries.
 
-use crossbeam::thread;
+use std::thread;
+
 use fp_workloads::cpu::{MultiCoreWorkload, PipelineKind};
 use fp_workloads::mixes::{self, Mix};
 
@@ -46,13 +47,13 @@ pub fn mix_workload(mix: &Mix, budget: MissBudget, seed: u64) -> MultiCoreWorklo
 /// in mix order with workload names filled in.
 pub fn run_all_mixes(cfg: &SystemConfig, scheme: &Scheme, budget: MissBudget) -> Vec<RunResult> {
     let all = mixes::all();
-    let results = thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = all
             .iter()
             .map(|mix| {
                 let cfg = cfg.clone();
                 let scheme = scheme.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let wl = mix_workload(mix, budget, cfg.seed ^ 0x5eed);
                     let mut r = run_workload(&cfg, scheme, wl);
                     r.workload = mix.name.to_string();
@@ -60,10 +61,11 @@ pub fn run_all_mixes(cfg: &SystemConfig, scheme: &Scheme, budget: MissBudget) ->
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect::<Vec<_>>()
     })
-    .expect("scope");
-    results
 }
 
 /// Runs one scheme on one mix.

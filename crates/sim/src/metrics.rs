@@ -1,11 +1,11 @@
 //! Per-run result record: every metric the paper's figures report.
 
-use serde::{Deserialize, Serialize};
+use fp_stats::json::{self, JsonObject};
 
 use crate::energy::EnergyBreakdown;
 
 /// The outcome of one (scheme, workload) simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Scheme label (see [`crate::Scheme::label`]).
     pub scheme: String,
@@ -33,7 +33,6 @@ pub struct RunResult {
     /// End-to-end execution time, picoseconds (Fig 14's numerator).
     pub exec_time_ps: u64,
     /// Energy breakdown (Fig 15).
-    #[serde(skip)]
     pub energy: EnergyBreakdown,
     /// DRAM row-buffer hit rate.
     pub row_hit_rate: f64,
@@ -62,6 +61,35 @@ impl RunResult {
             self.oram_accesses as f64 / self.real_accesses as f64
         }
     }
+
+    /// Renders the record as a JSON object (hermetic hand-rolled emission
+    /// via [`fp_stats::json`]; the workspace carries no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("scheme", &self.scheme)
+            .field_str("workload", &self.workload)
+            .field_f64("oram_latency_ns", self.oram_latency_ns)
+            .field_f64("avg_path_len", self.avg_path_len)
+            .field_f64("dram_busy_ns_per_access", self.dram_busy_ns_per_access)
+            .field_u64("llc_requests", self.llc_requests)
+            .field_u64("oram_accesses", self.oram_accesses)
+            .field_u64("real_accesses", self.real_accesses)
+            .field_u64("dummy_accesses", self.dummy_accesses)
+            .field_u64("dummies_replaced", self.dummies_replaced)
+            .field_u64("exec_time_ps", self.exec_time_ps)
+            .field_f64("energy_pj", self.energy.total_pj() as f64)
+            .field_f64("row_hit_rate", self.row_hit_rate)
+            .field_u64("dram_blocks_read", self.dram_blocks_read)
+            .field_u64("dram_blocks_written", self.dram_blocks_written)
+            .field_u64("stash_high_water", self.stash_high_water as u64)
+            .field_f64("sched_ready_reals", self.sched_ready_reals);
+        o.finish()
+    }
+}
+
+/// Renders a result list as a JSON array (one object per run).
+pub fn results_to_json(results: &[RunResult]) -> String {
+    json::array(results.iter().map(RunResult::to_json))
 }
 
 /// Geometric mean of a positive-valued series (the paper reports geomeans
@@ -91,6 +119,36 @@ mod tests {
         assert_eq!(geomean(std::iter::empty()), 0.0);
         let g = geomean([2.0, 8.0]);
         assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_emission_is_wellformed() {
+        let r = RunResult {
+            scheme: "fork \"best\"".into(),
+            workload: "Mix1".into(),
+            oram_latency_ns: 12.5,
+            avg_path_len: 18.0,
+            dram_busy_ns_per_access: 3.0,
+            llc_requests: 10,
+            oram_accesses: 40,
+            real_accesses: 40,
+            dummy_accesses: 0,
+            dummies_replaced: 0,
+            exec_time_ps: 99,
+            energy: Default::default(),
+            row_hit_rate: 0.5,
+            dram_blocks_read: 1,
+            dram_blocks_written: 2,
+            stash_high_water: 3,
+            sched_ready_reals: 1.5,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\"scheme\":\"fork \\\"best\\\"\""), "{j}");
+        assert!(j.contains("\"oram_latency_ns\":12.5"), "{j}");
+        assert!(j.contains("\"stash_high_water\":3"), "{j}");
+        let arr = results_to_json(&[r.clone(), r]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("\"workload\":\"Mix1\"").count(), 2);
     }
 
     #[test]

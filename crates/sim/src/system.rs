@@ -54,7 +54,13 @@ fn drain_issues(wl: &mut MultiCoreWorkload, block_bytes: usize) -> Vec<NewReques
             Op::Write => write_payload(addr, block_bytes),
             Op::Read => Vec::new(),
         };
-        out.push(NewRequest { addr, op, data, arrival_ps: t, tag: untag_core(tagged) as u64 });
+        out.push(NewRequest {
+            addr,
+            op,
+            data,
+            arrival_ps: t,
+            tag: untag_core(tagged) as u64,
+        });
     }
     out
 }
@@ -66,7 +72,8 @@ struct CoreSource<'a> {
 
 impl ReactiveSource for CoreSource<'_> {
     fn on_complete(&mut self, completion: &Completion) -> Vec<NewRequest> {
-        self.wl.complete_core(completion.tag as usize, completion.done_ps);
+        self.wl
+            .complete_core(completion.tag as usize, completion.done_ps);
         drain_issues(self.wl, self.block_bytes)
     }
 }
@@ -82,11 +89,18 @@ fn run_fork(
     let block_bytes = cfg.oram.block_bytes;
 
     for r in drain_issues(&mut wl, block_bytes) {
-        ctl.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag);
+        ctl.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag)
+            .expect("controller invariant violated");
     }
     {
-        let mut src = CoreSource { wl: &mut wl, block_bytes };
-        while ctl.process_one(&mut src) {}
+        let mut src = CoreSource {
+            wl: &mut wl,
+            block_bytes,
+        };
+        while ctl
+            .process_one(&mut src)
+            .expect("controller invariant violated")
+        {}
     }
     let done = ctl.drain_completions();
     debug_assert!(wl.finished(), "driver must drain the workload");

@@ -1,0 +1,166 @@
+//! Hand-rolled JSON emission.
+//!
+//! The workspace builds hermetically with zero registry dependencies, so
+//! result records (`fp-sim`) and trace archives (`fp-workloads`) emit JSON
+//! through this module instead of deriving `serde::Serialize`. Emission
+//! only: the repo's own readers use the line formats (`Trace::to_text`,
+//! CSV); JSON exists for external tooling (plots, dashboards).
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON cannot represent as numbers).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object emitter.
+///
+/// # Example
+///
+/// ```
+/// use fp_stats::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.field_str("scheme", "fork").field_u64("requests", 3);
+/// assert_eq!(o.finish(), r#"{"scheme":"fork","requests":3}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":", escape(name));
+        &mut self.body
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        let v = format!("\"{}\"", escape(value));
+        self.key(name).push_str(&v);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        let v = value.to_string();
+        self.key(name).push_str(&v);
+        self
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        let v = number(value);
+        self.key(name).push_str(&v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        let v = if value { "true" } else { "false" };
+        self.key(name).push_str(v);
+        self
+    }
+
+    /// Adds a pre-rendered JSON fragment (an object, array, or literal).
+    pub fn field_raw(&mut self, name: &str, raw: &str) -> &mut Self {
+        self.key(name).push_str(raw);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Renders pre-rendered JSON fragments as a JSON array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut body = String::new();
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&item);
+    }
+    format!("[{body}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(number(2.5), "2.5");
+        assert_eq!(number(10.0), "10");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_emits_all_field_kinds() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "Mix \"1\"")
+            .field_u64("count", 7)
+            .field_f64("latency", 1.25)
+            .field_bool("ok", true)
+            .field_raw("inner", "{\"x\":1}");
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"Mix \"1\"","count":7,"latency":1.25,"ok":true,"inner":{"x":1}}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(Vec::new()), "[]");
+    }
+
+    #[test]
+    fn array_joins_fragments() {
+        let rows = vec!["1".to_string(), "{\"a\":2}".to_string()];
+        assert_eq!(array(rows), "[1,{\"a\":2}]");
+    }
+}

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 /// A fixed-bin histogram over `[lo, hi)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -37,14 +39,18 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(lo < hi, "empty range");
-        Self { lo, hi, counts: vec![0; bins], total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Adds a sample (out-of-range samples clamp to the edge bins).
     pub fn add(&mut self, x: f64) {
         let bins = self.counts.len() as f64;
-        let idx = ((x - self.lo) / (self.hi - self.lo) * bins)
-            .clamp(0.0, bins - 1.0) as usize;
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins).clamp(0.0, bins - 1.0) as usize;
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -184,7 +190,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         }
     }

@@ -139,7 +139,11 @@ impl CoreModel {
         self.next_issue_ps = now_ps.max(self.next_issue_ps) + (gap_ns * 1000.0) as u64;
 
         let addr = self.next_address();
-        let op = if self.rng.gen_bool(self.profile.write_fraction) { Op::Write } else { Op::Read };
+        let op = if self.rng.gen_bool(self.profile.write_fraction) {
+            Op::Write
+        } else {
+            Op::Read
+        };
         (addr, op)
     }
 
@@ -213,7 +217,12 @@ impl MultiCoreWorkload {
     /// Builds a multiprogrammed workload from a Table 2 mix: one
     /// out-of-order core per program, each over a private region.
     pub fn from_mix(mix: &Mix, misses_per_core: u64, seed: u64) -> Self {
-        Self::from_profiles(&mix.programs, PipelineKind::OutOfOrder, misses_per_core, seed)
+        Self::from_profiles(
+            &mix.programs,
+            PipelineKind::OutOfOrder,
+            misses_per_core,
+            seed,
+        )
     }
 
     /// Builds a workload from explicit profiles and a pipeline kind.
@@ -235,7 +244,10 @@ impl MultiCoreWorkload {
             ));
             base += p.working_set_blocks;
         }
-        Self { cores, footprint_blocks: base }
+        Self {
+            cores,
+            footprint_blocks: base,
+        }
     }
 
     /// Builds a multithreaded PARSEC workload with `threads` threads.
@@ -258,7 +270,10 @@ impl MultiCoreWorkload {
             .collect();
         let footprint = workload.profile.working_set_blocks
             + cores.iter().map(|c| c.private_blocks).sum::<u64>();
-        Self { cores, footprint_blocks: footprint }
+        Self {
+            cores,
+            footprint_blocks: footprint,
+        }
     }
 
     /// Number of cores.
@@ -278,7 +293,10 @@ impl MultiCoreWorkload {
 
     /// The earliest time any core can issue a miss, if any can.
     pub fn next_issue_time(&self) -> Option<u64> {
-        self.cores.iter().filter_map(CoreModel::next_issue_time).min()
+        self.cores
+            .iter()
+            .filter_map(CoreModel::next_issue_time)
+            .min()
     }
 
     /// Issues the miss of the earliest-ready core at `now_ps` (which must be
@@ -336,8 +354,7 @@ mod tests {
 
     #[test]
     fn core_respects_mlp() {
-        let mut core =
-            CoreModel::new(spec::mcf(), PipelineKind::OutOfOrder, 0, 100, 1);
+        let mut core = CoreModel::new(spec::mcf(), PipelineKind::OutOfOrder, 0, 100, 1);
         let mlp = core.profile().mlp;
         let mut n = 0;
         while core.next_issue_time().is_some() {
@@ -355,7 +372,10 @@ mod tests {
         let mut core = CoreModel::new(spec::mcf(), PipelineKind::InOrder, 0, 10, 1);
         let t = core.next_issue_time().unwrap();
         core.issue(t);
-        assert!(core.next_issue_time().is_none(), "in-order: one outstanding");
+        assert!(
+            core.next_issue_time().is_none(),
+            "in-order: one outstanding"
+        );
         core.complete(5_000_000);
         let next = core.next_issue_time().unwrap();
         assert!(next > 5_000_000, "resumes after completion plus think time");

@@ -30,7 +30,12 @@ pub fn all() -> Vec<Mix> {
     vec![
         Mix {
             name: "Mix1",
-            programs: vec![spec::povray(), spec::sjeng(), spec::gemsfdtd(), spec::h264ref()],
+            programs: vec![
+                spec::povray(),
+                spec::sjeng(),
+                spec::gemsfdtd(),
+                spec::h264ref(),
+            ],
         },
         Mix {
             name: "Mix2",
@@ -54,19 +59,39 @@ pub fn all() -> Vec<Mix> {
         },
         Mix {
             name: "Mix7",
-            programs: vec![spec::bwaves(), spec::bwaves(), spec::bwaves(), spec::bwaves()],
+            programs: vec![
+                spec::bwaves(),
+                spec::bwaves(),
+                spec::bwaves(),
+                spec::bwaves(),
+            ],
         },
         Mix {
             name: "Mix8",
-            programs: vec![spec::h264ref(), spec::h264ref(), spec::h264ref(), spec::h264ref()],
+            programs: vec![
+                spec::h264ref(),
+                spec::h264ref(),
+                spec::h264ref(),
+                spec::h264ref(),
+            ],
         },
         Mix {
             name: "Mix9",
-            programs: vec![spec::calculix(), spec::h264ref(), spec::mcf(), spec::sjeng()],
+            programs: vec![
+                spec::calculix(),
+                spec::h264ref(),
+                spec::mcf(),
+                spec::sjeng(),
+            ],
         },
         Mix {
             name: "Mix10",
-            programs: vec![spec::bzip2(), spec::povray(), spec::libquantum(), spec::libquantum()],
+            programs: vec![
+                spec::bzip2(),
+                spec::povray(),
+                spec::libquantum(),
+                spec::libquantum(),
+            ],
         },
     ]
 }
@@ -108,7 +133,11 @@ mod tests {
         }
         // Mix9/Mix10 draw from both groups.
         for idx in [8usize, 9] {
-            let hi = mixes[idx].programs.iter().filter(|p| p.is_high_overhead()).count();
+            let hi = mixes[idx]
+                .programs
+                .iter()
+                .filter(|p| p.is_high_overhead())
+                .count();
             assert!(hi > 0 && hi < 4, "{}", mixes[idx].name);
         }
     }

@@ -97,15 +97,25 @@ mod tests {
         assert!(set.len() >= 8);
         for w in &set {
             w.profile.validate().unwrap();
-            assert!((0.0..=1.0).contains(&w.shared_fraction), "{}", w.profile.name);
+            assert!(
+                (0.0..=1.0).contains(&w.shared_fraction),
+                "{}",
+                w.profile.name
+            );
         }
     }
 
     #[test]
     fn spans_intensity_range() {
         let set = all();
-        let min = set.iter().map(|w| w.profile.avg_gap_ns).fold(f64::INFINITY, f64::min);
-        let max = set.iter().map(|w| w.profile.avg_gap_ns).fold(0.0f64, f64::max);
+        let min = set
+            .iter()
+            .map(|w| w.profile.avg_gap_ns)
+            .fold(f64::INFINITY, f64::min);
+        let max = set
+            .iter()
+            .map(|w| w.profile.avg_gap_ns)
+            .fold(0.0f64, f64::max);
         assert!(max / min > 10.0, "need memory-bound through compute-bound");
     }
 

@@ -4,16 +4,18 @@
 //! trace lets experiments (a) decouple workload generation from simulation,
 //! (b) feed externally captured miss streams (e.g. from a real gem5 run)
 //! into the ORAM simulators, and (c) archive the exact stimulus behind a
-//! published number. Traces serialize with `serde`.
+//! published number. Traces serialize with the line format of
+//! [`Trace::to_text`] and emit JSON via [`fp_stats::json`] for external
+//! tooling — the workspace is hermetic and carries no serde dependency.
 
-use serde::{Deserialize, Serialize};
+use fp_stats::json::{self, JsonObject};
 
 use fp_path_oram::Op;
 
 use crate::cpu::{untag_addr, untag_core, MultiCoreWorkload};
 
 /// One recorded LLC miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Issue time, picoseconds (as generated under zero memory latency).
     pub issue_ps: u64,
@@ -26,7 +28,7 @@ pub struct TraceRecord {
 }
 
 /// A recorded miss trace plus its provenance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Human-readable source (workload name, seed).
     pub source: String,
@@ -50,7 +52,10 @@ impl Trace {
             });
             workload.complete(tagged, t);
         }
-        Self { source: source.into(), records }
+        Self {
+            source: source.into(),
+            records,
+        }
     }
 
     /// Number of records.
@@ -96,12 +101,25 @@ impl Trace {
         }
     }
 
-    /// Serializes to a compact JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Propagates `serde_json`-free encoding errors (none in practice; the
-    /// format is a hand-rolled line encoding to avoid extra dependencies).
+    /// Renders the trace as a JSON object (hand-rolled emission via
+    /// [`fp_stats::json`]) for consumption by external tooling; the repo's
+    /// own round-trip format is [`Trace::to_text`].
+    pub fn to_json(&self) -> String {
+        let records = json::array(self.records.iter().map(|r| {
+            let mut o = JsonObject::new();
+            o.field_u64("issue_ps", r.issue_ps)
+                .field_u64("addr", r.addr)
+                .field_u64("core", u64::from(r.core))
+                .field_bool("is_write", r.is_write);
+            o.finish()
+        }));
+        let mut o = JsonObject::new();
+        o.field_str("source", &self.source)
+            .field_raw("records", &records);
+        o.finish()
+    }
+
+    /// Serializes to the compact line format parsed by [`Trace::from_text`].
     pub fn to_text(&self) -> String {
         let mut out = format!("# fork-path-oram trace v1: {}\n", self.source);
         for r in &self.records {
@@ -139,14 +157,22 @@ impl Trace {
                     .next()
                     .ok_or_else(|| format!("line {}: missing {name}", i + 2))
             };
-            let issue_ps =
-                field("time")?.parse::<u64>().map_err(|e| format!("line {}: {e}", i + 2))?;
-            let addr =
-                field("addr")?.parse::<u64>().map_err(|e| format!("line {}: {e}", i + 2))?;
-            let core =
-                field("core")?.parse::<u8>().map_err(|e| format!("line {}: {e}", i + 2))?;
+            let issue_ps = field("time")?
+                .parse::<u64>()
+                .map_err(|e| format!("line {}: {e}", i + 2))?;
+            let addr = field("addr")?
+                .parse::<u64>()
+                .map_err(|e| format!("line {}: {e}", i + 2))?;
+            let core = field("core")?
+                .parse::<u8>()
+                .map_err(|e| format!("line {}: {e}", i + 2))?;
             let is_write = field("write")? == "1";
-            records.push(TraceRecord { issue_ps, addr, core, is_write });
+            records.push(TraceRecord {
+                issue_ps,
+                addr,
+                core,
+                is_write,
+            });
         }
         Ok(Self { source, records })
     }
@@ -201,6 +227,15 @@ mod tests {
         assert!(t.write_fraction() > 0.02 && t.write_fraction() < 0.6);
         assert!(t.mean_core_gap_ns() > 1000.0, "LG profiles have long gaps");
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn json_emission_matches_records() {
+        let t = small_trace();
+        let j = t.to_json();
+        assert!(j.starts_with("{\"source\":\"Mix5/seed7\""), "{}", &j[..60]);
+        assert_eq!(j.matches("\"issue_ps\":").count(), t.len());
+        assert!(j.contains("\"is_write\":true") || j.contains("\"is_write\":false"));
     }
 
     #[test]

@@ -20,8 +20,13 @@ fn main() {
     let leaf_node = (1u64 << levels) + 123;
     merkle.update_bucket(leaf_node, b"encrypted bucket v1");
     merkle.rehash_path(levels, 123);
-    merkle.verify_bucket(leaf_node, b"encrypted bucket v1").unwrap();
-    println!("honest bucket        : verified (root {:016x})", merkle.root());
+    merkle
+        .verify_bucket(leaf_node, b"encrypted bucket v1")
+        .unwrap();
+    println!(
+        "honest bucket        : verified (root {:016x})",
+        merkle.root()
+    );
 
     // An active adversary replays the stale version after an update.
     merkle.update_bucket(leaf_node, b"encrypted bucket v2");
@@ -42,12 +47,18 @@ fn main() {
         ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
     }
     let mut src = NoFeedback;
-    while ctl.process_one(&mut src) {}
+    while ctl
+        .process_one(&mut src)
+        .expect("controller invariant violated")
+    {}
     let busy_end = ctl.clock_ps();
 
     // ...followed by 100 us of program silence that must stay invisible.
     let report = idle_cost(&mut ctl, 100_000_000, 1_000_000);
-    println!("program burst ended at     : {:.1} us", busy_end as f64 / 1e6);
+    println!(
+        "program burst ended at     : {:.1} us",
+        busy_end as f64 / 1e6
+    );
     println!("protected idle window      : 100 us at 1 access/us");
     println!("padding dummies issued     : {}", report.forced_dummies);
     println!(

@@ -41,11 +41,18 @@ fn main() {
     println!("\nall {} records verified.", done.len());
     println!("ORAM accesses executed      : {}", s.oram_accesses);
     println!("  of which dummies          : {}", s.dummy_accesses);
-    println!("avg buckets touched / phase : {:.2} (full path would be {})",
+    println!(
+        "avg buckets touched / phase : {:.2} (full path would be {})",
         s.avg_path_len(),
-        ctl.state().config().path_len());
+        ctl.state().config().path_len()
+    );
     println!("avg request latency         : {:.1} ns", s.avg_latency_ns());
-    println!("stash high water            : {} blocks", ctl.state().stash().high_water());
-    ctl.state().check_invariants().expect("Path ORAM invariants hold");
+    println!(
+        "stash high water            : {} blocks",
+        ctl.state().stash().high_water()
+    );
+    ctl.state()
+        .check_invariants()
+        .expect("Path ORAM invariants hold");
     println!("Path ORAM invariants        : OK");
 }

@@ -10,7 +10,9 @@ use fork_path_oram::sim::{Scheme, SystemConfig};
 use fork_path_oram::workloads::mixes;
 
 fn main() {
-    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "Mix3".to_string());
+    let mix_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Mix3".to_string());
     let mix = mixes::by_name(&mix_name).unwrap_or_else(|| {
         eprintln!("unknown mix {mix_name}; expected Mix1..Mix10");
         std::process::exit(1);
@@ -20,7 +22,11 @@ fn main() {
     println!(
         "workload {} ({}), 4-core out-of-order, 4 GB ORAM, 2x DDR3-1600\n",
         mix.name,
-        mix.programs.iter().map(|p| p.name).collect::<Vec<_>>().join(" + ")
+        mix.programs
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(" + ")
     );
     println!(
         "{:<28} {:>12} {:>8} {:>10} {:>9} {:>9}",

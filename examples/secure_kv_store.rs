@@ -25,7 +25,12 @@ impl ObliviousKvStore {
         let block_bytes = cfg.block_bytes;
         let dram = DramSystem::new(DramConfig::ddr3_1600(2));
         let ctl = ForkPathController::new(cfg, ForkConfig::default(), dram, seed);
-        Self { ctl, directory: HashMap::new(), next_slot: 0, block_bytes }
+        Self {
+            ctl,
+            directory: HashMap::new(),
+            next_slot: 0,
+            block_bytes,
+        }
     }
 
     fn put(&mut self, key: &str, value: &[u8]) {
@@ -38,7 +43,8 @@ impl ObliviousKvStore {
         // Length-prefixed payload, padded by the controller to block size.
         let mut payload = vec![value.len() as u8];
         payload.extend_from_slice(value);
-        self.ctl.submit(slot, Op::Write, payload, self.ctl.clock_ps());
+        self.ctl
+            .submit(slot, Op::Write, payload, self.ctl.clock_ps());
         self.ctl.run_to_idle();
     }
 

@@ -13,7 +13,9 @@ use fork_path_oram::workloads::cpu::MultiCoreWorkload;
 use fork_path_oram::workloads::{mixes, trace::Trace};
 
 fn main() {
-    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "Mix9".to_string());
+    let mix_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Mix9".to_string());
     let mut mix = mixes::by_name(&mix_name).unwrap_or_else(|| {
         eprintln!("unknown mix {mix_name}");
         std::process::exit(1);
@@ -56,7 +58,10 @@ fn main() {
     let s = ctl.stats();
     println!("\nreplayed through Fork Path ORAM:");
     println!("  completions     : {}", done.len());
-    println!("  ORAM accesses   : {} ({} dummies)", s.oram_accesses, s.dummy_accesses);
+    println!(
+        "  ORAM accesses   : {} ({} dummies)",
+        s.oram_accesses, s.dummy_accesses
+    );
     println!("  avg path length : {:.2} buckets", s.avg_path_len());
     println!("  avg latency     : {:.0} ns", s.avg_latency_ns());
     ctl.state().check_invariants().expect("invariants hold");

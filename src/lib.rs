@@ -14,9 +14,14 @@
 //! * [`sim`] — full-system simulation, metrics, and energy accounting.
 //! * [`stats`] — the statistical tests behind the security audit.
 //!
+//! The facade also hosts [`propcheck`], the small seeded property-testing
+//! driver the invariant suite runs on.
+//!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 #![forbid(unsafe_code)]
+
+pub mod propcheck;
 
 pub use fp_core as core;
 pub use fp_crypto as crypto;

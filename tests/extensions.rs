@@ -82,7 +82,10 @@ fn siphash_distributes_over_buckets() {
     let base = siphash24(key, b"bucket contents here");
     let variant = siphash24(key, b"bucket contents hers");
     let flipped = (base ^ variant).count_ones();
-    assert!((12..=52).contains(&flipped), "weak diffusion: {flipped} bits");
+    assert!(
+        (12..=52).contains(&flipped),
+        "weak diffusion: {flipped} bits"
+    );
 }
 
 // ---------- Fixed-rate timing protection --------------------------------
@@ -133,7 +136,10 @@ fn plb_improves_system_latency_on_hot_working_sets() {
     let plain = run_workload(&cfg, Scheme::ForkDefault, wl());
     let plb = run_workload(
         &cfg,
-        Scheme::Fork(ForkConfig { plb_blocks: 64, ..ForkConfig::default() }),
+        Scheme::Fork(ForkConfig {
+            plb_blocks: 64,
+            ..ForkConfig::default()
+        }),
         wl(),
     );
     assert!(
@@ -191,7 +197,10 @@ fn captured_trace_replays_identically_through_the_simulator() {
         ctl.submit(r.addr, op, data, r.issue_ps);
     }
     let done = ctl.run_to_idle();
-    assert_eq!(done.len() as usize + 0, trace.len() - count_cancelled(&trace));
+    assert_eq!(
+        done.len() as usize + 0,
+        trace.len() - count_cancelled(&trace)
+    );
     ctl.state().check_invariants().unwrap();
 
     // Round-trip through the text format and confirm byte equality.

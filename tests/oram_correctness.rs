@@ -30,7 +30,10 @@ fn storm_fork(cfg: OramConfig, seed: u64, ops: usize, addr_space: u64) {
             reference.insert(addr, payload.clone());
             ctl.submit(addr, Op::Write, payload, ctl.clock_ps());
         } else {
-            let want = reference.get(&addr).cloned().unwrap_or_else(|| vec![0u8; block]);
+            let want = reference
+                .get(&addr)
+                .cloned()
+                .unwrap_or_else(|| vec![0u8; block]);
             let id = ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
             expected.insert(id, want);
         }
@@ -93,7 +96,10 @@ fn baseline_random_storm_matches_reference() {
             ctl.access_sync(addr, Op::Write, payload);
         } else {
             let got = ctl.access_sync(addr, Op::Read, vec![]);
-            let want = reference.get(&addr).cloned().unwrap_or_else(|| vec![0u8; block]);
+            let want = reference
+                .get(&addr)
+                .cloned()
+                .unwrap_or_else(|| vec![0u8; block]);
             assert_eq!(got, want, "addr {addr}");
         }
     }
@@ -152,7 +158,10 @@ fn tiny_queue_and_huge_queue_both_correct() {
     for queue in [1usize, 128] {
         let cfg = OramConfig::small_test();
         let block = cfg.block_bytes;
-        let fork_cfg = ForkConfig { label_queue_size: queue, ..ForkConfig::default() };
+        let fork_cfg = ForkConfig {
+            label_queue_size: queue,
+            ..ForkConfig::default()
+        };
         let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 8);
         for a in 0..40u64 {
             ctl.submit(a, Op::Write, vec![a as u8; block], 0);
@@ -171,12 +180,20 @@ fn tiny_queue_and_huge_queue_both_correct() {
 #[test]
 fn ablation_variants_remain_correct() {
     // Disabling each technique must never affect functional behaviour.
-    for (merging, scheduling, replacing) in
-        [(false, false, false), (true, false, false), (true, true, false), (true, true, true)]
-    {
+    for (merging, scheduling, replacing) in [
+        (false, false, false),
+        (true, false, false),
+        (true, true, false),
+        (true, true, true),
+    ] {
         let cfg = OramConfig::small_test();
         let block = cfg.block_bytes;
-        let fork_cfg = ForkConfig { merging, scheduling, replacing, ..ForkConfig::default() };
+        let fork_cfg = ForkConfig {
+            merging,
+            scheduling,
+            replacing,
+            ..ForkConfig::default()
+        };
         let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 10);
         for a in 0..32u64 {
             ctl.submit(a, Op::Write, vec![!(a as u8); block], 0);
@@ -202,11 +219,17 @@ fn caches_do_not_change_functional_results() {
     for cache in [
         CacheChoice::None,
         CacheChoice::Treetop { bytes: 8 << 10 },
-        CacheChoice::MergingAware { bytes: 8 << 10, ways: 4 },
+        CacheChoice::MergingAware {
+            bytes: 8 << 10,
+            ways: 4,
+        },
     ] {
         let cfg = OramConfig::small_test();
         let block = cfg.block_bytes;
-        let fork_cfg = ForkConfig { cache, ..ForkConfig::default() };
+        let fork_cfg = ForkConfig {
+            cache,
+            ..ForkConfig::default()
+        };
         let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 12);
         for round in 0..3 {
             for a in 0..48u64 {

@@ -1,8 +1,11 @@
 //! Property-based tests over the core data structures and the end-to-end
 //! controllers: Path ORAM invariants, path arithmetic, eviction legality,
 //! cache geometry, and RAM semantics under arbitrary operation sequences.
-
-use proptest::prelude::*;
+//!
+//! Runs on the in-repo [`propcheck`] driver (seeded by the workspace's own
+//! Xoshiro256); a failure prints the seed that replays it.
+//!
+//! [`propcheck`]: fork_path_oram::propcheck
 
 use fork_path_oram::core::{ForkConfig, ForkPathController, MergingAwareCache};
 use fork_path_oram::dram::{DramConfig, DramSystem};
@@ -11,66 +14,77 @@ use fork_path_oram::path_oram::path::{
     divergence_level, node_at_level, node_level, overlap_degree, path_contains, path_nodes,
 };
 use fork_path_oram::path_oram::{Block, Op, OramConfig, OramState, Stash};
+use fork_path_oram::propcheck::{run_cases, Gen};
+
+const CASES: u64 = 64;
 
 fn dram() -> DramSystem {
     DramSystem::new(DramConfig::ddr3_1600(2))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ---------- path arithmetic ----------------------------------------
 
-    // ---------- path arithmetic ----------------------------------------
+#[test]
+fn overlap_matches_explicit_path_intersection() {
+    run_cases(
+        "overlap_matches_explicit_path_intersection",
+        CASES,
+        |g: &mut Gen| {
+            let levels = g.range_u32(1, 12);
+            let leaves = 1u64 << levels;
+            let a = g.below(leaves);
+            let b = g.below(leaves);
+            let pa = path_nodes(levels, a);
+            let pb = path_nodes(levels, b);
+            let shared = pa.iter().filter(|n| pb.contains(n)).count() as u32;
+            assert_eq!(overlap_degree(levels, a, b), shared);
+        },
+    );
+}
 
-    #[test]
-    fn overlap_matches_explicit_path_intersection(
-        levels in 1u32..12,
-        a in 0u64..4096,
-        b in 0u64..4096,
-    ) {
-        let leaves = 1u64 << levels;
-        let (a, b) = (a % leaves, b % leaves);
-        let pa = path_nodes(levels, a);
-        let pb = path_nodes(levels, b);
-        let shared = pa.iter().filter(|n| pb.contains(n)).count() as u32;
-        prop_assert_eq!(overlap_degree(levels, a, b), shared);
-    }
+#[test]
+fn divergence_is_deepest_shared_level() {
+    run_cases(
+        "divergence_is_deepest_shared_level",
+        CASES,
+        |g: &mut Gen| {
+            let levels = g.range_u32(1, 12);
+            let leaves = 1u64 << levels;
+            let a = g.below(leaves);
+            let b = g.below(leaves);
+            let d = divergence_level(levels, a, b);
+            assert_eq!(node_at_level(levels, a, d), node_at_level(levels, b, d));
+            if d < levels {
+                assert_ne!(
+                    node_at_level(levels, a, d + 1),
+                    node_at_level(levels, b, d + 1)
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn divergence_is_deepest_shared_level(
-        levels in 1u32..12,
-        a in 0u64..4096,
-        b in 0u64..4096,
-    ) {
-        let leaves = 1u64 << levels;
-        let (a, b) = (a % leaves, b % leaves);
-        let d = divergence_level(levels, a, b);
-        prop_assert_eq!(node_at_level(levels, a, d), node_at_level(levels, b, d));
-        if d < levels {
-            prop_assert_ne!(
-                node_at_level(levels, a, d + 1),
-                node_at_level(levels, b, d + 1)
-            );
-        }
-    }
-
-    #[test]
-    fn every_path_node_contains_its_leaf(levels in 1u32..12, leaf in 0u64..4096) {
-        let leaf = leaf % (1 << levels);
+#[test]
+fn every_path_node_contains_its_leaf() {
+    run_cases("every_path_node_contains_its_leaf", CASES, |g: &mut Gen| {
+        let levels = g.range_u32(1, 12);
+        let leaf = g.below(1 << levels);
         for (d, node) in path_nodes(levels, leaf).iter().enumerate() {
-            prop_assert_eq!(node_level(*node), d as u32);
-            prop_assert!(path_contains(levels, leaf, *node));
+            assert_eq!(node_level(*node), d as u32);
+            assert!(path_contains(levels, leaf, *node));
         }
-    }
+    });
+}
 
-    // ---------- stash eviction ------------------------------------------
+// ---------- stash eviction ------------------------------------------
 
-    #[test]
-    fn eviction_only_places_legal_blocks(
-        leaf in 0u64..256,
-        block_leaves in prop::collection::vec(0u64..256, 1..64),
-        lo in 0u32..8,
-    ) {
+#[test]
+fn eviction_only_places_legal_blocks() {
+    run_cases("eviction_only_places_legal_blocks", CASES, |g: &mut Gen| {
         let levels = 8u32;
+        let leaf = g.below(256);
+        let block_leaves = g.vec(1, 64, |g| g.below(256));
+        let lo = g.range_u32(0, 8);
         let hi = levels;
         let mut stash = Stash::new(256);
         for (i, &bl) in block_leaves.iter().enumerate() {
@@ -80,28 +94,29 @@ proptest! {
         let plan = stash.plan_eviction(levels, leaf, lo, hi, 4);
         let mut evicted = 0usize;
         for (level, blocks) in &plan {
-            prop_assert!(blocks.len() <= 4, "bucket capacity");
-            prop_assert!((lo..=hi).contains(level));
+            assert!(blocks.len() <= 4, "bucket capacity");
+            assert!((lo..=hi).contains(level));
             for b in blocks {
                 // Path ORAM invariant: the block's path passes through the
                 // bucket it is placed in.
                 let bucket = node_at_level(levels, leaf, *level);
-                prop_assert!(path_contains(levels, b.leaf, bucket));
+                assert!(path_contains(levels, b.leaf, bucket));
                 evicted += 1;
             }
         }
-        prop_assert_eq!(evicted + stash.len(), before, "no block lost");
-    }
+        assert_eq!(evicted + stash.len(), before, "no block lost");
+    });
+}
 
-    // ---------- MAC geometry --------------------------------------------
+// ---------- MAC geometry --------------------------------------------
 
-    #[test]
-    fn mac_set_index_stays_in_bounds(
-        sets in 1usize..512,
-        ways in 1usize..8,
-        m1 in 1u32..8,
-        y in 0u64..65536,
-    ) {
+#[test]
+fn mac_set_index_stays_in_bounds() {
+    run_cases("mac_set_index_stays_in_bounds", CASES, |g: &mut Gen| {
+        let sets = g.range_usize(1, 512);
+        let ways = g.range_usize(1, 8);
+        let m1 = g.range_u32(1, 8);
+        let y = g.below(65536);
         let mut mac = MergingAwareCache::new(sets, ways, m1);
         let deepest = mac.deepest_level();
         for level in m1..=deepest {
@@ -111,44 +126,50 @@ proptest! {
             let _ = mac.insert_on_write(node);
             let _ = mac.lookup_for_read(node);
         }
-    }
+    });
+}
 
-    // ---------- whole-ORAM state ------------------------------------------
+// ---------- whole-ORAM state ------------------------------------------
 
-    #[test]
-    fn state_invariants_hold_under_random_access_mix(
-        seed in 0u64..1000,
-        addrs in prop::collection::vec(0u64..512, 1..40),
-    ) {
-        let cfg = OramConfig::small_test();
-        let levels = cfg.levels;
-        let mut st = OramState::new(cfg, seed);
-        for &addr in &addrs {
-            let chain = st.chain(addr);
-            let (mut old, mut new, _) = st.start_chain(addr);
-            for (i, &u) in chain.iter().enumerate() {
-                st.load_path_range(old, 0, levels);
-                if i + 1 < chain.len() {
-                    let (o, n, _) = st.chain_step(u, new, chain[i + 1]);
-                    st.evict_range(old, 0, levels);
-                    old = o;
-                    new = n;
-                } else {
-                    let _ = st.apply_op(u, new, Some(&[addr as u8]));
-                    st.evict_range(old, 0, levels);
+#[test]
+fn state_invariants_hold_under_random_access_mix() {
+    run_cases(
+        "state_invariants_hold_under_random_access_mix",
+        CASES,
+        |g: &mut Gen| {
+            let seed = g.below(1000);
+            let addrs = g.vec(1, 40, |g| g.below(512));
+            let cfg = OramConfig::small_test();
+            let levels = cfg.levels;
+            let mut st = OramState::new(cfg, seed);
+            for &addr in &addrs {
+                let chain = st.chain(addr);
+                let (mut old, mut new, _) = st.start_chain(addr);
+                for (i, &u) in chain.iter().enumerate() {
+                    st.load_path_range(old, 0, levels);
+                    if i + 1 < chain.len() {
+                        let (o, n, _) = st.chain_step(u, new, chain[i + 1]);
+                        st.evict_range(old, 0, levels);
+                        old = o;
+                        new = n;
+                    } else {
+                        let _ = st.apply_op(u, new, Some(&[addr as u8]));
+                        st.evict_range(old, 0, levels);
+                    }
                 }
             }
-        }
-        prop_assert!(st.check_invariants().is_ok());
-    }
+            assert!(st.check_invariants().is_ok());
+        },
+    );
+}
 
-    // ---------- end-to-end RAM semantics ---------------------------------
+// ---------- end-to-end RAM semantics ---------------------------------
 
-    #[test]
-    fn fork_controller_behaves_like_ram(
-        seed in 0u64..500,
-        ops in prop::collection::vec((0u64..48, prop::option::of(0u8..255)), 1..48),
-    ) {
+#[test]
+fn fork_controller_behaves_like_ram() {
+    run_cases("fork_controller_behaves_like_ram", CASES, |g: &mut Gen| {
+        let seed = g.below(500);
+        let ops = g.vec(1, 48, |g| (g.below(48), g.option(|g| g.below(255) as u8)));
         let cfg = OramConfig::small_test();
         let block = cfg.block_bytes;
         let mut ctl = ForkPathController::new(cfg, ForkConfig::default(), dram(), seed);
@@ -169,39 +190,47 @@ proptest! {
         }
         for c in ctl.run_to_idle() {
             if let Some(want) = expected.remove(&c.id) {
-                prop_assert_eq!(c.data[0], want, "addr {}", c.addr);
+                assert_eq!(c.data[0], want, "addr {}", c.addr);
             }
         }
-        prop_assert!(expected.is_empty());
-        prop_assert!(ctl.state().check_invariants().is_ok());
-    }
+        assert!(expected.is_empty());
+        assert!(ctl.state().check_invariants().is_ok());
+    });
+}
 
-    #[test]
-    fn label_queue_sizes_never_break_ram_semantics(
-        queue in 1usize..16,
-        ops in prop::collection::vec((0u64..24, 0u8..255), 4..24),
-    ) {
-        let cfg = OramConfig::small_test();
-        let block = cfg.block_bytes;
-        let fork_cfg = ForkConfig { label_queue_size: queue, ..ForkConfig::default() };
-        let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 7);
-        // Writes first (all at t=0 to force scheduling), then verify reads.
-        let mut last: std::collections::HashMap<u64, u8> = Default::default();
-        for &(addr, byte) in &ops {
-            last.insert(addr, byte);
-            ctl.submit(addr, Op::Write, vec![byte; block], 0);
-        }
-        ctl.run_to_idle();
-        let mut expected = std::collections::HashMap::new();
-        for (&addr, &byte) in &last {
-            let id = ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
-            expected.insert(id, byte);
-        }
-        for c in ctl.run_to_idle() {
-            if let Some(want) = expected.remove(&c.id) {
-                prop_assert_eq!(c.data[0], want);
+#[test]
+fn label_queue_sizes_never_break_ram_semantics() {
+    run_cases(
+        "label_queue_sizes_never_break_ram_semantics",
+        CASES,
+        |g: &mut Gen| {
+            let queue = g.range_usize(1, 16);
+            let ops = g.vec(4, 24, |g| (g.below(24), g.below(255) as u8));
+            let cfg = OramConfig::small_test();
+            let block = cfg.block_bytes;
+            let fork_cfg = ForkConfig {
+                label_queue_size: queue,
+                ..ForkConfig::default()
+            };
+            let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 7);
+            // Writes first (all at t=0 to force scheduling), then verify reads.
+            let mut last: std::collections::HashMap<u64, u8> = Default::default();
+            for &(addr, byte) in &ops {
+                last.insert(addr, byte);
+                ctl.submit(addr, Op::Write, vec![byte; block], 0);
             }
-        }
-        prop_assert!(expected.is_empty());
-    }
+            ctl.run_to_idle();
+            let mut expected = std::collections::HashMap::new();
+            for (&addr, &byte) in &last {
+                let id = ctl.submit(addr, Op::Read, vec![], ctl.clock_ps());
+                expected.insert(id, byte);
+            }
+            for c in ctl.run_to_idle() {
+                if let Some(want) = expected.remove(&c.id) {
+                    assert_eq!(c.data[0], want);
+                }
+            }
+            assert!(expected.is_empty());
+        },
+    );
 }

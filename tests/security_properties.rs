@@ -107,7 +107,10 @@ fn consecutive_labels_are_uncorrelated_without_scheduling() {
     let (trace, leaves) = {
         let cfg = OramConfig::small_test();
         let leaves = cfg.leaf_count();
-        let fork_cfg = ForkConfig { scheduling: false, ..ForkConfig::default() };
+        let fork_cfg = ForkConfig {
+            scheduling: false,
+            ..ForkConfig::default()
+        };
         let mut ctl = ForkPathController::new(cfg, fork_cfg, dram(), 24);
         ctl.enable_label_trace();
         for &addr in &pattern {
@@ -130,7 +133,10 @@ fn consecutive_labels_are_uncorrelated_without_scheduling() {
     let rho = cov / var;
     // With ~500 samples, |rho| beyond ~4/sqrt(n) would be suspicious.
     let bound = 4.0 / (n as f64).sqrt();
-    assert!(rho.abs() < bound, "serial correlation rho={rho} bound={bound}");
+    assert!(
+        rho.abs() < bound,
+        "serial correlation rho={rho} bound={bound}"
+    );
 }
 
 #[test]
@@ -157,12 +163,19 @@ fn merging_does_not_inflate_stash_occupancy_unboundedly() {
     let mut rng = Xoshiro256::new(99);
     for _ in 0..1500 {
         let addr = rng.next_below(300);
-        let op = if rng.gen_bool(0.4) { Op::Write } else { Op::Read };
+        let op = if rng.gen_bool(0.4) {
+            Op::Write
+        } else {
+            Op::Read
+        };
         ctl.submit(addr, op, vec![1; 16], ctl.clock_ps());
     }
     ctl.run_to_idle();
     let hw = ctl.state().stash().high_water();
-    assert!(hw < capacity, "stash high water {hw} must stay under C={capacity}");
+    assert!(
+        hw < capacity,
+        "stash high water {hw} must stay under C={capacity}"
+    );
     ctl.state().check_invariants().unwrap();
 }
 

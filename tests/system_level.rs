@@ -30,7 +30,11 @@ fn sparse_wl(budget: u64, seed: u64) -> MultiCoreWorkload {
 fn headline_claim_fork_reduces_latency_and_energy() {
     let cfg = SystemConfig::fast_test();
     let base = run_workload(&cfg, Scheme::Traditional, dense_wl(150, 3));
-    let fork = run_workload(&cfg, Scheme::Fork(ForkConfig::paper_best()), dense_wl(150, 3));
+    let fork = run_workload(
+        &cfg,
+        Scheme::Fork(ForkConfig::paper_best()),
+        dense_wl(150, 3),
+    );
     assert!(
         fork.oram_latency_ns < 0.7 * base.oram_latency_ns,
         "fork {:.0} vs base {:.0}",

@@ -132,12 +132,12 @@ fn main() {
             base.access_sync(i % 300, Op::Read, vec![]);
         }
         let trace = base.label_trace().unwrap();
-        let mut ge = vec![0u64; 8];
+        let mut ge = [0u64; 8];
         let pairs = trace.len() - 1;
         for w in trace.windows(2) {
             let o = overlap_degree(levels, w[0], w[1]) as usize;
             for (k, slot) in ge.iter_mut().enumerate() {
-                if o >= k + 1 {
+                if o > k {
                     *slot += 1;
                 }
             }

@@ -12,7 +12,7 @@ fn main() {
     println!("Data block size           {} B", cfg.oram.block_bytes);
     println!(
         "Data ORAM capacity        {} GB (L = {}, path = {} buckets)",
-        cfg.oram.data_blocks * cfg.oram.block_bytes as u64 >> 30,
+        (cfg.oram.data_blocks * cfg.oram.block_bytes as u64) >> 30,
         cfg.oram.levels,
         cfg.oram.path_len()
     );
@@ -25,7 +25,7 @@ fn main() {
         "PosMap recursion          {} levels in-tree, {} entries on chip ({} KiB)",
         h.posmap_levels(),
         h.onchip_entries(),
-        h.onchip_entries() * 4 >> 10
+        (h.onchip_entries() * 4) >> 10
     );
     println!(
         "Unified tree blocks       {} (data + posmap)",

@@ -13,6 +13,7 @@
 
 use fp_dram::DramSystem;
 use fp_path_oram::{Completion, LlcRequest, Op, OramConfig, OramState, OramStats};
+use fp_trace::{EventKind, TraceHandle};
 
 use crate::address_queue::{AddressQueue, SubmitEffect};
 use crate::config::ForkConfig;
@@ -44,6 +45,7 @@ macro_rules! step_ctx {
             sched: &mut $self.sched,
             stats: &mut $self.stats,
             completions: &mut $self.completions,
+            trace: &$self.trace,
         }
     };
 }
@@ -72,6 +74,10 @@ pub struct ForkPathController {
     /// Completions before this index have been fed to the reactive source.
     feedback_cursor: usize,
     label_trace: Option<Vec<u64>>,
+    /// The shared trace spine every stage reports into. Counters are
+    /// always exact; the event ring only fills once a capacity is set
+    /// (`ForkPathController::set_trace_capacity`).
+    trace: TraceHandle,
 }
 
 impl ForkPathController {
@@ -97,24 +103,36 @@ impl ForkPathController {
         seed: u64,
     ) -> Result<Self, ControllerError> {
         fork.validate().map_err(ControllerError::InvalidConfig)?;
-        let writeback = WritebackEngine::new(
+        let trace = TraceHandle::default();
+        let mut writeback = WritebackEngine::new(
             &fork,
             cfg.bucket_bytes(),
             cfg.path_len(),
             dram.config().row_bytes,
             dram.config().burst_bytes,
         );
+        writeback.attach_trace(trace.clone());
+        let mut state = OramState::new(cfg, seed);
+        state.attach_trace(trace.clone());
+        let mut dram = dram;
+        dram.attach_trace(trace.clone());
+        let mut sched = RequestScheduler::new(
+            fork.label_queue_size,
+            fork.starvation_threshold,
+            fork.scheduling,
+        );
+        sched.attach_trace(trace.clone());
+        let mut merge = PathMerger::new(fork.merging);
+        merge.attach_trace(trace.clone());
+        let mut dummy = DummyReplacer::new(fork.replacing);
+        dummy.attach_trace(trace.clone());
         Ok(Self {
-            state: OramState::new(cfg, seed),
+            state,
             dram,
             aq: AddressQueue::new(),
-            sched: RequestScheduler::new(
-                fork.label_queue_size,
-                fork.starvation_threshold,
-                fork.scheduling,
-            ),
-            merge: PathMerger::new(fork.merging),
-            dummy: DummyReplacer::new(fork.replacing),
+            sched,
+            merge,
+            dummy,
             writeback,
             flights: FlightTable::default(),
             next_req_id: 0,
@@ -126,6 +144,7 @@ impl ForkPathController {
             completions: Vec::new(),
             feedback_cursor: 0,
             label_trace: None,
+            trace,
         })
     }
 
@@ -164,11 +183,18 @@ impl ForkPathController {
             arrival_ps,
             tag,
         };
+        self.trace
+            .record(arrival_ps, EventKind::RequestSubmitted { id });
         match self.aq.submit(req) {
             SubmitEffect::Queued => {}
             SubmitEffect::Forwarded { data } => {
                 self.stats.completed_requests += 1;
                 self.stats.sum_latency_ps += ONCHIP_ANSWER_PS;
+                self.trace.record(
+                    arrival_ps + ONCHIP_ANSWER_PS,
+                    EventKind::RequestCompleted { id },
+                );
+                self.trace.record_latency(ONCHIP_ANSWER_PS);
                 self.completions.push(Completion {
                     id,
                     addr,
@@ -180,6 +206,9 @@ impl ForkPathController {
             }
             SubmitEffect::CancelledOlderWrite { cancelled_id } => {
                 // The cancelled write is acknowledged: superseded on chip.
+                self.trace
+                    .record(arrival_ps, EventKind::RequestCompleted { id: cancelled_id });
+                self.trace.record_latency(0);
                 self.completions.push(Completion {
                     id: cancelled_id,
                     addr,
@@ -281,20 +310,21 @@ impl ForkPathController {
         let levels = self.state.config().levels;
         let start = self.clock_ps.max(cur.ready_ps);
         self.clock_ps = start;
+        self.trace.set_now(start);
 
         if let Some(trace) = &mut self.label_trace {
             trace.push(cur.label);
         }
 
         // --- Read phase: skip the prefix shared with the previous path ---
+        // The fork floor is clamped to the leaf level, so a merged read
+        // always touches at least one bucket (the leaf is re-read even on
+        // identical consecutive labels).
         let read_lo = self.merge.read_floor(levels, cur.label);
-        let read_end = if read_lo <= levels {
-            let nodes = self.state.load_path_range(cur.label, read_lo, levels);
-            self.stats.buckets_read += nodes.len() as u64;
-            self.writeback.read_path(&mut self.dram, &nodes, start) + CTRL_PHASE_LATENCY_PS
-        } else {
-            start + CTRL_PHASE_LATENCY_PS // entire path in the stash already
-        };
+        let nodes = self.state.load_path_range(cur.label, read_lo, levels);
+        self.stats.buckets_read += nodes.len() as u64;
+        let read_end =
+            self.writeback.read_path(&mut self.dram, &nodes, start) + CTRL_PHASE_LATENCY_PS;
 
         // --- Block handling ---
         match cur.kind {
@@ -319,6 +349,7 @@ impl ForkPathController {
         self.stats.access_busy_ps += self.clock_ps.saturating_sub(start);
         self.stats.stash_size_sum += self.state.stash().len() as u64;
         self.stats.stash_samples += 1;
+        self.trace.record_occupancy(self.state.stash().len() as u64);
         self.stats.finish_time_ps = self.clock_ps;
         self.sync_stats();
         Ok(())
@@ -364,6 +395,7 @@ impl ForkPathController {
                     break;
                 }
             }
+            self.trace.set_now(t);
             let nodes = self.state.evict_range(leaf, level as u32, level as u32);
             if nodes.len() != 1 {
                 return Err(ControllerError::EmptyEviction {

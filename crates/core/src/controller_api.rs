@@ -4,6 +4,7 @@
 
 use fp_dram::DramSystem;
 use fp_path_oram::{Completion, OramState, OramStats};
+use fp_trace::TraceHandle;
 
 use super::ForkPathController;
 use crate::dummy::DummyReplacer;
@@ -61,6 +62,20 @@ impl ForkPathController {
     /// Statistics so far.
     pub fn stats(&self) -> &OramStats {
         &self.stats
+    }
+
+    /// The shared trace spine every pipeline stage, the stash, and the
+    /// DRAM system report into. Counters are always exact; the event
+    /// ring is empty until [`ForkPathController::set_trace_capacity`]
+    /// gives it room.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Sizes the trace event ring (0 = counters only). The ring keeps
+    /// the most recent `capacity` events.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
     }
 
     /// The DRAM system (for command/energy statistics).

@@ -13,13 +13,15 @@
 //!   swapping out a lower-overlap real ([`DummyReplacer::try_replace`]).
 
 use fp_path_oram::path::overlap_degree;
+use fp_trace::{Counter, EventKind, TraceHandle};
 
 use crate::error::ControllerError;
 use crate::pipeline::PipelineStage;
 use crate::queue::Entry;
 use crate::scheduler::RequestScheduler;
 
-/// Statistics of the dummy stage.
+/// Statistics of the dummy stage — a view over the trace spine's
+/// counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DummyStats {
     /// Conceptual padding materialized as an executable pending dummy.
@@ -36,7 +38,7 @@ pub struct DummyStats {
 #[derive(Debug, Clone)]
 pub struct DummyReplacer {
     replacing: bool,
-    stats: DummyStats,
+    trace: TraceHandle,
 }
 
 impl DummyReplacer {
@@ -45,8 +47,14 @@ impl DummyReplacer {
     pub fn new(replacing: bool) -> Self {
         Self {
             replacing,
-            stats: DummyStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a shared trace spine; dummy-stage counters and events
+    /// report there from now on.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Whether mid-refill replacement is active.
@@ -71,10 +79,10 @@ impl DummyReplacer {
     ) -> Option<Entry> {
         if pending.as_ref().is_some_and(Entry::is_dummy) && !has_real_work && !fixed_rate {
             pending = None;
-            self.stats.trailing_discarded += 1;
+            self.trace.bump(Counter::DummiesTrailingDiscarded);
         }
         if pending.is_none() && (has_real_work || fixed_rate) {
-            self.stats.materialized += 1;
+            self.trace.bump(Counter::DummiesMaterialized);
             pending = Some(Entry::dummy(fresh_label(), sel_time_ps));
         }
         pending
@@ -119,11 +127,14 @@ impl DummyReplacer {
         ) else {
             return Ok(false);
         };
+        let new_label = incoming.label;
         let old = pending
             .replace(incoming)
             .ok_or(ControllerError::MissingPending)?;
         if old.is_dummy() {
-            self.stats.replaced += 1;
+            self.trace.bump(Counter::DummiesReplaced);
+            self.trace
+                .record(now_ps, EventKind::RequestReplaced { label: new_label });
         } else {
             sched.restore(old);
         }
@@ -132,7 +143,7 @@ impl DummyReplacer {
 
     /// Records that a dummy access executed (for the stats record).
     pub fn note_executed(&mut self) {
-        self.stats.executed += 1;
+        self.trace.bump(Counter::DummiesExecuted);
     }
 }
 
@@ -143,12 +154,22 @@ impl PipelineStage for DummyReplacer {
         "dummy"
     }
 
-    fn stats(&self) -> &DummyStats {
-        &self.stats
+    fn stats(&self) -> DummyStats {
+        DummyStats {
+            materialized: self.trace.counter(Counter::DummiesMaterialized),
+            replaced: self.trace.counter(Counter::DummiesReplaced),
+            executed: self.trace.counter(Counter::DummiesExecuted),
+            trailing_discarded: self.trace.counter(Counter::DummiesTrailingDiscarded),
+        }
     }
 
     fn reset_stats(&mut self) {
-        self.stats = DummyStats::default();
+        self.trace.reset_counters(&[
+            Counter::DummiesMaterialized,
+            Counter::DummiesReplaced,
+            Counter::DummiesExecuted,
+            Counter::DummiesTrailingDiscarded,
+        ]);
     }
 }
 

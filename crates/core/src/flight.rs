@@ -10,6 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use fp_path_oram::{Completion, LlcRequest, OramConfig, OramState, OramStats};
+use fp_trace::{EventKind, TraceHandle};
 
 use crate::address_queue::AddressQueue;
 use crate::controller::ONCHIP_ANSWER_PS;
@@ -46,6 +47,7 @@ pub(crate) struct StepCtx<'a> {
     pub sched: &'a mut RequestScheduler,
     pub stats: &'a mut OramStats,
     pub completions: &'a mut Vec<Completion>,
+    pub trace: &'a TraceHandle,
 }
 
 /// Serialization key of a block: posmap blocks serialize on themselves;
@@ -232,6 +234,12 @@ impl FlightTable {
             ctx.aq.complete(flight.req.addr, flight.req.op);
             ctx.stats.completed_requests += 1;
             ctx.stats.sum_latency_ps += read_end_ps.saturating_sub(flight.req.arrival_ps);
+            ctx.trace.record(
+                read_end_ps,
+                EventKind::RequestCompleted { id: flight.req.id },
+            );
+            ctx.trace
+                .record_latency(read_end_ps.saturating_sub(flight.req.arrival_ps));
             ctx.completions.push(Completion {
                 id: flight.req.id,
                 addr: flight.req.addr,
@@ -314,6 +322,10 @@ impl FlightTable {
                 ctx.aq.complete(flight.req.addr, flight.req.op);
                 ctx.stats.completed_requests += 1;
                 ctx.stats.sum_latency_ps += ready.saturating_sub(flight.req.arrival_ps);
+                ctx.trace
+                    .record(ready, EventKind::RequestCompleted { id: flight.req.id });
+                ctx.trace
+                    .record_latency(ready.saturating_sub(flight.req.arrival_ps));
                 ctx.completions.push(Completion {
                     id: flight.req.id,
                     addr: flight.req.addr,

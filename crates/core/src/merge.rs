@@ -14,10 +14,12 @@
 //! merged refill, reset across idle gaps) defines when merging applies.
 
 use fp_path_oram::path::{divergence_level, node_at_level};
+use fp_trace::{Counter, EventKind, TraceHandle};
 
 use crate::pipeline::PipelineStage;
 
-/// Statistics of the merge stage.
+/// Statistics of the merge stage — a view over the trace spine's
+/// counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MergeStats {
     /// Read phases that skipped a shared prefix.
@@ -37,7 +39,7 @@ pub struct MergeStats {
 pub struct PathMerger {
     enabled: bool,
     prev_label: Option<u64>,
-    stats: MergeStats,
+    trace: TraceHandle,
 }
 
 impl PathMerger {
@@ -47,8 +49,14 @@ impl PathMerger {
         Self {
             enabled,
             prev_label: None,
-            stats: MergeStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a shared trace spine; merge counters and events report
+    /// there from now on.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The previous access's label (`None` = next read takes a full path).
@@ -64,27 +72,37 @@ impl PathMerger {
     /// Shallowest level the read phase of an access to `label` must fetch:
     /// one below the divergence with the previous path, or 0 (the root)
     /// when there is no previous path or merging is disabled.
+    ///
+    /// The fork level is clamped to `levels` (the leaf): when consecutive
+    /// labels are identical the divergence sits at the leaf itself, and an
+    /// unclamped `divergence + 1` would name a level below the tree. The
+    /// clamp means such an access re-reads exactly the leaf bucket.
     pub fn read_floor(&mut self, levels: u32, label: u64) -> u32 {
         match self.prev_label {
             Some(prev) if self.enabled => {
-                let floor = divergence_level(levels, prev, label) + 1;
-                self.stats.merged_reads += 1;
-                self.stats.read_levels_skipped += u64::from(floor);
+                let floor = (divergence_level(levels, prev, label) + 1).min(levels);
+                self.trace.bump(Counter::MergedReads);
+                self.trace.add(Counter::ReadLevelsSkipped, u64::from(floor));
+                self.trace.record_now(EventKind::RequestMerged {
+                    label,
+                    fork_level: floor,
+                });
                 floor
             }
             _ => {
-                self.stats.full_reads += 1;
+                self.trace.bump(Counter::FullReads);
                 0
             }
         }
     }
 
     /// Shallowest level the refill of `leaf` must commit given the pending
-    /// request's label: one below their divergence, or 0 (commit the whole
+    /// request's label: one below their divergence (clamped to the leaf
+    /// level, like [`PathMerger::read_floor`]), or 0 (commit the whole
     /// path) when idle or merging is disabled.
     pub fn write_stop(&self, levels: u32, leaf: u64, pending_label: Option<u64>) -> u32 {
         match pending_label {
-            Some(next) if self.enabled => divergence_level(levels, leaf, next) + 1,
+            Some(next) if self.enabled => (divergence_level(levels, leaf, next) + 1).min(levels),
             _ => 0,
         }
     }
@@ -94,7 +112,7 @@ impl PathMerger {
     /// divergence even when merging of ordinary accesses is disabled
     /// (replacing is a separate technique and implies this fork).
     pub fn replacement_stop(levels: u32, leaf: u64, next: u64) -> u32 {
-        divergence_level(levels, leaf, next) + 1
+        (divergence_level(levels, leaf, next) + 1).min(levels)
     }
 
     /// Records that a refill of `leaf` handed its shared prefix to a
@@ -107,7 +125,7 @@ impl PathMerger {
     /// the next read must fetch a complete path.
     pub fn reset(&mut self) {
         if self.prev_label.take().is_some() {
-            self.stats.resets += 1;
+            self.trace.bump(Counter::MergeResets);
         }
     }
 
@@ -127,12 +145,22 @@ impl PipelineStage for PathMerger {
         "merge"
     }
 
-    fn stats(&self) -> &MergeStats {
-        &self.stats
+    fn stats(&self) -> MergeStats {
+        MergeStats {
+            merged_reads: self.trace.counter(Counter::MergedReads),
+            full_reads: self.trace.counter(Counter::FullReads),
+            read_levels_skipped: self.trace.counter(Counter::ReadLevelsSkipped),
+            resets: self.trace.counter(Counter::MergeResets),
+        }
     }
 
     fn reset_stats(&mut self) {
-        self.stats = MergeStats::default();
+        self.trace.reset_counters(&[
+            Counter::MergedReads,
+            Counter::FullReads,
+            Counter::ReadLevelsSkipped,
+            Counter::MergeResets,
+        ]);
     }
 }
 
@@ -180,15 +208,19 @@ mod tests {
 
     #[test]
     fn equal_labels_share_the_entire_path() {
+        // Identical consecutive labels diverge at the leaf itself; the
+        // fork level clamps to `levels`, so exactly the leaf bucket is
+        // re-read and re-written (never a level beyond the tree).
         let levels = 10u32;
         let mut m = PathMerger::new(true);
         m.commit(9);
-        assert_eq!(m.read_floor(levels, 9), levels + 1, "nothing left to read");
+        assert_eq!(m.read_floor(levels, 9), levels, "only the leaf is read");
         assert_eq!(
             m.write_stop(levels, 9, Some(9)),
-            levels + 1,
-            "nothing left to write"
+            levels,
+            "only the leaf is written"
         );
+        assert_eq!(PathMerger::replacement_stop(levels, 9, 9), levels);
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! | [`crate::DummyReplacer`] | `dummy` | dummy-request replacing (§3.3/§4.3) |
 //! | [`crate::WritebackEngine`] | `writeback` | merging-aware caching + deferred writeback (§3.5/§4.4) |
 //!
-//! Each stage owns its tunables and a dedicated stats struct; the facade
-//! aggregates those into the crate-wide
-//! [`fp_path_oram::OramStats`] after every access so existing consumers
-//! keep reading one record. Decoupling the stages is what lets future work
-//! overlap and parallelize accesses (sharding, batching, async) without
-//! re-entangling the controller.
+//! Each stage owns its tunables and reports into a shared
+//! [`fp_trace::TraceHandle`] spine; its typed stats record is a view
+//! computed from those counters on demand. The facade aggregates the
+//! views into the crate-wide [`fp_path_oram::OramStats`] after every
+//! access so existing consumers keep reading one record. Decoupling the
+//! stages is what lets future work overlap and parallelize accesses
+//! (sharding, batching, async) without re-entangling the controller.
 
 use std::fmt::Debug;
 
@@ -32,8 +33,9 @@ pub trait PipelineStage {
     /// Short stable stage name (used in logs and stats dumps).
     fn name(&self) -> &'static str;
 
-    /// Statistics accumulated since construction or the last reset.
-    fn stats(&self) -> &Self::Stats;
+    /// Statistics accumulated since construction or the last reset —
+    /// a snapshot computed from the stage's trace counters.
+    fn stats(&self) -> Self::Stats;
 
     /// Clears the stage's statistics.
     fn reset_stats(&mut self);

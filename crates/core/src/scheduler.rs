@@ -13,10 +13,13 @@
 //! Aging/starvation, FIFO tie-breaking and dummy padding semantics live in
 //! [`LabelQueue`]; this stage adds the policy wiring and the stats.
 
+use fp_trace::{Counter, EventKind, TraceHandle};
+
 use crate::pipeline::PipelineStage;
 use crate::queue::{Entry, EntryKind, LabelQueue};
 
-/// Statistics of the scheduling stage.
+/// Statistics of the scheduling stage — a view over the trace spine's
+/// counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// Refill-time scheduling rounds (one per executed access).
@@ -31,7 +34,7 @@ pub struct SchedulerStats {
 pub struct RequestScheduler {
     lq: LabelQueue,
     scheduling: bool,
-    stats: SchedulerStats,
+    trace: TraceHandle,
 }
 
 impl RequestScheduler {
@@ -43,8 +46,14 @@ impl RequestScheduler {
         Self {
             lq: LabelQueue::new(capacity, starvation_threshold),
             scheduling,
-            stats: SchedulerStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a shared trace spine; scheduling counters and events
+    /// report there from now on.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Whether overlap-maximizing selection is active.
@@ -56,13 +65,19 @@ impl RequestScheduler {
     /// the ready entry with the highest overlap degree, reals outranking
     /// dummy padding. Counts a scheduling round.
     pub fn select_pending(&mut self, levels: u32, current: u64, now_ps: u64) -> Option<Entry> {
-        self.stats.ready_reals += self
+        let ready = self
             .lq
             .iter()
             .filter(|e| !e.is_dummy() && e.ready_ps <= now_ps)
             .count() as u64;
-        self.stats.rounds += 1;
-        self.lq.select(levels, current, now_ps, self.scheduling)
+        self.trace.add(Counter::SchedReadyReals, ready);
+        self.trace.bump(Counter::SchedRounds);
+        let picked = self.lq.select(levels, current, now_ps, self.scheduling);
+        if let Some(e) = &picked {
+            self.trace
+                .record(now_ps, EventKind::RequestScheduled { label: e.label });
+        }
+        picked
     }
 
     /// Selects the first access of a burst (start-up or after an idle gap):
@@ -79,6 +94,10 @@ impl RequestScheduler {
         };
         for e in discarded {
             self.lq.restore(e);
+        }
+        if let Some(e) = &picked {
+            self.trace
+                .record(now_ps, EventKind::RequestScheduled { label: e.label });
         }
         picked
     }
@@ -164,12 +183,16 @@ impl PipelineStage for RequestScheduler {
         "scheduler"
     }
 
-    fn stats(&self) -> &SchedulerStats {
-        &self.stats
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            rounds: self.trace.counter(Counter::SchedRounds),
+            ready_reals: self.trace.counter(Counter::SchedReadyReals),
+        }
     }
 
     fn reset_stats(&mut self) {
-        self.stats = SchedulerStats::default();
+        self.trace
+            .reset_counters(&[Counter::SchedRounds, Counter::SchedReadyReals]);
     }
 }
 

@@ -10,12 +10,14 @@
 use fp_dram::layout::{SubtreeLayout, TreeLayout};
 use fp_dram::{AccessKind, DramSystem};
 use fp_path_oram::cache::{BucketCache, NoCache, TreetopCache, WriteOutcome};
+use fp_trace::{Counter, TraceHandle};
 
 use crate::config::{CacheChoice, ForkConfig};
 use crate::mac::MergingAwareCache;
 use crate::pipeline::PipelineStage;
 
-/// Statistics of the writeback stage.
+/// Statistics of the writeback stage — a view over the trace spine's
+/// counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WritebackStats {
     /// Path-read buckets served from the on-chip cache.
@@ -37,7 +39,7 @@ pub struct WritebackEngine {
     layout: SubtreeLayout,
     bursts_per_bucket: u64,
     burst_bytes: u64,
-    stats: WritebackStats,
+    trace: TraceHandle,
 }
 
 impl WritebackEngine {
@@ -73,8 +75,14 @@ impl WritebackEngine {
             layout: SubtreeLayout::fit_row(path_len, bucket_bytes, row_bytes),
             bursts_per_bucket: bucket_bytes.div_ceil(burst_bytes).max(1),
             burst_bytes,
-            stats: WritebackStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a shared trace spine; writeback counters report there
+    /// from now on.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// DRAM reads for a path range, minus cache hits, FR-FCFS batched.
@@ -84,10 +92,10 @@ impl WritebackEngine {
         let mut batch = Vec::with_capacity(nodes.len() * self.bursts_per_bucket as usize);
         for &node in nodes {
             if self.cache.lookup_for_read(node) {
-                self.stats.cache_hits += 1;
+                self.trace.bump(Counter::CacheHits);
                 continue;
             }
-            self.stats.cache_misses += 1;
+            self.trace.bump(Counter::CacheMisses);
             let base = self.layout.bucket_address(node);
             for i in 0..self.bursts_per_bucket {
                 batch.push((base + i * self.burst_bytes, AccessKind::Read));
@@ -96,7 +104,7 @@ impl WritebackEngine {
         if batch.is_empty() {
             return now_ps;
         }
-        self.stats.dram_blocks_read += batch.len() as u64;
+        self.trace.add(Counter::DramBlocksRead, batch.len() as u64);
         dram.access_batch(now_ps, &batch).batch_finish_ps
     }
 
@@ -104,7 +112,7 @@ impl WritebackEngine {
     /// time. A cached bucket commits instantly; a write-through or an
     /// eviction victim pays the DRAM write.
     pub fn write_bucket(&mut self, dram: &mut DramSystem, node: u64, t_ps: u64) -> u64 {
-        self.stats.buckets_written += 1;
+        self.trace.bump(Counter::BucketsWritten);
         match self.cache.insert_on_write(node) {
             WriteOutcome::Cached => t_ps,
             WriteOutcome::WriteThrough => self.write_bucket_dram(dram, node, t_ps),
@@ -122,7 +130,8 @@ impl WritebackEngine {
         let batch: Vec<_> = (0..self.bursts_per_bucket)
             .map(|i| (base + i * self.burst_bytes, AccessKind::Write))
             .collect();
-        self.stats.dram_blocks_written += batch.len() as u64;
+        self.trace
+            .add(Counter::DramBlocksWritten, batch.len() as u64);
         dram.access_batch(t_ps, &batch).batch_finish_ps
     }
 }
@@ -134,12 +143,24 @@ impl PipelineStage for WritebackEngine {
         "writeback"
     }
 
-    fn stats(&self) -> &WritebackStats {
-        &self.stats
+    fn stats(&self) -> WritebackStats {
+        WritebackStats {
+            cache_hits: self.trace.counter(Counter::CacheHits),
+            cache_misses: self.trace.counter(Counter::CacheMisses),
+            dram_blocks_read: self.trace.counter(Counter::DramBlocksRead),
+            dram_blocks_written: self.trace.counter(Counter::DramBlocksWritten),
+            buckets_written: self.trace.counter(Counter::BucketsWritten),
+        }
     }
 
     fn reset_stats(&mut self) {
-        self.stats = WritebackStats::default();
+        self.trace.reset_counters(&[
+            Counter::CacheHits,
+            Counter::CacheMisses,
+            Counter::DramBlocksRead,
+            Counter::DramBlocksWritten,
+            Counter::BucketsWritten,
+        ]);
     }
 }
 

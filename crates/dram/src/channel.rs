@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use fp_trace::{Counter, EventKind, TraceHandle};
+
 use crate::config::{DramConfig, Location};
 use crate::stats::DramStats;
 use crate::system::AccessKind;
@@ -85,24 +87,32 @@ impl Channel {
         kind: AccessKind,
         earliest: u64,
         stats: &mut DramStats,
+        trace: &TraceHandle,
     ) -> Scheduled {
         let t = &cfg.timing;
         let bank_idx = loc.rank * self.banks_per_rank + loc.bank;
 
         // Periodic refresh: the rank is unavailable during [due, due+tRFC].
-        // Refreshes that completed during idle time just advance the
-        // schedule; one that overlaps this command delays it.
+        // Refreshes that completed during idle time only advance the
+        // schedule — nothing waited on them, so they are counted as
+        // skipped and charged no energy. A refresh overlapping this
+        // command is actually modeled: the command stalls for tRFC and
+        // the REF energy is charged.
         let earliest = {
             let rank = &mut self.ranks[loc.rank];
             let mut earliest = earliest;
             while rank.next_refresh_due + t.t_rfc <= earliest {
                 rank.next_refresh_due += t.t_refi;
-                stats.refreshes += 1;
+                stats.refreshes_skipped += 1;
+                trace.bump(Counter::DramRefsSkipped);
             }
             if earliest >= rank.next_refresh_due {
-                earliest = rank.next_refresh_due + t.t_rfc;
+                let due = rank.next_refresh_due;
+                earliest = due + t.t_rfc;
                 rank.next_refresh_due += t.t_refi;
                 stats.refreshes += 1;
+                stats.ref_energy_pj += cfg.ref_energy_pj;
+                trace.record(due, EventKind::DramRef);
             }
             earliest
         };
@@ -144,6 +154,7 @@ impl Channel {
             cas_ready = cas_ready.max(act_at + t.t_rcd);
             stats.activations += 1;
             stats.row_misses += 1;
+            trace.record(act_at, EventKind::DramAct);
         } else {
             stats.row_hits += 1;
         }
@@ -179,11 +190,13 @@ impl Channel {
                 bank.next_pre = bank.next_pre.max(cas_at + t.t_rtp);
                 stats.reads += 1;
                 stats.read_energy_pj += cfg.read_energy_pj;
+                trace.record(data_start, EventKind::DramRead);
             }
             AccessKind::Write => {
                 bank.next_pre = bank.next_pre.max(data_end + t.t_wr);
                 stats.writes += 1;
                 stats.write_energy_pj += cfg.write_energy_pj;
+                trace.record(data_start, EventKind::DramWrite);
             }
         }
         if !row_hit {
@@ -216,16 +229,16 @@ mod tests {
         }
     }
 
-    fn setup() -> (DramConfig, Channel, DramStats) {
+    fn setup() -> (DramConfig, Channel, DramStats, TraceHandle) {
         let cfg = DramConfig::ddr3_1600(1);
         let ch = Channel::new(&cfg);
-        (cfg, ch, DramStats::default())
+        (cfg, ch, DramStats::default(), TraceHandle::default())
     }
 
     #[test]
     fn first_access_pays_act_plus_cas() {
-        let (cfg, mut ch, mut st) = setup();
-        let s = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, 0, &mut st);
+        let (cfg, mut ch, mut st, tr) = setup();
+        let s = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, 0, &mut st, &tr);
         let t = &cfg.timing;
         assert_eq!(s.finish, t.t_rcd + t.t_cl + t.t_burst);
         assert!(!s.row_hit);
@@ -235,15 +248,22 @@ mod tests {
 
     #[test]
     fn row_hit_is_faster_than_miss() {
-        let (cfg, mut ch, mut st) = setup();
-        let first = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, 0, &mut st);
-        let hit = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, first.finish, &mut st);
+        let (cfg, mut ch, mut st, tr) = setup();
+        let first = ch.schedule(&cfg, loc(0, 5), AccessKind::Read, 0, &mut st, &tr);
+        let hit = ch.schedule(
+            &cfg,
+            loc(0, 5),
+            AccessKind::Read,
+            first.finish,
+            &mut st,
+            &tr,
+        );
         assert!(hit.row_hit);
         let hit_latency = hit.finish - first.finish;
 
-        let (cfg2, mut ch2, mut st2) = setup();
-        let f = ch2.schedule(&cfg2, loc(0, 5), AccessKind::Read, 0, &mut st2);
-        let miss = ch2.schedule(&cfg2, loc(0, 9), AccessKind::Read, f.finish, &mut st2);
+        let (cfg2, mut ch2, mut st2, tr2) = setup();
+        let f = ch2.schedule(&cfg2, loc(0, 5), AccessKind::Read, 0, &mut st2, &tr2);
+        let miss = ch2.schedule(&cfg2, loc(0, 9), AccessKind::Read, f.finish, &mut st2, &tr2);
         assert!(!miss.row_hit);
         let miss_latency = miss.finish - f.finish;
         assert!(
@@ -255,28 +275,28 @@ mod tests {
 
     #[test]
     fn data_bus_serializes_parallel_banks() {
-        let (cfg, mut ch, mut st) = setup();
+        let (cfg, mut ch, mut st, tr) = setup();
         // Two different banks activated in parallel still share the bus.
-        let a = ch.schedule(&cfg, loc(0, 1), AccessKind::Read, 0, &mut st);
-        let b = ch.schedule(&cfg, loc(1, 1), AccessKind::Read, 0, &mut st);
+        let a = ch.schedule(&cfg, loc(0, 1), AccessKind::Read, 0, &mut st, &tr);
+        let b = ch.schedule(&cfg, loc(1, 1), AccessKind::Read, 0, &mut st, &tr);
         assert!(b.finish >= a.finish + cfg.timing.t_burst);
     }
 
     #[test]
     fn write_to_read_turnaround_applies() {
-        let (cfg, mut ch, mut st) = setup();
-        let w = ch.schedule(&cfg, loc(0, 1), AccessKind::Write, 0, &mut st);
-        let r = ch.schedule(&cfg, loc(1, 1), AccessKind::Read, 0, &mut st);
+        let (cfg, mut ch, mut st, tr) = setup();
+        let w = ch.schedule(&cfg, loc(0, 1), AccessKind::Write, 0, &mut st, &tr);
+        let r = ch.schedule(&cfg, loc(1, 1), AccessKind::Read, 0, &mut st, &tr);
         assert!(r.finish >= w.finish + cfg.timing.t_wtr + cfg.timing.t_burst);
     }
 
     #[test]
     fn faw_limits_burst_of_activations() {
-        let (cfg, mut ch, mut st) = setup();
+        let (cfg, mut ch, mut st, tr) = setup();
         // 5 activations to distinct banks at time 0: the 5th must wait tFAW.
         let mut finishes = Vec::new();
         for bank in 0..5 {
-            let s = ch.schedule(&cfg, loc(bank, 1), AccessKind::Read, 0, &mut st);
+            let s = ch.schedule(&cfg, loc(bank, 1), AccessKind::Read, 0, &mut st, &tr);
             finishes.push(s.finish);
         }
         assert_eq!(st.activations, 5);
@@ -288,9 +308,9 @@ mod tests {
 
     #[test]
     fn energy_accumulates_per_command() {
-        let (cfg, mut ch, mut st) = setup();
-        ch.schedule(&cfg, loc(0, 1), AccessKind::Read, 0, &mut st);
-        ch.schedule(&cfg, loc(0, 1), AccessKind::Write, 0, &mut st);
+        let (cfg, mut ch, mut st, tr) = setup();
+        ch.schedule(&cfg, loc(0, 1), AccessKind::Read, 0, &mut st, &tr);
+        ch.schedule(&cfg, loc(0, 1), AccessKind::Write, 0, &mut st, &tr);
         assert_eq!(st.act_energy_pj, cfg.act_pre_energy_pj);
         assert_eq!(st.read_energy_pj, cfg.read_energy_pj);
         assert_eq!(st.write_energy_pj, cfg.write_energy_pj);
@@ -306,6 +326,7 @@ mod refresh_tests {
         let cfg = DramConfig::ddr3_1600(1);
         let mut ch = Channel::new(&cfg);
         let mut st = DramStats::default();
+        let tr = TraceHandle::default();
         let loc = Location {
             channel: 0,
             rank: 0,
@@ -314,9 +335,12 @@ mod refresh_tests {
         };
         // Land exactly on the first refresh due time.
         let due = cfg.timing.t_refi;
-        let s = ch.schedule(&cfg, loc, AccessKind::Read, due, &mut st);
+        let s = ch.schedule(&cfg, loc, AccessKind::Read, due, &mut st, &tr);
         assert!(s.finish >= due + cfg.timing.t_rfc, "command waits out tRFC");
         assert_eq!(st.refreshes, 1);
+        assert_eq!(st.refreshes_skipped, 0);
+        assert_eq!(st.ref_energy_pj, cfg.ref_energy_pj);
+        assert_eq!(tr.counter(Counter::DramRefs), 1);
     }
 
     #[test]
@@ -324,18 +348,53 @@ mod refresh_tests {
         let cfg = DramConfig::ddr3_1600(1);
         let mut ch = Channel::new(&cfg);
         let mut st = DramStats::default();
+        let tr = TraceHandle::default();
         let loc = Location {
             channel: 0,
             rank: 0,
             bank: 0,
             row: 1,
         };
-        // Arrive after ~10 refresh intervals of idleness.
+        // Arrive after ~10 refresh intervals of idleness. Nothing waited
+        // on those refreshes, so they are skipped — not counted as
+        // executed and charged no energy (the pre-fix code inflated
+        // `refreshes` and with it the Fig 15 REF energy).
         let t = cfg.timing.t_refi * 10 + cfg.timing.t_refi / 2;
-        let s = ch.schedule(&cfg, loc, AccessKind::Read, t, &mut st);
-        assert!(st.refreshes >= 10);
+        let s = ch.schedule(&cfg, loc, AccessKind::Read, t, &mut st, &tr);
+        assert_eq!(st.refreshes, 0, "idle refreshes are not executed");
+        assert!(st.refreshes_skipped >= 10);
+        assert_eq!(st.ref_energy_pj, 0, "skipped refreshes cost no energy");
+        assert!(tr.counter(Counter::DramRefsSkipped) >= 10);
         // The access itself is not delayed (it fell between refreshes).
         let expected = t + cfg.timing.t_rcd + cfg.timing.t_cl + cfg.timing.t_burst;
         assert_eq!(s.finish, expected);
+    }
+
+    #[test]
+    fn refresh_energy_matches_idd_expectation() {
+        let cfg = DramConfig::ddr3_1600(1);
+        let mut ch = Channel::new(&cfg);
+        let mut st = DramStats::default();
+        let tr = TraceHandle::default();
+        let loc = Location {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 1,
+        };
+        // Land on several consecutive refresh due times so each REF is
+        // actually stalled for, with idle gaps in between (those advance
+        // the schedule as skips).
+        for k in 1..=6u64 {
+            let due = cfg.timing.t_refi * (2 * k);
+            ch.schedule(&cfg, loc, AccessKind::Read, due, &mut st, &tr);
+        }
+        assert!(st.refreshes >= 6);
+        assert!(st.refreshes_skipped > 0);
+        // IDD-based expectation: exactly ref_energy_pj per modeled REF,
+        // nothing for skipped ones.
+        assert_eq!(st.ref_energy_pj, st.refreshes * cfg.ref_energy_pj);
+        let other = st.act_energy_pj + st.read_energy_pj + st.write_energy_pj;
+        assert_eq!(st.dynamic_energy_pj(), other + st.ref_energy_pj);
     }
 }

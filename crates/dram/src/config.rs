@@ -121,7 +121,10 @@ pub struct DramConfig {
     pub read_energy_pj: u64,
     /// Energy per write burst, picojoules.
     pub write_energy_pj: u64,
-    /// Background power per rank, milliwatts (includes refresh).
+    /// Energy per modeled REF command, picojoules.
+    pub ref_energy_pj: u64,
+    /// Background power per rank, milliwatts (standby/idle current; the
+    /// per-REF energy is charged separately via `ref_energy_pj`).
     pub background_mw_per_rank: u64,
 }
 
@@ -140,7 +143,9 @@ impl DramConfig {
     ///
     /// Energy constants follow Micron DDR3 power-calculator style estimates
     /// for an 8-chip x8 rank: ~25 nJ per ACT/PRE pair, ~6 nJ per burst.
-    /// Refresh energy is folded into the background power figure.
+    /// Per-REF energy comes from the IDD figures of a 4 Gb-class part:
+    /// (IDD5B − IDD3N) ≈ 170 mA at VDD = 1.5 V over tRFC = 260 ns
+    /// ≈ 66 nJ per REF command.
     pub fn ddr3_1600(channels: usize) -> Self {
         Self {
             channels,
@@ -153,6 +158,7 @@ impl DramConfig {
             act_pre_energy_pj: 25_000,
             read_energy_pj: 6_000,
             write_energy_pj: 6_500,
+            ref_energy_pj: 66_000,
             background_mw_per_rank: 150,
         }
     }

@@ -21,8 +21,16 @@ pub struct DramStats {
     pub read_energy_pj: u64,
     /// Dynamic energy from write bursts, picojoules.
     pub write_energy_pj: u64,
-    /// REF commands issued (refresh energy is part of background power).
+    /// REF commands actually stalled for / modeled (their tRFC delayed a
+    /// command and their energy is charged to `ref_energy_pj`).
     pub refreshes: u64,
+    /// Refresh slots that elapsed while the rank was idle. These only
+    /// advance the refresh schedule: no command waited on them and no
+    /// energy is charged (the device was refreshing instead of idling,
+    /// which the background power figure already covers).
+    pub refreshes_skipped: u64,
+    /// Dynamic energy from modeled REF commands, picojoules.
+    pub ref_energy_pj: u64,
 }
 
 impl DramStats {
@@ -41,9 +49,10 @@ impl DramStats {
         }
     }
 
-    /// Total dynamic energy in picojoules.
+    /// Total dynamic energy in picojoules (activations, bursts, and
+    /// modeled refreshes).
     pub fn dynamic_energy_pj(&self) -> u64 {
-        self.act_energy_pj + self.read_energy_pj + self.write_energy_pj
+        self.act_energy_pj + self.read_energy_pj + self.write_energy_pj + self.ref_energy_pj
     }
 
     /// Background (static + refresh) energy over `elapsed_ps`, given total
@@ -66,6 +75,8 @@ impl DramStats {
             read_energy_pj: self.read_energy_pj - earlier.read_energy_pj,
             write_energy_pj: self.write_energy_pj - earlier.write_energy_pj,
             refreshes: self.refreshes - earlier.refreshes,
+            refreshes_skipped: self.refreshes_skipped - earlier.refreshes_skipped,
+            ref_energy_pj: self.ref_energy_pj - earlier.ref_energy_pj,
         }
     }
 }

@@ -1,5 +1,7 @@
 //! The top-level DRAM system: request entry points and FR-FCFS batching.
 
+use fp_trace::TraceHandle;
+
 use crate::channel::Channel;
 use crate::config::DramConfig;
 use crate::stats::DramStats;
@@ -59,6 +61,7 @@ pub struct DramSystem {
     config: DramConfig,
     channels: Vec<Channel>,
     stats: DramStats,
+    trace: TraceHandle,
 }
 
 impl DramSystem {
@@ -71,7 +74,19 @@ impl DramSystem {
             config,
             channels,
             stats: DramStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a shared trace spine; DRAM command events and counters
+    /// report there from now on.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The trace spine this system reports into.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The configuration this system was built with.
@@ -87,8 +102,14 @@ impl DramSystem {
     /// Performs one access arriving at `now_ps`.
     pub fn access(&mut self, now_ps: u64, addr: u64, kind: AccessKind) -> AccessResult {
         let loc = self.config.decompose(addr);
-        let sched =
-            self.channels[loc.channel].schedule(&self.config, loc, kind, now_ps, &mut self.stats);
+        let sched = self.channels[loc.channel].schedule(
+            &self.config,
+            loc,
+            kind,
+            now_ps,
+            &mut self.stats,
+            &self.trace,
+        );
         AccessResult {
             finish_ps: sched.finish,
             row_hit: sched.row_hit,
@@ -129,6 +150,7 @@ impl DramSystem {
                     accesses[idx].1,
                     now_ps,
                     &mut self.stats,
+                    &self.trace,
                 );
                 finish[idx] = sched.finish;
                 batch_finish = batch_finish.max(sched.finish);

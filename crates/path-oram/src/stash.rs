@@ -2,6 +2,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use fp_trace::{EventKind, TraceHandle};
+
 use crate::path::{divergence_level, overlap_degree};
 
 /// One memory block as held inside the trusted boundary: unified program
@@ -47,6 +49,8 @@ pub struct Stash {
     pinned: HashSet<u64>,
     capacity: usize,
     high_water: usize,
+    /// Trace spine (clones share it); push/evict events report here.
+    trace: TraceHandle,
 }
 
 impl Stash {
@@ -59,7 +63,16 @@ impl Stash {
             pinned: HashSet::new(),
             capacity,
             high_water: 0,
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Attaches a shared trace spine; stash push/evict events report
+    /// there from now on. Event timestamps are phase-granular: the
+    /// controller stamps the spine's clock (`TraceHandle::set_now`) at
+    /// the start of each access phase.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Number of blocks currently held.
@@ -103,15 +116,23 @@ impl Stash {
         self.blocks.get_mut(&addr)
     }
 
-    /// Inserts (or replaces) a block.
+    /// Inserts (or replaces) a block. Only occupancy-increasing inserts
+    /// count as stash pushes; replacing a resident block does not.
     pub fn insert(&mut self, block: Block) {
-        self.blocks.insert(block.addr, block);
+        let addr = block.addr;
+        if self.blocks.insert(addr, block).is_none() {
+            self.trace.record_now(EventKind::StashPush { addr });
+        }
         self.high_water = self.high_water.max(self.blocks.len());
     }
 
     /// Removes and returns the block at `addr`.
     pub fn remove(&mut self, addr: u64) -> Option<Block> {
-        self.blocks.remove(&addr)
+        let removed = self.blocks.remove(&addr);
+        if removed.is_some() {
+            self.trace.record_now(EventKind::StashEvict { addr });
+        }
+        removed
     }
 
     /// Iterates over held blocks in unspecified order.
@@ -180,6 +201,7 @@ impl Stash {
                     // here because each addr appears once, but guard anyway.
                     if let Some(block) = self.blocks.remove(&addr) {
                         debug_assert!(placement_legal(levels, leaf, block.leaf, level));
+                        self.trace.record_now(EventKind::StashEvict { addr });
                         chosen.push(block);
                     }
                 } else {
@@ -224,6 +246,28 @@ mod tests {
         assert_eq!(s.remove(1).unwrap().addr, 1);
         assert!(s.get(1).is_none());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn trace_counts_pushes_and_evictions_exactly() {
+        use fp_trace::Counter;
+        let tr = TraceHandle::default();
+        let mut s = Stash::new(10);
+        s.attach_trace(tr.clone());
+        for i in 0..6 {
+            s.insert(block(i, i));
+        }
+        // Replacing a resident block is not a push.
+        s.insert(block(0, 3));
+        assert_eq!(tr.counter(Counter::StashPushes), 6);
+        s.remove(5);
+        s.remove(99); // absent: not an eviction
+        let plan = s.plan_full_eviction(3, 1, 4);
+        let planned: u64 = plan.iter().map(|(_, b)| b.len() as u64).sum();
+        assert_eq!(tr.counter(Counter::StashEvicts), 1 + planned);
+        // Pushes - evictions always equals residency.
+        let balance = tr.counter(Counter::StashPushes) - tr.counter(Counter::StashEvicts);
+        assert_eq!(balance, s.len() as u64);
     }
 
     #[test]

@@ -100,6 +100,12 @@ impl OramState {
         self
     }
 
+    /// Attaches a shared trace spine to the trusted state (currently the
+    /// stash: push/evict events).
+    pub fn attach_trace(&mut self, trace: fp_trace::TraceHandle) {
+        self.stash.attach_trace(trace);
+    }
+
     /// The configuration.
     pub fn config(&self) -> &OramConfig {
         &self.cfg

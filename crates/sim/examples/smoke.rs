@@ -1,9 +1,10 @@
-use fp_sim::experiment::{run_mix, MissBudget};
-use fp_sim::{Scheme, SystemConfig};
+use fp_sim::experiment::{mix_workload, run_mix, trace_path_from_args, MissBudget};
+use fp_sim::{run_workload_traced, Scheme, SystemConfig};
 use fp_workloads::mixes;
 use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = SystemConfig::paper_default();
     for mix_name in ["Mix1", "Mix3"] {
         let mix = mixes::by_name(mix_name).unwrap();
@@ -28,5 +29,14 @@ fn main() {
                 t0.elapsed().as_secs_f64()
             );
         }
+    }
+    // `--trace <path>`: dump the trace spine of one Fork Path run.
+    if let Some(path) = trace_path_from_args(&args) {
+        let mix = mixes::by_name("Mix1").unwrap();
+        let wl = mix_workload(&mix, MissBudget::Fast, cfg.seed ^ 0x5eed);
+        let (_, trace) = run_workload_traced(&cfg, Scheme::ForkDefault, wl, 4096);
+        let trace = trace.expect("fork schemes carry a trace");
+        std::fs::write(&path, trace.to_json()).expect("write trace dump");
+        println!("trace written to {}", path.display());
     }
 }

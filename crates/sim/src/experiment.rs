@@ -19,6 +19,14 @@ pub enum MissBudget {
     Fast,
 }
 
+/// Parses a `--trace <path>` argument pair: the path the caller should
+/// write the trace-spine JSON dump to (`None` when absent). Used by the
+/// smoke example and the figure binaries that support trace dumps.
+pub fn trace_path_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    let i = args.iter().position(|a| a == "--trace")?;
+    args.get(i + 1).map(std::path::PathBuf::from)
+}
+
 impl MissBudget {
     /// Misses per core.
     pub fn misses_per_core(self) -> u64 {
@@ -105,13 +113,20 @@ pub fn geomean_latency(results: &[RunResult]) -> f64 {
 
 /// Latency of each result normalized against a matching baseline list
 /// (same order), plus the geomean appended last — the layout of the paper's
-/// per-mix bar charts.
+/// per-mix bar charts. A zero-latency baseline (empty run) normalizes to
+/// 0.0 ("no data") instead of inf/NaN; the geomean skips such entries.
 pub fn normalized_latency(results: &[RunResult], baseline: &[RunResult]) -> Vec<f64> {
     assert_eq!(results.len(), baseline.len());
     let mut out: Vec<f64> = results
         .iter()
         .zip(baseline)
-        .map(|(r, b)| r.oram_latency_ns / b.oram_latency_ns)
+        .map(|(r, b)| {
+            if b.oram_latency_ns > 0.0 {
+                r.oram_latency_ns / b.oram_latency_ns
+            } else {
+                0.0
+            }
+        })
         .collect();
     out.push(geomean(out.iter().copied()));
     out
@@ -126,6 +141,17 @@ mod tests {
         assert_eq!(MissBudget::from_args(&["--fast".into()]), MissBudget::Fast);
         assert_eq!(MissBudget::from_args(&[]), MissBudget::Full);
         assert!(MissBudget::Full.misses_per_core() > MissBudget::Fast.misses_per_core());
+    }
+
+    #[test]
+    fn trace_arg_parsing() {
+        let args: Vec<String> = vec!["--fast".into(), "--trace".into(), "t.json".into()];
+        assert_eq!(
+            trace_path_from_args(&args),
+            Some(std::path::PathBuf::from("t.json"))
+        );
+        assert_eq!(trace_path_from_args(&args[..2].to_vec()), None);
+        assert_eq!(trace_path_from_args(&[]), None);
     }
 
     #[test]
@@ -156,6 +182,10 @@ mod tests {
         assert!((norm[0] - 0.5).abs() < 1e-12);
         assert!((norm[1] - 2.0).abs() < 1e-12);
         assert!((norm[2] - 1.0).abs() < 1e-12, "geomean of 0.5 and 2.0");
+        // An empty-run baseline must not produce inf/NaN anywhere.
+        let norm = normalized_latency(&results, &[make(0.0), make(100.0)]);
+        assert_eq!(norm[0], 0.0);
+        assert!(norm.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -47,4 +47,4 @@ mod system;
 
 pub use config::{Scheme, SystemConfig};
 pub use metrics::RunResult;
-pub use system::run_workload;
+pub use system::{run_workload, run_workload_traced};

@@ -53,10 +53,12 @@ impl RunResult {
     }
 
     /// ORAM requests normalized to real requests (Fig 11 is this value
-    /// relative to the baseline run).
+    /// relative to the baseline run). An empty run (no real accesses)
+    /// reports 0.0 — "no data" — rather than a fake neutral ratio that
+    /// would silently pull geomeans toward 1.
     pub fn request_inflation(&self) -> f64 {
         if self.real_accesses == 0 {
-            1.0
+            0.0
         } else {
             self.oram_accesses as f64 / self.real_accesses as f64
         }
@@ -92,15 +94,18 @@ pub fn results_to_json(results: &[RunResult]) -> String {
     json::array(results.iter().map(RunResult::to_json))
 }
 
-/// Geometric mean of a positive-valued series (the paper reports geomeans
-/// for its sensitivity studies).
+/// Geometric mean of a series (the paper reports geomeans for its
+/// sensitivity studies). Non-positive entries — the "no data" markers
+/// empty runs produce — are skipped instead of poisoning the mean with
+/// `ln(0) = -inf`; an all-empty series reports 0.0.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
-        debug_assert!(v > 0.0, "geomean needs positive values");
-        log_sum += v.ln();
-        n += 1;
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
     }
     if n == 0 {
         0.0
@@ -119,6 +124,16 @@ mod tests {
         assert_eq!(geomean(std::iter::empty()), 0.0);
         let g = geomean([2.0, 8.0]);
         assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_empty_run_markers() {
+        // 0.0 entries (empty runs) must not drag the mean to 0 or -inf.
+        let g = geomean([2.0, 0.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12, "{g}");
+        assert_eq!(geomean([0.0, 0.0]), 0.0);
+        let g = geomean([-1.0, 9.0]);
+        assert!(g.is_finite() && (g - 9.0).abs() < 1e-12);
     }
 
     #[test]
@@ -172,6 +187,8 @@ mod tests {
             stash_high_water: 0,
             sched_ready_reals: 0.0,
         };
-        assert_eq!(r.request_inflation(), 1.0);
+        // An empty run reports 0.0 (no data), not a neutral-looking 1.0
+        // that would bias baseline-relative geomeans.
+        assert_eq!(r.request_inflation(), 0.0);
     }
 }

@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 use fp_core::{ForkConfig, ForkPathController, NewRequest, ReactiveSource};
 use fp_dram::{AccessKind, DramSystem};
 use fp_path_oram::{BaselineController, Completion, Op};
+use fp_trace::TraceHandle;
 use fp_workloads::cpu::{untag_addr, untag_core, MultiCoreWorkload};
 
 use crate::config::{Scheme, SystemConfig};
@@ -33,8 +34,47 @@ pub fn run_workload(cfg: &SystemConfig, scheme: Scheme, workload: MultiCoreWorkl
         Scheme::Insecure => run_insecure(cfg, &scheme, workload),
         Scheme::Traditional => run_baseline(cfg, &scheme, workload, None),
         Scheme::TraditionalTreetop { bytes } => run_baseline(cfg, &scheme, workload, Some(*bytes)),
-        Scheme::ForkDefault => run_fork(cfg, &scheme, workload, ForkConfig::default()),
-        Scheme::Fork(f) => run_fork(cfg, &scheme, workload, *f),
+        Scheme::ForkDefault => run_fork(cfg, &scheme, workload, ForkConfig::default(), 0).0,
+        Scheme::Fork(f) => run_fork(cfg, &scheme, workload, *f, 0).0,
+    }
+}
+
+/// Like [`run_workload`], but also returns the controller's trace spine
+/// (counters, histograms, and an event ring of `trace_capacity` most
+/// recent events). Only Fork Path schemes carry a trace; the insecure
+/// and traditional baselines return `None`.
+///
+/// # Panics
+///
+/// Panics if the workload footprint exceeds the ORAM's data capacity.
+pub fn run_workload_traced(
+    cfg: &SystemConfig,
+    scheme: Scheme,
+    workload: MultiCoreWorkload,
+    trace_capacity: usize,
+) -> (RunResult, Option<TraceHandle>) {
+    assert!(
+        workload.footprint_blocks() <= cfg.oram.data_blocks,
+        "workload footprint {} exceeds ORAM capacity {}",
+        workload.footprint_blocks(),
+        cfg.oram.data_blocks
+    );
+    match &scheme {
+        Scheme::ForkDefault => {
+            let (r, t) = run_fork(
+                cfg,
+                &scheme,
+                workload,
+                ForkConfig::default(),
+                trace_capacity,
+            );
+            (r, Some(t))
+        }
+        Scheme::Fork(f) => {
+            let (r, t) = run_fork(cfg, &scheme, workload, *f, trace_capacity);
+            (r, Some(t))
+        }
+        _ => (run_workload(cfg, scheme, workload), None),
     }
 }
 
@@ -83,9 +123,11 @@ fn run_fork(
     scheme: &Scheme,
     mut wl: MultiCoreWorkload,
     fork: ForkConfig,
-) -> RunResult {
+    trace_capacity: usize,
+) -> (RunResult, TraceHandle) {
     let dram = DramSystem::new(cfg.dram.clone());
     let mut ctl = ForkPathController::new(cfg.oram.clone(), fork, dram, cfg.seed);
+    ctl.set_trace_capacity(trace_capacity);
     let block_bytes = cfg.oram.block_bytes;
 
     for r in drain_issues(&mut wl, block_bytes) {
@@ -111,7 +153,7 @@ fn run_fork(
         .max()
         .unwrap_or(0)
         .max(ctl.stats().finish_time_ps);
-    build_result(
+    let result = build_result(
         scheme,
         &wl,
         ctl.stats().clone(),
@@ -120,7 +162,8 @@ fn run_fork(
         ctl.dram().total_ranks(),
         cfg.dram.background_mw_per_rank,
         ctl.state().stash().high_water(),
-    )
+    );
+    (result, ctl.trace().clone())
 }
 
 fn run_baseline(
@@ -346,6 +389,23 @@ mod tests {
             base.oram_latency_ns
         );
         assert!(fork.avg_path_len < base.avg_path_len);
+    }
+
+    #[test]
+    fn traced_run_counters_match_run_result() {
+        use fp_trace::Counter;
+        let cfg = SystemConfig::fast_test();
+        let (r, trace) = run_workload_traced(&cfg, Scheme::ForkDefault, wl(40), 256);
+        let t = trace.expect("fork runs carry a trace");
+        assert_eq!(t.counter(Counter::DummiesExecuted), r.dummy_accesses);
+        assert_eq!(t.counter(Counter::DummiesReplaced), r.dummies_replaced);
+        assert_eq!(t.counter(Counter::DramBlocksRead), r.dram_blocks_read);
+        assert_eq!(t.counter(Counter::DramBlocksWritten), r.dram_blocks_written);
+        assert_eq!(t.len(), 256, "ring kept the most recent events");
+        assert!(fp_stats::json::validate(&t.to_json()).is_ok());
+        // Baselines carry no trace.
+        let (_, none) = run_workload_traced(&cfg, Scheme::Traditional, wl(40), 256);
+        assert!(none.is_none());
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Typed trace events and the monotonic counter namespace.
+
+/// One monotonic counter. Counters are always recorded exactly,
+/// independent of the event ring's capacity.
+///
+/// The discriminant doubles as the index into the counter array, so the
+/// enum must stay dense (no explicit discriminants, no gaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Requests submitted to the controller (before forwarding/cancelling).
+    RequestsSubmitted,
+    /// Requests selected out of the label queue to become an access.
+    RequestsScheduled,
+    /// Accesses whose read path was merged with the previous path.
+    RequestsMerged,
+    /// Dummy slots replaced by late-arriving real requests (Fig 5).
+    RequestsReplaced,
+    /// Completion records produced (answered, written back, or cancelled).
+    RequestsCompleted,
+    /// Scheduling rounds run by the request scheduler.
+    SchedRounds,
+    /// Real requests that were ready when a scheduling round ran.
+    SchedReadyReals,
+    /// Path reads that started above the root (merged with predecessor).
+    MergedReads,
+    /// Path reads that read the full path from the root.
+    FullReads,
+    /// Tree levels skipped across all merged reads.
+    ReadLevelsSkipped,
+    /// Merge-anchor resets (idle gaps, fixed-rate mode exits).
+    MergeResets,
+    /// Dummy accesses materialized by the scheduler's padding.
+    DummiesMaterialized,
+    /// Dummies replaced by real requests mid-refill.
+    DummiesReplaced,
+    /// Dummy ORAM accesses actually executed.
+    DummiesExecuted,
+    /// Trailing dummies discarded unexecuted at idle.
+    DummiesTrailingDiscarded,
+    /// Bucket reads served from the merging-aware on-chip cache.
+    CacheHits,
+    /// Bucket reads that had to go to DRAM.
+    CacheMisses,
+    /// Blocks fetched from DRAM by the writeback engine.
+    DramBlocksRead,
+    /// Blocks stored to DRAM by the writeback engine.
+    DramBlocksWritten,
+    /// Buckets written back (cached or written through).
+    BucketsWritten,
+    /// DRAM row activations (ACT commands).
+    DramActs,
+    /// DRAM column reads (RD commands, burst granularity).
+    DramReads,
+    /// DRAM column writes (WR commands, burst granularity).
+    DramWrites,
+    /// DRAM refreshes actually stalled for / modeled (REF commands).
+    DramRefs,
+    /// DRAM refreshes skipped while the rank was idle (not modeled).
+    DramRefsSkipped,
+    /// Blocks inserted into the stash (occupancy-increasing inserts).
+    StashPushes,
+    /// Blocks evicted or removed from the stash.
+    StashEvicts,
+}
+
+impl Counter {
+    /// All counters, in discriminant order.
+    pub const ALL: [Counter; 27] = [
+        Counter::RequestsSubmitted,
+        Counter::RequestsScheduled,
+        Counter::RequestsMerged,
+        Counter::RequestsReplaced,
+        Counter::RequestsCompleted,
+        Counter::SchedRounds,
+        Counter::SchedReadyReals,
+        Counter::MergedReads,
+        Counter::FullReads,
+        Counter::ReadLevelsSkipped,
+        Counter::MergeResets,
+        Counter::DummiesMaterialized,
+        Counter::DummiesReplaced,
+        Counter::DummiesExecuted,
+        Counter::DummiesTrailingDiscarded,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::DramBlocksRead,
+        Counter::DramBlocksWritten,
+        Counter::BucketsWritten,
+        Counter::DramActs,
+        Counter::DramReads,
+        Counter::DramWrites,
+        Counter::DramRefs,
+        Counter::DramRefsSkipped,
+        Counter::StashPushes,
+        Counter::StashEvicts,
+    ];
+
+    /// Number of distinct counters (the counter array length).
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// Stable snake_case name used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RequestsSubmitted => "requests_submitted",
+            Counter::RequestsScheduled => "requests_scheduled",
+            Counter::RequestsMerged => "requests_merged",
+            Counter::RequestsReplaced => "requests_replaced",
+            Counter::RequestsCompleted => "requests_completed",
+            Counter::SchedRounds => "sched_rounds",
+            Counter::SchedReadyReals => "sched_ready_reals",
+            Counter::MergedReads => "merged_reads",
+            Counter::FullReads => "full_reads",
+            Counter::ReadLevelsSkipped => "read_levels_skipped",
+            Counter::MergeResets => "merge_resets",
+            Counter::DummiesMaterialized => "dummies_materialized",
+            Counter::DummiesReplaced => "dummies_replaced",
+            Counter::DummiesExecuted => "dummies_executed",
+            Counter::DummiesTrailingDiscarded => "dummies_trailing_discarded",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::DramBlocksRead => "dram_blocks_read",
+            Counter::DramBlocksWritten => "dram_blocks_written",
+            Counter::BucketsWritten => "buckets_written",
+            Counter::DramActs => "dram_acts",
+            Counter::DramReads => "dram_reads",
+            Counter::DramWrites => "dram_writes",
+            Counter::DramRefs => "dram_refs",
+            Counter::DramRefsSkipped => "dram_refs_skipped",
+            Counter::StashPushes => "stash_pushes",
+            Counter::StashEvicts => "stash_evicts",
+        }
+    }
+}
+
+/// A typed, timestamped occurrence in the simulated system.
+///
+/// Recording an event also bumps its [matching counter](EventKind::counter),
+/// so counters stay exact even when the ring overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request entered the controller.
+    RequestSubmitted {
+        /// Controller-assigned request id.
+        id: u64,
+    },
+    /// A queued request was selected to become the next ORAM access.
+    RequestScheduled {
+        /// Path label the access will read.
+        label: u64,
+    },
+    /// An access's read path was merged with its predecessor's.
+    RequestMerged {
+        /// Path label of the merged access.
+        label: u64,
+        /// First tree level actually read (the fork level).
+        fork_level: u32,
+    },
+    /// A pending dummy was replaced by a real request mid-refill.
+    RequestReplaced {
+        /// Path label of the replacing real request.
+        label: u64,
+    },
+    /// A completion record was produced for a request.
+    RequestCompleted {
+        /// Controller-assigned request id.
+        id: u64,
+    },
+    /// DRAM row activation.
+    DramAct,
+    /// DRAM burst read.
+    DramRead,
+    /// DRAM burst write.
+    DramWrite,
+    /// DRAM refresh that was actually stalled for / modeled.
+    DramRef,
+    /// A block entered the stash.
+    StashPush {
+        /// Logical block address.
+        addr: u64,
+    },
+    /// A block left the stash (eviction or explicit removal).
+    StashEvict {
+        /// Logical block address.
+        addr: u64,
+    },
+}
+
+impl EventKind {
+    /// The monotonic counter this event contributes to.
+    pub fn counter(&self) -> Counter {
+        match self {
+            EventKind::RequestSubmitted { .. } => Counter::RequestsSubmitted,
+            EventKind::RequestScheduled { .. } => Counter::RequestsScheduled,
+            EventKind::RequestMerged { .. } => Counter::RequestsMerged,
+            EventKind::RequestReplaced { .. } => Counter::RequestsReplaced,
+            EventKind::RequestCompleted { .. } => Counter::RequestsCompleted,
+            EventKind::DramAct => Counter::DramActs,
+            EventKind::DramRead => Counter::DramReads,
+            EventKind::DramWrite => Counter::DramWrites,
+            EventKind::DramRef => Counter::DramRefs,
+            EventKind::StashPush { .. } => Counter::StashPushes,
+            EventKind::StashEvict { .. } => Counter::StashEvicts,
+        }
+    }
+
+    /// Stable snake_case event name used as the JSON `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RequestSubmitted { .. } => "request_submitted",
+            EventKind::RequestScheduled { .. } => "request_scheduled",
+            EventKind::RequestMerged { .. } => "request_merged",
+            EventKind::RequestReplaced { .. } => "request_replaced",
+            EventKind::RequestCompleted { .. } => "request_completed",
+            EventKind::DramAct => "dram_act",
+            EventKind::DramRead => "dram_read",
+            EventKind::DramWrite => "dram_write",
+            EventKind::DramRef => "dram_ref",
+            EventKind::StashPush { .. } => "stash_push",
+            EventKind::StashEvict { .. } => "stash_evict",
+        }
+    }
+}
+
+/// One recorded event: a kind plus the simulated time it occurred at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time, picoseconds.
+    pub t_ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON object (`{"t_ps":..,"kind":..}`
+    /// plus the kind's payload fields, if any).
+    pub fn to_json(&self) -> String {
+        let mut o = fp_stats::json::JsonObject::new();
+        o.field_u64("t_ps", self.t_ps);
+        o.field_str("kind", self.kind.name());
+        match self.kind {
+            EventKind::RequestSubmitted { id } | EventKind::RequestCompleted { id } => {
+                o.field_u64("id", id);
+            }
+            EventKind::RequestScheduled { label } | EventKind::RequestReplaced { label } => {
+                o.field_u64("label", label);
+            }
+            EventKind::RequestMerged { label, fork_level } => {
+                o.field_u64("label", label);
+                o.field_u64("fork_level", u64::from(fork_level));
+            }
+            EventKind::StashPush { addr } | EventKind::StashEvict { addr } => {
+                o.field_u64("addr", addr);
+            }
+            EventKind::DramAct
+            | EventKind::DramRead
+            | EventKind::DramWrite
+            | EventKind::DramRef => {}
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_are_dense_and_match_all() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{c:?} out of order in Counter::ALL");
+        }
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        for (i, a) in Counter::ALL.iter().enumerate() {
+            for b in &Counter::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn event_json_carries_payload() {
+        let e = TraceEvent {
+            t_ps: 42,
+            kind: EventKind::RequestMerged {
+                label: 7,
+                fork_level: 3,
+            },
+        };
+        let s = e.to_json();
+        assert!(s.contains("\"t_ps\":42"));
+        assert!(s.contains("\"kind\":\"request_merged\""));
+        assert!(s.contains("\"fork_level\":3"));
+        assert!(fp_stats::json::validate(&s).is_ok());
+    }
+
+    #[test]
+    fn every_event_maps_to_its_counter() {
+        let cases = [
+            (EventKind::DramAct, Counter::DramActs),
+            (EventKind::StashPush { addr: 1 }, Counter::StashPushes),
+            (
+                EventKind::RequestCompleted { id: 9 },
+                Counter::RequestsCompleted,
+            ),
+        ];
+        for (e, c) in cases {
+            assert_eq!(e.counter(), c);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The shared trace spine: counters + event ring + histograms behind a
+//! cheap-to-clone handle.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use fp_stats::json::JsonObject;
+
+use crate::event::{Counter, EventKind, TraceEvent};
+use crate::hist::Log2Hist;
+
+#[derive(Debug)]
+struct TraceInner {
+    counters: [u64; Counter::COUNT],
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    now_ps: u64,
+    latency: Log2Hist,
+    occupancy: Log2Hist,
+}
+
+impl TraceInner {
+    fn new(capacity: usize) -> Self {
+        Self {
+            counters: [0; Counter::COUNT],
+            events: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+            now_ps: 0,
+            latency: Log2Hist::new(),
+            occupancy: Log2Hist::new(),
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        self.counters[ev.kind.counter() as usize] += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+/// A shared handle onto one trace spine.
+///
+/// Clones are shallow: every component the controller attaches a clone to
+/// reports into the same counters, ring, and histograms. The default
+/// handle has ring capacity 0 — counters and histograms stay exact while
+/// no events are retained, so always-on tracing costs one atomic
+/// refcount plus a mutex lock per record.
+#[derive(Debug, Clone)]
+pub struct TraceHandle(Arc<Mutex<TraceInner>>);
+
+impl Default for TraceHandle {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl TraceHandle {
+    /// A fresh spine retaining up to `capacity` events (ring semantics:
+    /// once full, the oldest event is dropped for each new one).
+    pub fn new(capacity: usize) -> Self {
+        Self(Arc::new(Mutex::new(TraceInner::new(capacity))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        self.0.lock().expect("trace mutex poisoned")
+    }
+
+    /// Whether two handles share the same spine.
+    pub fn same_spine(&self, other: &TraceHandle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Records a typed event at simulated time `t_ps`, bumping its
+    /// matching counter.
+    pub fn record(&self, t_ps: u64, kind: EventKind) {
+        self.lock().push(TraceEvent { t_ps, kind });
+    }
+
+    /// Records a typed event at the last time set via
+    /// [`TraceHandle::set_now`] — for components (stash, merge stage)
+    /// that have no clock of their own; the controller stamps each phase.
+    pub fn record_now(&self, kind: EventKind) {
+        let mut g = self.lock();
+        let t_ps = g.now_ps;
+        g.push(TraceEvent { t_ps, kind });
+    }
+
+    /// Sets the coarse timestamp used by [`TraceHandle::record_now`].
+    pub fn set_now(&self, t_ps: u64) {
+        self.lock().now_ps = t_ps;
+    }
+
+    /// Adds `n` to a counter (no event is recorded).
+    pub fn add(&self, c: Counter, n: u64) {
+        self.lock().counters[c as usize] += n;
+    }
+
+    /// Adds 1 to a counter (no event is recorded).
+    pub fn bump(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.lock().counters[c as usize]
+    }
+
+    /// Resets the given counters to zero (events and histograms keep
+    /// their contents) — the per-stage `reset_stats` primitive.
+    pub fn reset_counters(&self, which: &[Counter]) {
+        let mut g = self.lock();
+        for &c in which {
+            g.counters[c as usize] = 0;
+        }
+    }
+
+    /// Adds a request latency sample (picoseconds).
+    pub fn record_latency(&self, ps: u64) {
+        self.lock().latency.add(ps);
+    }
+
+    /// Adds a stash occupancy sample (blocks resident after a refill).
+    pub fn record_occupancy(&self, blocks: u64) {
+        self.lock().occupancy.add(blocks);
+    }
+
+    /// Snapshot of the latency histogram.
+    pub fn latency_hist(&self) -> Log2Hist {
+        self.lock().latency.clone()
+    }
+
+    /// Snapshot of the occupancy histogram.
+    pub fn occupancy_hist(&self) -> Log2Hist {
+        self.lock().occupancy.clone()
+    }
+
+    /// Changes the ring capacity. Shrinking drops the oldest events.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.lock();
+        while g.events.len() > capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.capacity = capacity;
+    }
+
+    /// Ring capacity currently in effect.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Number of events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events recorded but not retained (ring overflow or capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().events.iter().copied().collect()
+    }
+
+    /// Serializes the counter table as one JSON object keyed by
+    /// [`Counter::name`].
+    pub fn counters_json(&self) -> String {
+        let g = self.lock();
+        let mut o = JsonObject::new();
+        for c in Counter::ALL {
+            o.field_u64(c.name(), g.counters[c as usize]);
+        }
+        o.finish()
+    }
+
+    /// Serializes the whole spine — counters, histograms, and the
+    /// retained event timeline — as one JSON object.
+    pub fn to_json(&self) -> String {
+        let counters = self.counters_json();
+        let g = self.lock();
+        let events = fp_stats::json::array(g.events.iter().map(TraceEvent::to_json));
+        let mut o = JsonObject::new();
+        o.field_raw("counters", &counters)
+            .field_raw("latency_ps", &g.latency.to_json())
+            .field_raw("stash_occupancy", &g.occupancy.to_json())
+            .field_u64("events_dropped", g.dropped)
+            .field_u64("events_retained", g.events.len() as u64)
+            .field_raw("events", &events);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_survive_ring_overflow() {
+        let t = TraceHandle::new(2);
+        for i in 0..5 {
+            t.record(i, EventKind::DramAct);
+        }
+        assert_eq!(t.counter(Counter::DramActs), 5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let evs = t.events();
+        assert_eq!(evs[0].t_ps, 3, "ring keeps the most recent events");
+        assert_eq!(evs[1].t_ps, 4);
+    }
+
+    #[test]
+    fn default_handle_counts_without_retaining() {
+        let t = TraceHandle::default();
+        t.record(7, EventKind::DramRead);
+        t.bump(Counter::CacheHits);
+        t.add(Counter::CacheMisses, 3);
+        assert_eq!(t.counter(Counter::DramReads), 1);
+        assert_eq!(t.counter(Counter::CacheHits), 1);
+        assert_eq!(t.counter(Counter::CacheMisses), 3);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_spine() {
+        let a = TraceHandle::new(8);
+        let b = a.clone();
+        b.record(1, EventKind::StashPush { addr: 42 });
+        assert!(a.same_spine(&b));
+        assert_eq!(a.counter(Counter::StashPushes), 1);
+        assert_eq!(a.events().len(), 1);
+        assert!(!a.same_spine(&TraceHandle::default()));
+    }
+
+    #[test]
+    fn record_now_uses_the_stamped_time() {
+        let t = TraceHandle::new(4);
+        t.set_now(99);
+        t.record_now(EventKind::StashEvict { addr: 5 });
+        assert_eq!(t.events()[0].t_ps, 99);
+    }
+
+    #[test]
+    fn reset_counters_is_selective() {
+        let t = TraceHandle::default();
+        t.bump(Counter::SchedRounds);
+        t.bump(Counter::MergedReads);
+        t.reset_counters(&[Counter::SchedRounds]);
+        assert_eq!(t.counter(Counter::SchedRounds), 0);
+        assert_eq!(t.counter(Counter::MergedReads), 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_drops_oldest() {
+        let t = TraceHandle::new(8);
+        for i in 0..6 {
+            t.record(i, EventKind::DramWrite);
+        }
+        t.set_capacity(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].t_ps, 4);
+        t.set_capacity(0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let t = TraceHandle::new(16);
+        t.record(10, EventKind::RequestSubmitted { id: 1 });
+        t.record(20, EventKind::RequestCompleted { id: 1 });
+        t.record_latency(10);
+        t.record_occupancy(4);
+        let s = t.to_json();
+        assert!(fp_stats::json::validate(&s).is_ok(), "{s}");
+        assert!(s.contains("\"requests_submitted\":1"));
+        assert!(s.contains("\"events_retained\":2"));
+        assert!(s.contains("\"kind\":\"request_completed\""));
+    }
+
+    #[test]
+    fn handle_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TraceHandle>();
+    }
+}

@@ -1,0 +1,159 @@
+//! Log2-bucketed histogram for latency / occupancy distributions.
+
+use fp_stats::json::JsonObject;
+
+/// Number of bins: one per possible bit length of a `u64` (0..=64).
+const BINS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// A sample `v` lands in bin `bit_length(v)`: bin 0 holds zeros, bin 1
+/// holds `1`, bin 2 holds `2..=3`, bin `k` holds `2^(k-1)..=2^k - 1`.
+/// Exact count, sum, min, and max are kept alongside the buckets, so the
+/// mean is exact even though the shape is coarse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    bins: [u64; BINS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self {
+            bins: [0; BINS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: u64) {
+        let bin = (u64::BITS - v.leading_zeros()) as usize;
+        self.bins[bin] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bin counts, indexed by sample bit length.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Serializes as a JSON object. `bins` is trimmed at the last
+    /// non-empty bucket to keep archives compact.
+    pub fn to_json(&self) -> String {
+        let last = self.bins.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let bins = fp_stats::json::array(self.bins[..last].iter().map(u64::to_string));
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count)
+            .field_u64("sum", self.sum)
+            .field_u64("min", self.min())
+            .field_u64("max", self.max)
+            .field_f64("mean", self.mean())
+            .field_raw("bins", &bins);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_bit_length_bins() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.add(v);
+        }
+        assert_eq!(h.bins()[0], 1); // 0
+        assert_eq!(h.bins()[1], 1); // 1
+        assert_eq!(h.bins()[2], 2); // 2, 3
+        assert_eq!(h.bins()[3], 2); // 4, 7
+        assert_eq!(h.bins()[4], 1); // 8
+        assert_eq!(h.bins()[64], 1); // u64::MAX
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Log2Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Log2Hist::new();
+        for v in [10, 20, 30] {
+            h.add(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+        h.clear();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn json_is_valid_and_trimmed() {
+        let mut h = Log2Hist::new();
+        h.add(5);
+        let s = h.to_json();
+        assert!(fp_stats::json::validate(&s).is_ok(), "{s}");
+        assert!(s.contains("\"bins\":[0,0,0,1]"), "{s}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # fp-trace
+//!
+//! The unified observability spine of the Fork Path ORAM reproduction.
+//! Every simulation crate (DRAM channel model, stash, the four controller
+//! pipeline stages) reports into one [`TraceHandle`]:
+//!
+//! * **Monotonic counters** ([`Counter`]) — always on, exact, and cheap.
+//!   The per-stage stats structs in `fp-core` are thin views over these.
+//! * **Typed events** ([`EventKind`]) — an optional fixed-capacity ring
+//!   buffer of timestamped records (request lifecycle, DRAM commands,
+//!   stash traffic). Capacity 0 (the default) keeps counters only.
+//! * **Log2 histograms** ([`Log2Hist`]) — request latency and stash
+//!   occupancy distributions, bucketed by bit length.
+//!
+//! Everything exports through `fp_stats::json`, so `--trace <path>` runs
+//! and `trace_dump` emit one consistent schema for the paper's figures.
+//!
+//! The handle is a cheap-to-clone shared reference (`Arc<Mutex<..>>`):
+//! the controller creates one spine and attaches clones to each component.
+//! It is `Send`, so traced controllers still move across threads in the
+//! experiment runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod handle;
+mod hist;
+
+pub use event::{Counter, EventKind, TraceEvent};
+pub use handle::TraceHandle;
+pub use hist::Log2Hist;

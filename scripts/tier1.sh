@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: format, hermetic release build, full test suite.
-# The workspace has zero external dependencies, so everything runs --offline.
+# Tier-1 verification gate: format, lint, hermetic release build, full test
+# suite. The workspace has zero external dependencies, so everything runs
+# --offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
+cargo clippy --offline --workspace -- -D warnings
 cargo build --release --offline
 cargo test -q --offline

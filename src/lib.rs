@@ -13,6 +13,8 @@
 //! * [`workloads`] — synthetic SPEC/PARSEC stand-ins and the CPU frontend.
 //! * [`sim`] — full-system simulation, metrics, and energy accounting.
 //! * [`stats`] — the statistical tests behind the security audit.
+//! * [`trace`] — the shared tracing/metrics spine (counters, histograms,
+//!   typed event ring) every subsystem reports into.
 //!
 //! The facade also hosts [`propcheck`], the small seeded property-testing
 //! driver the invariant suite runs on.
@@ -29,4 +31,5 @@ pub use fp_dram as dram;
 pub use fp_path_oram as path_oram;
 pub use fp_sim as sim;
 pub use fp_stats as stats;
+pub use fp_trace as trace;
 pub use fp_workloads as workloads;

@@ -234,3 +234,115 @@ fn label_queue_sizes_never_break_ram_semantics() {
         },
     );
 }
+
+// ---------- fork-level clamping (merge stage) -------------------------
+
+#[test]
+fn fork_floor_stays_inside_the_path() {
+    use fork_path_oram::core::PathMerger;
+    run_cases("fork_floor_stays_inside_the_path", CASES, |g: &mut Gen| {
+        let levels = g.range_u32(1, 12);
+        let leaves = 1u64 << levels;
+        let a = g.below(leaves);
+        // Exercise the identical-label corner explicitly in some cases.
+        let b = if g.bool() { a } else { g.below(leaves) };
+        let mut m = PathMerger::new(true);
+        assert_eq!(m.read_floor(levels, a), 0, "first access reads fully");
+        m.commit(a);
+        let floor = m.read_floor(levels, b);
+        assert!(
+            floor <= levels,
+            "fork floor {floor} escapes the tree (levels={levels})"
+        );
+        assert_eq!(floor, (divergence_level(levels, a, b) + 1).min(levels));
+        // A merged read always touches at least one new bucket; identical
+        // consecutive paths re-read exactly the leaf bucket.
+        let buckets_read = levels - floor + 1;
+        assert!(buckets_read >= 1, "a merged read never touches 0 buckets");
+        if a == b {
+            assert_eq!(floor, levels);
+            assert_eq!(buckets_read, 1, "identical paths re-read only the leaf");
+        } else {
+            // Exactly the buckets below the divergence are new.
+            assert_eq!(buckets_read, levels - divergence_level(levels, a, b));
+        }
+        // The refill stops obey the same clamp.
+        let mut m2 = PathMerger::new(true);
+        m2.commit(a);
+        assert!(m2.write_stop(levels, a, Some(b)) <= levels);
+        assert!(PathMerger::replacement_stop(levels, a, b) <= levels);
+    });
+}
+
+// ---------- trace spine vs legacy statistics --------------------------
+
+#[test]
+fn trace_counters_match_legacy_stats_exactly() {
+    use fork_path_oram::trace::Counter;
+    // A 10k-access mixed workload (reads, writes, hot-set reuse, bursts):
+    // every counter the trace spine accumulates must agree exactly with
+    // the independently-stored aggregate OramStats and DramStats records.
+    run_cases(
+        "trace_counters_match_legacy_stats_exactly",
+        2,
+        |g: &mut Gen| {
+            let seed = g.below(1000);
+            let cfg = OramConfig::small_test();
+            let data_blocks = cfg.data_blocks;
+            let block = cfg.block_bytes;
+            let mut ctl = ForkPathController::new(cfg, ForkConfig::default(), dram(), seed);
+            let mut submitted = 0u64;
+            let mut completions = 0u64;
+            while ctl.stats().oram_accesses < 10_000 {
+                for _ in 0..64 {
+                    let addr = match g.below(4) {
+                        0 => g.below(data_blocks),
+                        1 => g.below(16), // hot set
+                        2 => (submitted * 31) % data_blocks,
+                        _ => g.below(64),
+                    };
+                    let (op, data) = if g.bool() {
+                        (Op::Write, vec![(submitted & 0xff) as u8; block])
+                    } else {
+                        (Op::Read, vec![])
+                    };
+                    ctl.submit(addr, op, data, ctl.clock_ps());
+                    submitted += 1;
+                }
+                completions += ctl.run_to_idle().len() as u64;
+            }
+            completions += ctl.run_to_idle().len() as u64;
+
+            let t = ctl.trace().clone();
+            let s = ctl.stats().clone();
+            let d = ctl.dram().stats().clone();
+            // Request lifecycle counters.
+            assert_eq!(t.counter(Counter::RequestsSubmitted), submitted);
+            assert_eq!(t.counter(Counter::RequestsCompleted), completions);
+            assert_eq!(t.latency_hist().count(), completions);
+            // Stage counters vs the independently-stored aggregate record.
+            assert_eq!(t.counter(Counter::SchedRounds), s.sched_rounds);
+            assert_eq!(t.counter(Counter::SchedReadyReals), s.sched_ready_reals);
+            assert_eq!(t.counter(Counter::DummiesExecuted), s.dummy_accesses);
+            assert_eq!(t.counter(Counter::DummiesReplaced), s.dummies_replaced);
+            assert_eq!(t.counter(Counter::CacheHits), s.cache_hits);
+            assert_eq!(t.counter(Counter::CacheMisses), s.cache_misses);
+            assert_eq!(t.counter(Counter::DramBlocksRead), s.dram_blocks_read);
+            assert_eq!(t.counter(Counter::DramBlocksWritten), s.dram_blocks_written);
+            assert_eq!(t.counter(Counter::BucketsWritten), s.buckets_written);
+            // DRAM command stream vs the channel's own stats record.
+            assert_eq!(t.counter(Counter::DramActs), d.activations);
+            assert_eq!(t.counter(Counter::DramReads), d.reads);
+            assert_eq!(t.counter(Counter::DramWrites), d.writes);
+            assert_eq!(t.counter(Counter::DramRefs), d.refreshes);
+            assert_eq!(t.counter(Counter::DramRefsSkipped), d.refreshes_skipped);
+            // Stash flow conservation.
+            assert_eq!(
+                t.counter(Counter::StashPushes) - t.counter(Counter::StashEvicts),
+                ctl.state().stash().len() as u64
+            );
+            // Occupancy histogram sampled once per access.
+            assert_eq!(t.occupancy_hist().count(), s.oram_accesses);
+        },
+    );
+}

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use fp_core::{ForkConfig, ForkPathController, MergingAwareCache};
+use fp_core::{ForkConfig, ForkPathController, MergingAwareCache, PosMapLookasideBuffer};
 use fp_crypto::{BlockCipher, Nonce, Xoshiro256};
 use fp_dram::layout::{SubtreeLayout, TreeLayout};
 use fp_dram::{AccessKind, DramConfig, DramSystem};
@@ -98,6 +98,64 @@ fn bench_stash_eviction() {
     });
 }
 
+fn bench_plb() {
+    // Capacity-1024 PLB under a mixed hit/miss stream drawn from a 2x
+    // address range: roughly half the touches scan to a hit mid-buffer,
+    // half miss and evict. This is the per-posmap-step hot path.
+    let mut rng = Xoshiro256::new(17);
+    let mut plb = PosMapLookasideBuffer::new(1024);
+    for a in 0..1024 {
+        plb.touch(a);
+    }
+    bench("plb/touch_hot_1k_capacity", || {
+        let addr = rng.next_below(2048);
+        plb.touch(addr)
+    });
+}
+
+fn bench_fr_fcfs_large_batch() {
+    // A 256-burst batch spread over rows and banks: the FR-FCFS arbiter's
+    // per-pick work dominates (row-hit search + queue compaction).
+    let mut rng = Xoshiro256::new(23);
+    let mut dram = DramSystem::new(DramConfig::ddr3_1600(2));
+    let row_bytes = dram.config().row_bytes;
+    let mut now = 0u64;
+    bench("dram/fr_fcfs_batch_256_bursts", || {
+        let mut batch = Vec::with_capacity(256);
+        for _ in 0..256 {
+            // 64 distinct rows, bursts within a row clustered.
+            let row = rng.next_below(64);
+            let col = rng.next_below(32) * 64;
+            batch.push((row * row_bytes + col, AccessKind::Read));
+        }
+        let r = dram.access_batch(now, &batch);
+        now = r.batch_finish_ps;
+        r.batch_finish_ps
+    });
+}
+
+fn bench_fr_fcfs_scatter() {
+    // 512 bursts over 4096 rows: almost every pick is a row miss, so the
+    // arbiter's own work dominates — the regime where the old full-queue
+    // rescan went quadratic. This is the posmap/metadata traffic shape
+    // (scattered, low-locality) rather than the clustered path-read shape.
+    let mut rng = Xoshiro256::new(29);
+    let mut dram = DramSystem::new(DramConfig::ddr3_1600(2));
+    let row_bytes = dram.config().row_bytes;
+    let mut now = 0u64;
+    bench("dram/fr_fcfs_scatter_512_bursts", || {
+        let mut batch = Vec::with_capacity(512);
+        for _ in 0..512 {
+            let row = rng.next_below(4096);
+            let col = rng.next_below(32) * 64;
+            batch.push((row * row_bytes + col, AccessKind::Read));
+        }
+        let r = dram.access_batch(now, &batch);
+        now = r.batch_finish_ps;
+        r.batch_finish_ps
+    });
+}
+
 fn bench_dram_batch() {
     let layout = SubtreeLayout::fit_row(25, 256, 8192);
     let mut rng = Xoshiro256::new(9);
@@ -161,8 +219,11 @@ fn main() {
     println!("fp-bench micro (wall-clock, best of 5 samples)");
     bench_crypto();
     bench_path_math();
+    bench_plb();
     bench_stash_eviction();
     bench_dram_batch();
+    bench_fr_fcfs_large_batch();
+    bench_fr_fcfs_scatter();
     bench_mac();
     bench_controllers();
 }

@@ -1,0 +1,114 @@
+//! Performance-trajectory gate: a fixed-seed mixed workload driven through
+//! the baseline Path ORAM, Fork Path (default), and Fork Path + MAC
+//! schemes, measuring simulator *wall-clock throughput* (requests/sec of
+//! host time) alongside the *simulated* per-access latency. Results are
+//! written to `BENCH_perf.json` at the repo root so successive PRs can be
+//! compared: simulated numbers must stay put (the model did not change),
+//! wall-clock numbers chart the simulator's own speed.
+//!
+//! Usage: `perf_gate [--fast] [--out <path>]`
+//!
+//! * `--fast` — CI smoke mode: the small test configuration and a reduced
+//!   miss budget (~seconds total). Wall-clock numbers in this mode are
+//!   noisy; only the JSON shape and the simulated values are meaningful.
+//! * `--out <path>` — where to write the JSON (default `BENCH_perf.json`).
+//!
+//! The emitted JSON is validated with [`fp_stats::json::validate`] before
+//! it is written; the binary exits nonzero on any validation failure. See
+//! EXPERIMENTS.md ("Performance tracking") for the schema.
+
+use std::time::Instant;
+
+use fp_bench::fork_with_mac;
+use fp_sim::experiment::{mix_workload, MissBudget};
+use fp_sim::{run_workload, Scheme, SystemConfig};
+use fp_stats::json::{self, JsonObject};
+use fp_workloads::mixes;
+
+/// Fixed workload seed: results must be reproducible across PRs, so the
+/// gate never samples entropy.
+const GATE_SEED: u64 = 0x9A7E;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let budget = if fast {
+        MissBudget::Fast
+    } else {
+        MissBudget::Full
+    };
+
+    // The gate workload: Table 2's Mix1 shrunk to the fast-test tree so a
+    // full run stays in seconds, with the working set still far larger
+    // than every on-chip structure. Fixed seed, fixed shape.
+    let mut cfg = SystemConfig::fast_test();
+    cfg.seed = GATE_SEED;
+    let mut mix = mixes::all()[0].clone();
+    for p in &mut mix.programs {
+        p.working_set_blocks = 1 << 12;
+    }
+
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("baseline", Scheme::Traditional),
+        ("fork", Scheme::ForkDefault),
+        ("fork+mac", fork_with_mac(256 << 10)),
+    ];
+
+    println!("== perf_gate ({}) ==", if fast { "fast" } else { "full" });
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>14}",
+        "scheme", "requests", "wall_ms", "wall_req/s", "sim_ns/access"
+    );
+
+    let mut rows = Vec::with_capacity(schemes.len());
+    for (name, scheme) in &schemes {
+        let wl = mix_workload(&mix, budget, cfg.seed ^ 0x5eed);
+        let started = Instant::now();
+        let r = run_workload(&cfg, scheme.clone(), wl);
+        let wall = started.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let wall_rps = r.llc_requests as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:<12} {:>10} {:>12.1} {:>14.0} {:>14.1}",
+            name, r.llc_requests, wall_ms, wall_rps, r.oram_latency_ns
+        );
+        let row = JsonObject::new()
+            .field_str("name", name)
+            .field_str("scheme", &r.scheme)
+            .field_str("workload", mix.name)
+            .field_u64("requests", r.llc_requests)
+            .field_u64("oram_accesses", r.oram_accesses)
+            .field_f64("wall_ms", wall_ms)
+            .field_f64("wall_requests_per_sec", wall_rps)
+            .field_f64("sim_ns_per_access", r.oram_latency_ns)
+            .field_f64(
+                "sim_exec_ns_per_request",
+                r.exec_time_ps as f64 / 1e3 / r.llc_requests.max(1) as f64,
+            )
+            .field_f64("avg_path_len", r.avg_path_len)
+            .field_f64("row_hit_rate", r.row_hit_rate)
+            .field_u64("stash_high_water", r.stash_high_water as u64)
+            .finish();
+        rows.push(row);
+    }
+
+    let report = JsonObject::new()
+        .field_str("bench", "perf_gate")
+        .field_str("mode", if fast { "fast" } else { "full" })
+        .field_u64("seed", GATE_SEED)
+        .field_str(
+            "config",
+            "fast_test/15-level tree, 64 B blocks, 2x DDR3-1600",
+        )
+        .field_raw("schemes", &json::array(rows))
+        .finish();
+
+    json::validate(&report).expect("perf_gate emitted invalid JSON");
+    std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_perf.json");
+    println!("report written to {out_path}");
+}

@@ -78,6 +78,8 @@ pub struct ForkPathController {
     /// always exact; the event ring only fills once a capacity is set
     /// (`ForkPathController::set_trace_capacity`).
     trace: TraceHandle,
+    /// Reusable node-id buffer for the per-access read phase.
+    path_nodes: Vec<u64>,
 }
 
 impl ForkPathController {
@@ -145,6 +147,7 @@ impl ForkPathController {
             feedback_cursor: 0,
             label_trace: None,
             trace,
+            path_nodes: Vec::new(),
         })
     }
 
@@ -321,10 +324,13 @@ impl ForkPathController {
         // always touches at least one bucket (the leaf is re-read even on
         // identical consecutive labels).
         let read_lo = self.merge.read_floor(levels, cur.label);
-        let nodes = self.state.load_path_range(cur.label, read_lo, levels);
+        let mut nodes = std::mem::take(&mut self.path_nodes);
+        self.state
+            .load_path_range_into(cur.label, read_lo, levels, &mut nodes);
         self.stats.buckets_read += nodes.len() as u64;
         let read_end =
             self.writeback.read_path(&mut self.dram, &nodes, start) + CTRL_PHASE_LATENCY_PS;
+        self.path_nodes = nodes;
 
         // --- Block handling ---
         match cur.kind {
@@ -396,14 +402,8 @@ impl ForkPathController {
                 }
             }
             self.trace.set_now(t);
-            let nodes = self.state.evict_range(leaf, level as u32, level as u32);
-            if nodes.len() != 1 {
-                return Err(ControllerError::EmptyEviction {
-                    leaf,
-                    level: level as u32,
-                });
-            }
-            t = self.writeback.write_bucket(&mut self.dram, nodes[0], t);
+            let node = self.state.evict_level(leaf, level as u32);
+            t = self.writeback.write_bucket(&mut self.dram, node, t);
             level -= 1;
         }
         self.clock_ps = t + CTRL_PHASE_LATENCY_PS;

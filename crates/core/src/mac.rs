@@ -16,6 +16,16 @@
 //! (Fig 13): the capacity covers exactly the levels that merging still
 //! fetches. One further level folds into the leftover sets by
 //! `y mod region`, with LRU replacement inside each set.
+//!
+//! Storage is a single flat slab of `num_sets * ways` lines; a set is a
+//! fixed-size way slice into it. Lookup and insert touch exactly one such
+//! slice (≤ `ways` entries, typically 4) — no per-set heap allocation, no
+//! unbounded scans on the per-access hot path.
+//!
+//! The cacheable window is clamped to the tree's leaf level when the tree
+//! depth is known (`*_for_tree` constructors): a large cache on a shallow
+//! tree must not dedicate sets to levels that do not exist, or `m2`
+//! over-reports coverage and phantom-level buckets would absorb writes.
 
 use fp_path_oram::cache::{BucketCache, WriteOutcome};
 use fp_path_oram::path::{index_in_level, node_level};
@@ -31,13 +41,20 @@ enum LineState {
     Placeholder,
 }
 
-/// One cached bucket.
+/// One cached bucket line. `node == 0` marks an empty way (real node ids
+/// are 1-based heap indices).
 #[derive(Debug, Clone, Copy)]
 struct Line {
     node: u64,
     last_use: u64,
     state: LineState,
 }
+
+const EMPTY: Line = Line {
+    node: 0,
+    last_use: 0,
+    state: LineState::Placeholder,
+};
 
 /// The paper's merging-aware, set-associative bucket cache.
 ///
@@ -56,7 +73,8 @@ struct Line {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MergingAwareCache {
-    sets: Vec<Vec<Line>>,
+    /// Flat slab: set `s` occupies `lines[s * ways..(s + 1) * ways]`.
+    lines: Vec<Line>,
     ways: usize,
     m1: u32,
     /// Number of fully resident levels starting at `m1` (may be zero).
@@ -72,20 +90,37 @@ pub struct MergingAwareCache {
 impl MergingAwareCache {
     /// Creates a MAC with `num_sets` sets of `ways` buckets, caching levels
     /// `m1..=m2` fully (as many whole levels as fit) plus one folded level.
+    /// The window is not clamped to any tree depth; prefer
+    /// [`MergingAwareCache::new_for_tree`] when the depth is known.
     ///
     /// # Panics
     ///
     /// Panics if `num_sets` or `ways` is zero.
     pub fn new(num_sets: usize, ways: usize, m1: u32) -> Self {
+        Self::new_for_tree(num_sets, ways, m1, u32::MAX)
+    }
+
+    /// Like [`MergingAwareCache::new`], clamping the cacheable window to
+    /// `leaf_level` (the tree's deepest level): levels past the leaf do not
+    /// exist, so neither whole-level regions nor the folded partial level
+    /// may extend beyond it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero.
+    pub fn new_for_tree(num_sets: usize, ways: usize, m1: u32, leaf_level: u32) -> Self {
         assert!(num_sets > 0, "need at least one set");
         assert!(ways > 0, "need at least one way");
         assert!(m1 >= 1, "the root is always shared; m1 must be at least 1");
         let slots = (num_sets * ways) as u64;
         // Levels m1..=(m1 + k - 1) fully resident need 2^(m1+k) - 2^m1
         // bucket slots; find the largest k that fits (possibly zero for
-        // tiny caches — then everything folds into one region).
+        // tiny caches — then everything folds into one region), without
+        // walking past the leaf level.
+        let level_budget = leaf_level.saturating_sub(m1).saturating_add(1);
         let mut full_levels = 0u32;
-        while full_levels < 40 && (1u128 << (m1 + full_levels + 1)) - (1u128 << m1) <= slots as u128
+        while full_levels < 40.min(level_budget)
+            && (1u128 << (m1 + full_levels + 1)) - (1u128 << m1) <= slots as u128
         {
             full_levels += 1;
         }
@@ -95,9 +130,15 @@ impl MergingAwareCache {
             (1u64 << (m1 + full_levels)) - (1u64 << m1)
         };
         let partial_base = used_slots.div_ceil(ways as u64);
-        let partial_sets = (num_sets as u64).saturating_sub(partial_base);
+        // The folded level is m1 + full_levels; it only gets sets if it
+        // exists in the tree.
+        let partial_sets = if m1 + full_levels <= leaf_level {
+            (num_sets as u64).saturating_sub(partial_base)
+        } else {
+            0
+        };
         Self {
-            sets: vec![Vec::new(); num_sets],
+            lines: vec![EMPTY; num_sets * ways],
             ways,
             m1,
             full_levels,
@@ -119,10 +160,22 @@ impl MergingAwareCache {
     /// (Fig 13). Tag/metadata SRAM is excluded from the capacity figure, as
     /// in conventional cache sizing.
     pub fn with_capacity_bytes(bytes: u64, bucket_bytes: u64, ways: usize, m1: u32) -> Self {
+        Self::with_capacity_bytes_for_tree(bytes, bucket_bytes, ways, m1, u32::MAX)
+    }
+
+    /// Like [`MergingAwareCache::with_capacity_bytes`], clamped to a tree
+    /// whose deepest level is `leaf_level`.
+    pub fn with_capacity_bytes_for_tree(
+        bytes: u64,
+        bucket_bytes: u64,
+        ways: usize,
+        m1: u32,
+        leaf_level: u32,
+    ) -> Self {
         let effective_bucket_cost = (bucket_bytes / 2).max(1);
         let buckets = (bytes / effective_bucket_cost).max(1) as usize;
         let num_sets = (buckets / ways).max(1);
-        Self::new(num_sets, ways, m1)
+        Self::new_for_tree(num_sets, ways, m1, leaf_level)
     }
 
     /// Shallowest cached level (`len_overlap + 1`).
@@ -165,6 +218,12 @@ impl MergingAwareCache {
         let level = node_level(node);
         (self.m1..=self.deepest_level()).contains(&level)
     }
+
+    /// The fixed-size way slice of the set holding `node`.
+    fn set_lines(&mut self, node: u64) -> &mut [Line] {
+        let set = self.set_index(node);
+        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    }
 }
 
 impl BucketCache for MergingAwareCache {
@@ -174,8 +233,7 @@ impl BucketCache for MergingAwareCache {
         }
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_index(node);
-        let lines = &mut self.sets[set];
+        let lines = self.set_lines(node);
         if let Some(line) = lines.iter_mut().find(|l| l.node == node) {
             // The bucket's blocks are promoted back to the stash (§4); the
             // tag stays as a placeholder so subsequent reads of the
@@ -194,39 +252,48 @@ impl BucketCache for MergingAwareCache {
         }
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
-        let set = self.set_index(node);
-        let lines = &mut self.sets[set];
-        if let Some(line) = lines.iter_mut().find(|l| l.node == node) {
-            line.last_use = tick;
-            line.state = LineState::Dirty;
-            return WriteOutcome::Cached;
+        let lines = self.set_lines(node);
+        // One pass over the fixed ways: find the matching line, the first
+        // empty way, and the LRU victim (placeholders preferred).
+        let mut empty: Option<usize> = None;
+        let mut victim = 0usize;
+        let mut victim_key = (true, u64::MAX);
+        for (i, l) in lines.iter().enumerate() {
+            if l.node == node {
+                let line = &mut lines[i];
+                line.last_use = tick;
+                line.state = LineState::Dirty;
+                return WriteOutcome::Cached;
+            }
+            if l.node == 0 {
+                if empty.is_none() {
+                    empty = Some(i);
+                }
+                continue;
+            }
+            let key = (l.state == LineState::Dirty, l.last_use);
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
         }
-        if lines.len() < ways {
-            lines.push(Line {
+        if let Some(i) = empty {
+            lines[i] = Line {
                 node,
                 last_use: tick,
                 state: LineState::Dirty,
-            });
+            };
             self.resident += 1;
             return WriteOutcome::Cached;
         }
-        // Evict LRU, preferring placeholders (free to drop).
-        let (victim_pos, _) = lines
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| (l.state == LineState::Dirty, l.last_use))
-            .expect("set non-empty");
-        let victim = lines[victim_pos];
-        lines[victim_pos] = Line {
+        let old = lines[victim];
+        lines[victim] = Line {
             node,
             last_use: tick,
             state: LineState::Dirty,
         };
-        match victim.state {
-            LineState::Dirty => WriteOutcome::CachedEvicting {
-                victim: victim.node,
-            },
+        match old.state {
+            LineState::Dirty => WriteOutcome::CachedEvicting { victim: old.node },
             LineState::Placeholder => WriteOutcome::Cached,
         }
     }
@@ -367,5 +434,58 @@ mod tests {
             per_set.values().all(|&c| c <= 4),
             "no set oversubscribed in resident levels"
         );
+    }
+
+    #[test]
+    fn tree_clamp_stops_window_at_leaf_level() {
+        // A 1 MiB MAC on a 10-level tree (leaf level 9): unclamped sizing
+        // would claim levels 7..=12 resident plus a folded level 13 — four
+        // levels that do not exist. The clamped window must end at 9.
+        let mac = MergingAwareCache::with_capacity_bytes_for_tree(1 << 20, 256, 4, 7, 9);
+        assert_eq!(mac.m1(), 7);
+        assert_eq!(mac.m2(), 9, "resident levels stop at the leaf");
+        assert_eq!(mac.deepest_level(), 9, "no phantom folded level");
+        // A bucket past the leaf is rejected rather than absorbed.
+        let mut mac = mac;
+        assert_eq!(
+            mac.insert_on_write(node_at(10, 0)),
+            WriteOutcome::WriteThrough
+        );
+        // Every real cacheable level still fits fully.
+        for level in 7..=9u32 {
+            for y in 0..(1u64 << level) {
+                assert_eq!(
+                    mac.insert_on_write(node_at(level, y)),
+                    WriteOutcome::Cached,
+                    "level {level} y {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_clamp_drops_partial_level_past_leaf() {
+        // 2 sets x 2 ways on a leaf-level-1 tree with m1 = 1: level 1 is
+        // fully resident (2 buckets); the fold region must NOT claim the
+        // nonexistent level 2 (unclamped code reports deepest_level 2).
+        let mac = MergingAwareCache::new_for_tree(2, 2, 1, 1);
+        assert_eq!(mac.m2(), 1);
+        assert_eq!(mac.deepest_level(), 1);
+        let unclamped = MergingAwareCache::new(2, 2, 1);
+        assert_eq!(unclamped.deepest_level(), 2, "pre-fix behavior");
+    }
+
+    #[test]
+    fn m1_beyond_leaf_caches_nothing() {
+        let mut mac = MergingAwareCache::new_for_tree(8, 2, 5, 3);
+        assert_eq!(
+            mac.insert_on_write(node_at(5, 0)),
+            WriteOutcome::WriteThrough
+        );
+        assert_eq!(
+            mac.insert_on_write(node_at(3, 0)),
+            WriteOutcome::WriteThrough
+        );
+        assert_eq!(mac.resident(), 0);
     }
 }

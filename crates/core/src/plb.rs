@@ -13,8 +13,25 @@
 //! fast path — no path access, no label consumed. Fork Path and the PLB
 //! compose: the PLB trims accesses, merging/scheduling trims the buckets of
 //! the accesses that remain.
+//!
+//! The LRU is a hashmap-indexed intrusive list: a slab of doubly linked
+//! nodes plus an address → slot map, so `touch` and `contains` are O(1)
+//! instead of the O(capacity) deque scans of the original implementation.
+//! The PLB sits on the per-posmap-step hot path, so this matters at
+//! paper-scale sweeps.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
+
+/// Sentinel for "no node" in the intrusive list.
+const NIL: u32 = u32::MAX;
+
+/// One slot of the LRU slab.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    addr: u64,
+    prev: u32,
+    next: u32,
+}
 
 /// An LRU set of pinned posmap blocks.
 ///
@@ -28,18 +45,33 @@ use std::collections::VecDeque;
 /// assert_eq!(plb.touch(12), Some(10), "capacity 2: LRU evicted");
 /// assert!(plb.contains(11));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PosMapLookasideBuffer {
-    /// Most recent at the back.
-    lru: VecDeque<u64>,
+    /// Address → slot in `nodes`.
+    map: HashMap<u64, u32>,
+    /// Slab of list nodes; never exceeds `capacity` entries.
+    nodes: Vec<Node>,
+    /// Least recently used slot.
+    head: u32,
+    /// Most recently used slot.
+    tail: u32,
     capacity: usize,
+}
+
+impl Default for PosMapLookasideBuffer {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl PosMapLookasideBuffer {
     /// Creates a PLB holding up to `capacity` posmap blocks (0 disables).
     pub fn new(capacity: usize) -> Self {
         Self {
-            lru: VecDeque::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
             capacity,
         }
     }
@@ -55,32 +87,72 @@ impl PosMapLookasideBuffer {
         if self.capacity == 0 {
             return None;
         }
-        if let Some(pos) = self.lru.iter().position(|&a| a == addr) {
-            self.lru.remove(pos);
-            self.lru.push_back(addr);
+        if let Some(&slot) = self.map.get(&addr) {
+            self.unlink(slot);
+            self.link_tail(slot);
             return None;
         }
-        self.lru.push_back(addr);
-        if self.lru.len() > self.capacity {
-            self.lru.pop_front()
-        } else {
-            None
+        if self.nodes.len() < self.capacity {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                addr,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(addr, slot);
+            self.link_tail(slot);
+            return None;
         }
+        // Full: reuse the LRU slot for the new address.
+        let slot = self.head;
+        debug_assert_ne!(slot, NIL, "nonzero capacity implies a head");
+        let evicted = self.nodes[slot as usize].addr;
+        self.map.remove(&evicted);
+        self.unlink(slot);
+        self.nodes[slot as usize].addr = addr;
+        self.map.insert(addr, slot);
+        self.link_tail(slot);
+        Some(evicted)
     }
 
     /// Whether `addr` is currently held.
     pub fn contains(&self, addr: u64) -> bool {
-        self.lru.contains(&addr)
+        self.map.contains_key(&addr)
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.lru.len()
+        self.map.len()
     }
 
     /// Whether the buffer holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.lru.is_empty()
+        self.map.is_empty()
+    }
+
+    /// Detaches `slot` from the list.
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.nodes[slot as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Appends `slot` at the most-recently-used end.
+    fn link_tail(&mut self, slot: u32) {
+        let node = &mut self.nodes[slot as usize];
+        node.prev = self.tail;
+        node.next = NIL;
+        match self.tail {
+            NIL => self.head = slot,
+            t => self.nodes[t as usize].next = slot,
+        }
+        self.tail = slot;
     }
 }
 
@@ -116,5 +188,32 @@ mod tests {
         assert_eq!(plb.touch(5), None);
         assert_eq!(plb.touch(5), None);
         assert_eq!(plb.len(), 1);
+    }
+
+    #[test]
+    fn eviction_chain_covers_every_slot() {
+        // Repeatedly overflowing a small buffer exercises slot reuse: each
+        // miss evicts exactly the least recent address.
+        let mut plb = PosMapLookasideBuffer::new(4);
+        for a in 0..4 {
+            assert_eq!(plb.touch(a), None);
+        }
+        for a in 4..32u64 {
+            assert_eq!(plb.touch(a), Some(a - 4));
+            assert_eq!(plb.len(), 4);
+        }
+    }
+
+    #[test]
+    fn touch_moves_middle_element_to_mru() {
+        let mut plb = PosMapLookasideBuffer::new(3);
+        plb.touch(1);
+        plb.touch(2);
+        plb.touch(3);
+        // 2 is in the middle of the list; refreshing it must relink cleanly.
+        plb.touch(2);
+        assert_eq!(plb.touch(4), Some(1));
+        assert_eq!(plb.touch(5), Some(3));
+        assert_eq!(plb.touch(6), Some(2));
     }
 }

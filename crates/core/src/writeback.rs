@@ -62,11 +62,14 @@ impl WritebackEngine {
                 let m1 = fork
                     .mac_bypass_levels
                     .unwrap_or_else(|| fork.derived_mac_bypass());
-                Box::new(MergingAwareCache::with_capacity_bytes(
+                // Clamp the cacheable window to the real tree: levels past
+                // the leaf (path_len - 1) must not own cache sets.
+                Box::new(MergingAwareCache::with_capacity_bytes_for_tree(
                     bytes,
                     bucket_bytes,
                     ways,
                     m1,
+                    path_len.saturating_sub(1),
                 ))
             }
         };
@@ -231,6 +234,33 @@ mod tests {
         assert_eq!(finish, 2_000, "cache hit needs no DRAM");
         assert_eq!(wb.stats().cache_hits, 1);
         assert!(wb.resident() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tree")]
+    fn mac_window_is_clamped_to_tree_depth() {
+        // A 64 KiB MAC on a 5-bucket path (leaf level 4): unclamped sizing
+        // dedicates sets to levels 5..=9, so a (buggy) write to a node past
+        // the leaf was silently absorbed by a phantom set and committed
+        // instantly — this test did NOT panic on the pre-fix code. With the
+        // depth threaded through, the MAC refuses the phantom bucket and the
+        // layout rejects the nonexistent node loudly.
+        let fork = ForkConfig {
+            cache: CacheChoice::MergingAware {
+                bytes: 64 << 10,
+                ways: 4,
+            },
+            mac_bypass_levels: Some(2),
+            ..ForkConfig::default()
+        };
+        let cfg = DramConfig::ddr3_1600(1);
+        let mut wb = WritebackEngine::new(&fork, 256, 5, cfg.row_bytes, cfg.burst_bytes);
+        let mut d = dram();
+        // Real in-window levels cache and commit instantly.
+        let real = (1u64 << 3) + 1;
+        assert_eq!(wb.write_bucket(&mut d, real, 1_000), 1_000);
+        let phantom = (1u64 << 6) + 1; // level 6 > leaf level 4
+        let _ = wb.write_bucket(&mut d, phantom, 1_000);
     }
 
     #[test]

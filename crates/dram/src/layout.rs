@@ -101,7 +101,29 @@ impl SubtreeLayout {
 
     /// Picks the subtree depth whose packed size best fills `row_bytes`, then
     /// builds the layout. This is the configuration the paper uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single bucket does not fit in one row (see
+    /// [`SubtreeLayout::try_fit_row`]): there is no subtree depth for which
+    /// the row-alignment guarantees (`subtrees_per_path`, one activation per
+    /// subtree) hold, so proceeding would silently straddle rows.
     pub fn fit_row(levels: u32, bucket_bytes: u64, row_bytes: u64) -> Self {
+        Self::try_fit_row(levels, bucket_bytes, row_bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SubtreeLayout::fit_row`]: returns `Err` when even a
+    /// depth-1 subtree (a single bucket of `bucket_bytes`) exceeds
+    /// `row_bytes`, instead of silently building a layout whose subtrees
+    /// straddle DRAM rows while `subtrees_per_path()` still reports
+    /// row-aligned counts.
+    pub fn try_fit_row(levels: u32, bucket_bytes: u64, row_bytes: u64) -> Result<Self, String> {
+        if bucket_bytes > row_bytes {
+            return Err(format!(
+                "bucket of {bucket_bytes} B exceeds the {row_bytes} B DRAM row: \
+                 no subtree depth is row-aligned"
+            ));
+        }
         let mut best = 1u32;
         for s in 1..=levels.min(16) {
             let size = ((1u64 << s) - 1) * bucket_bytes;
@@ -111,7 +133,7 @@ impl SubtreeLayout {
                 break;
             }
         }
-        Self::new(levels, bucket_bytes, best)
+        Ok(Self::new(levels, bucket_bytes, best))
     }
 
     /// The subtree depth chosen for this layout.
@@ -128,6 +150,11 @@ impl SubtreeLayout {
 impl TreeLayout for SubtreeLayout {
     fn bucket_address(&self, node: u64) -> u64 {
         debug_assert!(node >= 1);
+        assert!(
+            node < (1u64 << self.levels),
+            "node {node} outside tree of {} levels",
+            self.levels
+        );
         let level = 63 - node.leading_zeros() as u64; // depth of `node`
         let s = self.subtree_levels as u64;
         let layer = level / s;
@@ -245,5 +272,29 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn zero_levels_panics() {
         let _ = LinearLayout::new(0, 64);
+    }
+
+    #[test]
+    fn try_fit_row_rejects_bucket_larger_than_row() {
+        // A 16 KiB bucket cannot be row-aligned in an 8 KiB row: the old
+        // code silently returned subtree_levels = 1 here.
+        let err = SubtreeLayout::try_fit_row(10, 16 * 1024, 8 * 1024).unwrap_err();
+        assert!(err.contains("exceeds"), "got: {err}");
+        // Exactly one bucket per row is fine.
+        let layout = SubtreeLayout::try_fit_row(10, 8 * 1024, 8 * 1024).unwrap();
+        assert_eq!(layout.subtree_levels(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn fit_row_panics_on_oversize_bucket() {
+        let _ = SubtreeLayout::fit_row(10, 16 * 1024, 8 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tree")]
+    fn subtree_address_rejects_node_outside_tree() {
+        let layout = SubtreeLayout::new(5, 256, 5);
+        let _ = layout.bucket_address(1 << 5);
     }
 }

@@ -90,6 +90,10 @@ pub struct BaselineController {
     stats: OramStats,
     label_trace: Option<Vec<u64>>,
     bursts_per_bucket: u64,
+    /// Reusable node-id buffer for the per-access read phase.
+    path_nodes: Vec<u64>,
+    /// Reusable DRAM burst batch buffer.
+    batch_scratch: Vec<(u64, AccessKind)>,
 }
 
 impl BaselineController {
@@ -128,6 +132,8 @@ impl BaselineController {
             stats: OramStats::default(),
             label_trace: None,
             bursts_per_bucket,
+            path_nodes: Vec::new(),
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -245,9 +251,11 @@ impl BaselineController {
             }
             // Read phase: the complete path.
             let access_start = self.clock_ps;
-            let nodes = self.state.load_path_range(old, 0, levels);
+            let mut nodes = std::mem::take(&mut self.path_nodes);
+            self.state.load_path_range_into(old, 0, levels, &mut nodes);
             let read_end = self.read_phase_timing(&nodes);
             self.stats.buckets_read += nodes.len() as u64;
+            self.path_nodes = nodes;
 
             // Block handling between the phases.
             if i + 1 < chain.len() {
@@ -283,18 +291,32 @@ impl BaselineController {
     }
 
     /// Refills the full path and advances the clock past the write phase.
+    ///
+    /// The refill is an *ordered* leaf-to-root stream of bucket writes —
+    /// the order the adversary observes, which the Fork Path
+    /// dummy-replacing window is defined over — so buckets are committed
+    /// one at a time rather than as a freely reordered batch.
     fn refill(&mut self, leaf: u64, read_end: u64) {
         let levels = self.state.config().levels;
-        let nodes = self.state.evict_range(leaf, 0, levels);
-        let write_end = self.write_phase_timing(&nodes, read_end);
-        self.stats.buckets_written += nodes.len() as u64;
-        self.clock_ps = write_end;
+        self.clock_ps = read_end;
+        let mut t = read_end;
+        for level in (0..=levels).rev() {
+            let node = self.state.evict_level(leaf, level);
+            match self.cache.insert_on_write(node) {
+                WriteOutcome::Cached => {}
+                WriteOutcome::WriteThrough => t = self.write_bucket_at(node, t),
+                WriteOutcome::CachedEvicting { victim } => t = self.write_bucket_at(victim, t),
+            }
+            self.stats.buckets_written += 1;
+        }
+        self.clock_ps = t + CTRL_PHASE_LATENCY_PS;
     }
 
     /// Issues DRAM reads for `nodes` (minus cache hits) at the current
     /// clock; returns when the data is available.
     fn read_phase_timing(&mut self, nodes: &[u64]) -> u64 {
-        let mut batch = Vec::with_capacity(nodes.len() * self.bursts_per_bucket as usize);
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
         for &node in nodes {
             if self.cache.lookup_for_read(node) {
                 self.stats.cache_hits += 1;
@@ -303,35 +325,28 @@ impl BaselineController {
             self.stats.cache_misses += 1;
             self.push_bucket_bursts(&mut batch, node, AccessKind::Read);
         }
-        self.finish_batch(batch)
-    }
-
-    /// Issues DRAM writes for refilled `nodes` (minus cache absorptions)
-    /// starting at `start`; returns when the writes drain.
-    ///
-    /// The refill is an *ordered* leaf-to-root stream of bucket writes —
-    /// the order the adversary observes, which the Fork Path
-    /// dummy-replacing window is defined over — so buckets are issued
-    /// sequentially rather than as a freely reordered batch.
-    fn write_phase_timing(&mut self, nodes: &[u64], start: u64) -> u64 {
-        self.clock_ps = start;
-        let mut t = start;
-        for &node in nodes {
-            match self.cache.insert_on_write(node) {
-                WriteOutcome::Cached => {}
-                WriteOutcome::WriteThrough => t = self.write_bucket_at(node, t),
-                WriteOutcome::CachedEvicting { victim } => t = self.write_bucket_at(victim, t),
-            }
-        }
-        t + CTRL_PHASE_LATENCY_PS
+        let end = if batch.is_empty() {
+            self.clock_ps + CTRL_PHASE_LATENCY_PS
+        } else {
+            self.stats.dram_blocks_read += batch.len() as u64;
+            self.dram
+                .access_batch(self.clock_ps, &batch)
+                .batch_finish_ps
+                + CTRL_PHASE_LATENCY_PS
+        };
+        self.batch_scratch = batch;
+        end
     }
 
     /// Writes one bucket's bursts starting at `t`; returns the commit time.
     fn write_bucket_at(&mut self, node: u64, t: u64) -> u64 {
-        let mut batch = Vec::with_capacity(self.bursts_per_bucket as usize);
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
         self.push_bucket_bursts(&mut batch, node, AccessKind::Write);
         self.stats.dram_blocks_written += batch.len() as u64;
-        self.dram.access_batch(t, &batch).batch_finish_ps
+        let end = self.dram.access_batch(t, &batch).batch_finish_ps;
+        self.batch_scratch = batch;
+        end
     }
 
     fn push_bucket_bursts(&self, batch: &mut Vec<(u64, AccessKind)>, node: u64, kind: AccessKind) {
@@ -339,18 +354,6 @@ impl BaselineController {
         for i in 0..self.bursts_per_bucket {
             batch.push((base + i * self.dram.config().burst_bytes, kind));
         }
-    }
-
-    fn finish_batch(&mut self, batch: Vec<(u64, AccessKind)>) -> u64 {
-        if batch.is_empty() {
-            return self.clock_ps + CTRL_PHASE_LATENCY_PS;
-        }
-        match batch[0].1 {
-            AccessKind::Read => self.stats.dram_blocks_read += batch.len() as u64,
-            AccessKind::Write => self.stats.dram_blocks_written += batch.len() as u64,
-        }
-        let result = self.dram.access_batch(self.clock_ps, &batch);
-        result.batch_finish_ps + CTRL_PHASE_LATENCY_PS
     }
 
     /// Background eviction (Ren et al. [18]): if the stash exceeds its
@@ -363,13 +366,13 @@ impl BaselineController {
             if let Some(trace) = &mut self.label_trace {
                 trace.push(label);
             }
-            let nodes = self.state.load_path_range(label, 0, levels);
+            let mut nodes = std::mem::take(&mut self.path_nodes);
+            self.state
+                .load_path_range_into(label, 0, levels, &mut nodes);
             let read_end = self.read_phase_timing(&nodes);
             self.stats.buckets_read += nodes.len() as u64;
-            let wnodes = self.state.evict_range(label, 0, levels);
-            let write_end = self.write_phase_timing(&wnodes, read_end);
-            self.stats.buckets_written += wnodes.len() as u64;
-            self.clock_ps = write_end;
+            self.path_nodes = nodes;
+            self.refill(label, read_end);
             self.stats.oram_accesses += 1;
             self.stats.dummy_accesses += 1;
             self.stats.background_evictions += 1;

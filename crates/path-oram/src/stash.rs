@@ -51,6 +51,10 @@ pub struct Stash {
     high_water: usize,
     /// Trace spine (clones share it); push/evict events report here.
     trace: TraceHandle,
+    /// Reusable candidate buffer for [`Stash::plan_eviction`] — the planner
+    /// runs on every access, so its scratch must not be reallocated per
+    /// call.
+    plan_scratch: Vec<(u32, u64)>,
 }
 
 impl Stash {
@@ -64,6 +68,7 @@ impl Stash {
             capacity,
             high_water: 0,
             trace: TraceHandle::default(),
+            plan_scratch: Vec::new(),
         }
     }
 
@@ -176,13 +181,16 @@ impl Stash {
         z: usize,
     ) -> Vec<(u32, Vec<Block>)> {
         debug_assert!(level_lo <= level_hi && level_hi <= levels);
-        // Bucket candidate depth for every stash block.
-        let mut candidates: Vec<(u32, u64)> = self
-            .blocks
-            .values()
-            .filter(|b| !self.pinned.contains(&b.addr))
-            .map(|b| (divergence_level(levels, leaf, b.leaf), b.addr))
-            .collect();
+        // Bucket candidate depth for every stash block, collected into the
+        // reusable scratch buffer.
+        let mut candidates = std::mem::take(&mut self.plan_scratch);
+        candidates.clear();
+        candidates.extend(
+            self.blocks
+                .values()
+                .filter(|b| !self.pinned.contains(&b.addr))
+                .map(|b| (divergence_level(levels, leaf, b.leaf), b.addr)),
+        );
         // Deepest-eligible blocks first so they land as low as possible.
         candidates.sort_unstable_by(|a, b| b.cmp(a));
 
@@ -210,7 +218,44 @@ impl Stash {
             }
             out.push((level, chosen));
         }
+        self.plan_scratch = candidates;
         out
+    }
+
+    /// Single-level variant of [`Stash::plan_eviction`]: returns the blocks
+    /// for the bucket at `level` only, choosing exactly as
+    /// `plan_eviction(levels, leaf, level, level, z)` would but without the
+    /// per-level plan `Vec`.
+    pub fn plan_eviction_level(
+        &mut self,
+        levels: u32,
+        leaf: u64,
+        level: u32,
+        z: usize,
+    ) -> Vec<Block> {
+        debug_assert!(level <= levels);
+        let mut candidates = std::mem::take(&mut self.plan_scratch);
+        candidates.clear();
+        candidates.extend(
+            self.blocks
+                .values()
+                .filter(|b| !self.pinned.contains(&b.addr))
+                .map(|b| (divergence_level(levels, leaf, b.leaf), b.addr)),
+        );
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        let mut chosen = Vec::with_capacity(z);
+        for &(depth, addr) in candidates.iter() {
+            if chosen.len() >= z || depth < level {
+                break;
+            }
+            if let Some(block) = self.blocks.remove(&addr) {
+                debug_assert!(placement_legal(levels, leaf, block.leaf, level));
+                self.trace.record_now(EventKind::StashEvict { addr });
+                chosen.push(block);
+            }
+        }
+        self.plan_scratch = candidates;
+        chosen
     }
 
     /// Like [`Stash::plan_eviction`] for the full path (levels `0..=L`).

@@ -182,20 +182,33 @@ impl OramState {
     /// Read phase: decrypts the buckets at `level_lo..=level_hi` of the path
     /// to `leaf` into the stash. Returns the bucket node ids in level order.
     pub fn load_path_range(&mut self, leaf: u64, level_lo: u32, level_hi: u32) -> Vec<u64> {
-        debug_assert!(level_lo <= level_hi && level_hi <= self.cfg.levels);
         let mut nodes = Vec::with_capacity((level_hi - level_lo + 1) as usize);
+        self.load_path_range_into(leaf, level_lo, level_hi, &mut nodes);
+        nodes
+    }
+
+    /// [`OramState::load_path_range`] into a caller-provided node buffer
+    /// (cleared first), so per-access controllers can reuse one allocation.
+    pub fn load_path_range_into(
+        &mut self,
+        leaf: u64,
+        level_lo: u32,
+        level_hi: u32,
+        nodes: &mut Vec<u64>,
+    ) {
+        debug_assert!(level_lo <= level_hi && level_hi <= self.cfg.levels);
+        nodes.clear();
         for level in level_lo..=level_hi {
             let node = node_at_level(self.cfg.levels, leaf, level);
-            for block in self.tree.read_bucket(node) {
+            // Draining the bucket moves its contents to the stash and leaves
+            // the stale tree copy empty (it is rewritten at refill), keeping
+            // the "block is in stash XOR on its path" invariant checkable —
+            // without cloning blocks or re-encrypting an empty bucket.
+            for block in self.tree.take_bucket(node) {
                 self.stash.insert(block);
             }
-            // The bucket's contents now live in the stash; the stale copy in
-            // the tree will be overwritten at refill. Clearing it keeps the
-            // "block is in stash XOR on its path" invariant checkable.
-            self.tree.write_bucket(node, Vec::new());
             nodes.push(node);
         }
-        nodes
     }
 
     /// Completes a posmap chain step: takes the parent posmap block from the
@@ -305,6 +318,19 @@ impl OramState {
             nodes.push(node);
         }
         nodes
+    }
+
+    /// Refill phase for a single level — the streaming variant of
+    /// [`OramState::evict_range`] for controllers that commit the refill
+    /// bucket by bucket (leaf to root), avoiding a `Vec` per bucket.
+    /// Returns the written bucket's node id.
+    pub fn evict_level(&mut self, leaf: u64, level: u32) -> u64 {
+        let blocks = self
+            .stash
+            .plan_eviction_level(self.cfg.levels, leaf, level, self.cfg.z);
+        let node = node_at_level(self.cfg.levels, leaf, level);
+        self.tree.write_bucket(node, blocks);
+        node
     }
 
     /// Takes `addr` from the stash or materializes it (first touch).

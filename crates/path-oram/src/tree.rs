@@ -75,6 +75,22 @@ impl TreeStore {
         }
     }
 
+    /// Removes bucket `node` from the store and returns its decrypted real
+    /// blocks. Equivalent to `read_bucket` followed by clearing the bucket,
+    /// but without cloning the blocks or re-encrypting an empty bucket —
+    /// this is the read-phase hot path (the stale tree copy is dead the
+    /// moment its blocks enter the stash, and the refill overwrites it).
+    pub fn take_bucket(&mut self, node: u64) -> Vec<Block> {
+        match self.buckets.remove(&node) {
+            None => Vec::new(),
+            Some(StoredBucket::Plain(blocks)) => blocks,
+            Some(StoredBucket::Sealed { nonce, ciphertext }) => {
+                let plain = self.cipher.decrypt(nonce, &ciphertext);
+                deserialize_bucket(&plain, self.z, self.block_bytes)
+            }
+        }
+    }
+
     /// Writes bucket `node` with up to `Z` real blocks (the remainder of the
     /// bucket is dummies).
     ///
@@ -225,6 +241,18 @@ mod tests {
     fn wrong_payload_size_panics() {
         let mut store = TreeStore::new(&cfg(CipherMode::Transparent), [0; 32]);
         store.write_bucket(1, vec![Block::new(0, 0, vec![0; 3])]);
+    }
+
+    #[test]
+    fn take_bucket_drains_and_reads_empty_after() {
+        for mode in [CipherMode::Transparent, CipherMode::Real] {
+            let mut store = TreeStore::new(&cfg(mode), [9; 32]);
+            let blocks = vec![Block::new(3, 5, vec![7; 16]), Block::new(4, 1, vec![9; 16])];
+            store.write_bucket(10, blocks.clone());
+            assert_eq!(store.take_bucket(10), blocks);
+            assert!(store.read_bucket(10).is_empty(), "drained after take");
+            assert!(store.take_bucket(99).is_empty(), "untouched bucket");
+        }
     }
 
     #[test]

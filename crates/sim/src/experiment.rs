@@ -53,26 +53,53 @@ pub fn mix_workload(mix: &Mix, budget: MissBudget, seed: u64) -> MultiCoreWorklo
 
 /// Runs one scheme over every Table 2 mix (in parallel), returning results
 /// in mix order with workload names filled in.
+///
+/// A mix whose run panics is reported on stderr and dropped from the
+/// results; the remaining mixes still land (a sweep must not lose hours of
+/// results to one bad configuration).
 pub fn run_all_mixes(cfg: &SystemConfig, scheme: &Scheme, budget: MissBudget) -> Vec<RunResult> {
-    let all = mixes::all();
+    run_mixes(cfg, scheme, budget, &mixes::all())
+}
+
+/// Runs one scheme over the given mixes (in parallel), returning the
+/// surviving results in mix order. See [`run_all_mixes`] for the
+/// panic-isolation contract.
+pub fn run_mixes(
+    cfg: &SystemConfig,
+    scheme: &Scheme,
+    budget: MissBudget,
+    mixes: &[Mix],
+) -> Vec<RunResult> {
     thread::scope(|s| {
-        let handles: Vec<_> = all
+        let handles: Vec<_> = mixes
             .iter()
             .map(|mix| {
                 let cfg = cfg.clone();
                 let scheme = scheme.clone();
-                s.spawn(move || {
+                let handle = s.spawn(move || {
                     let wl = mix_workload(mix, budget, cfg.seed ^ 0x5eed);
                     let mut r = run_workload(&cfg, scheme, wl);
                     r.workload = mix.name.to_string();
                     r
-                })
+                });
+                (mix.name, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect::<Vec<_>>()
+            .filter_map(|(name, h)| match h.join() {
+                Ok(r) => Some(r),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("unknown panic");
+                    eprintln!("warning: mix {name} failed: {msg}; continuing with remaining mixes");
+                    None
+                }
+            })
+            .collect()
     })
 }
 
@@ -186,6 +213,31 @@ mod tests {
         let norm = normalized_latency(&results, &[make(0.0), make(100.0)]);
         assert_eq!(norm[0], 0.0);
         assert!(norm.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn one_panicking_mix_does_not_sink_the_sweep() {
+        // Regression: `run_all_mixes` used to `h.join().expect(...)`, so a
+        // single bad configuration (e.g. a working set exceeding the ORAM
+        // capacity) re-panicked on the collector thread and threw away every
+        // other mix's result. Pre-fix this test dies; post-fix the surviving
+        // mix still lands and the failure is reported on stderr.
+        let cfg = SystemConfig::fast_test();
+        let mut good = fp_workloads::mixes::all()[4].clone();
+        good.name = "GoodMix";
+        for p in &mut good.programs {
+            p.working_set_blocks = 1 << 12;
+        }
+        let mut bad = good.clone();
+        bad.name = "BadMix";
+        for p in &mut bad.programs {
+            // Far beyond the fast_test ORAM capacity: run_workload panics.
+            p.working_set_blocks = 1 << 40;
+        }
+        let results = run_mixes(&cfg, &Scheme::ForkDefault, MissBudget::Fast, &[good, bad]);
+        assert_eq!(results.len(), 1, "the healthy mix must survive");
+        assert_eq!(results[0].workload, "GoodMix");
+        assert!(results[0].oram_latency_ns > 0.0);
     }
 
     #[test]

@@ -9,3 +9,12 @@ cargo fmt --all -- --check
 cargo clippy --offline --workspace -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
+
+# Perf-gate smoke check: the gate must run and emit valid JSON (it
+# validates via fp_stats::json::validate and exits nonzero otherwise).
+# No timing threshold here — wall-clock numbers are tracked across PRs in
+# BENCH_perf.json, not gated in CI.
+tmp_perf="$(mktemp)"
+cargo run --release --offline -q -p fp-bench --bin perf_gate -- --fast --out "$tmp_perf" >/dev/null
+rm -f "$tmp_perf"
+echo "tier1 OK"

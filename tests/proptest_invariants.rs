@@ -7,9 +7,11 @@
 //!
 //! [`propcheck`]: fork_path_oram::propcheck
 
-use fork_path_oram::core::{ForkConfig, ForkPathController, MergingAwareCache};
+use fork_path_oram::core::{
+    ForkConfig, ForkPathController, MergingAwareCache, PosMapLookasideBuffer,
+};
 use fork_path_oram::dram::{DramConfig, DramSystem};
-use fork_path_oram::path_oram::cache::BucketCache;
+use fork_path_oram::path_oram::cache::{BucketCache, WriteOutcome};
 use fork_path_oram::path_oram::path::{
     divergence_level, node_at_level, node_level, overlap_degree, path_contains, path_nodes,
 };
@@ -127,6 +129,234 @@ fn mac_set_index_stays_in_bounds() {
             let _ = mac.lookup_for_read(node);
         }
     });
+}
+
+// ---------- optimized hot-path structures vs reference models ---------
+//
+// The PLB and the MAC were rewritten for O(1)/single-pass operation (the
+// PLB as a hashmap-indexed intrusive LRU list, the MAC as a flat way-slab).
+// These properties pin the optimized implementations to straightforward
+// reference models — the shapes of the original implementations — over
+// randomized access streams: every observable (return values, membership,
+// occupancy) must agree at every step.
+
+/// Reference LRU: the `VecDeque` + linear-scan shape the PLB replaced.
+struct RefPlb {
+    queue: std::collections::VecDeque<u64>,
+    capacity: usize,
+}
+
+impl RefPlb {
+    fn touch(&mut self, addr: u64) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(pos) = self.queue.iter().position(|&a| a == addr) {
+            self.queue.remove(pos);
+            self.queue.push_back(addr);
+            return None;
+        }
+        self.queue.push_back(addr);
+        if self.queue.len() > self.capacity {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
+#[test]
+fn plb_matches_lru_reference_model() {
+    run_cases("plb_matches_lru_reference_model", CASES, |g: &mut Gen| {
+        let capacity = g.range_usize(0, 24);
+        // A small address universe forces plenty of hits, refreshes of
+        // middle elements, and evictions.
+        let addrs = g.vec(1, 200, |g| g.below(40));
+        let mut plb = PosMapLookasideBuffer::new(capacity);
+        let mut reference = RefPlb {
+            queue: Default::default(),
+            capacity,
+        };
+        for &addr in &addrs {
+            assert_eq!(
+                plb.touch(addr),
+                reference.touch(addr),
+                "touch({addr}) diverged (capacity {capacity})"
+            );
+            assert_eq!(plb.len(), reference.queue.len());
+            assert_eq!(plb.is_empty(), reference.queue.is_empty());
+            for probe in 0..40 {
+                assert_eq!(
+                    plb.contains(probe),
+                    reference.queue.contains(&probe),
+                    "contains({probe}) diverged"
+                );
+            }
+        }
+    });
+}
+
+/// Reference MAC line and per-set `Vec` storage: the growable-sets,
+/// two-pass-scan shape the flat-slab MAC replaced. Geometry (resident
+/// window, fold region) follows the same sizing rule.
+struct RefMac {
+    sets: Vec<Vec<(u64, u64, bool)>>, // (node, last_use, dirty)
+    ways: usize,
+    m1: u32,
+    full_levels: u32,
+    partial_sets: u64,
+    partial_base: u64,
+    tick: u64,
+    resident: usize,
+}
+
+impl RefMac {
+    fn new(num_sets: usize, ways: usize, m1: u32, leaf_level: u32) -> Self {
+        let slots = (num_sets * ways) as u64;
+        let level_budget = leaf_level.saturating_sub(m1).saturating_add(1);
+        let mut full_levels = 0u32;
+        while full_levels < 40.min(level_budget)
+            && (1u128 << (m1 + full_levels + 1)) - (1u128 << m1) <= slots as u128
+        {
+            full_levels += 1;
+        }
+        let used_slots = if full_levels == 0 {
+            0
+        } else {
+            (1u64 << (m1 + full_levels)) - (1u64 << m1)
+        };
+        let partial_base = used_slots.div_ceil(ways as u64);
+        let partial_sets = if m1 + full_levels <= leaf_level {
+            (num_sets as u64).saturating_sub(partial_base)
+        } else {
+            0
+        };
+        Self {
+            sets: vec![Vec::new(); num_sets],
+            ways,
+            m1,
+            full_levels,
+            partial_sets,
+            partial_base,
+            tick: 0,
+            resident: 0,
+        }
+    }
+
+    fn deepest_level(&self) -> u32 {
+        if self.partial_sets > 0 {
+            self.m1 + self.full_levels
+        } else {
+            self.m1 + self.full_levels - 1
+        }
+    }
+
+    fn set_index(&self, node: u64) -> usize {
+        let x = fork_path_oram::path_oram::path::node_level(node);
+        let y = fork_path_oram::path_oram::path::index_in_level(node);
+        if self.full_levels > 0 && x < self.m1 + self.full_levels {
+            let slot = (1u64 << x) - (1u64 << self.m1) + y;
+            (slot / self.ways as u64) as usize
+        } else {
+            (self.partial_base + (y % self.partial_sets)) as usize
+        }
+    }
+
+    fn cacheable(&self, node: u64) -> bool {
+        let level = fork_path_oram::path_oram::path::node_level(node);
+        (self.m1..=self.deepest_level()).contains(&level)
+    }
+
+    fn lookup_for_read(&mut self, node: u64) -> bool {
+        if !self.cacheable(node) {
+            return false;
+        }
+        self.tick += 1;
+        let set = self.set_index(node);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.0 == node) {
+            line.1 = self.tick;
+            line.2 = false; // placeholder
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert_on_write(&mut self, node: u64) -> WriteOutcome {
+        if !self.cacheable(node) {
+            return WriteOutcome::WriteThrough;
+        }
+        self.tick += 1;
+        let ways = self.ways;
+        let set = self.set_index(node);
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.0 == node) {
+            line.1 = self.tick;
+            line.2 = true;
+            return WriteOutcome::Cached;
+        }
+        if lines.len() < ways {
+            lines.push((node, self.tick, true));
+            self.resident += 1;
+            return WriteOutcome::Cached;
+        }
+        // Scan for the LRU victim, placeholders preferred.
+        let victim = (0..lines.len())
+            .min_by_key(|&i| (lines[i].2, lines[i].1))
+            .expect("full set");
+        let old = lines[victim];
+        lines[victim] = (node, self.tick, true);
+        if old.2 {
+            WriteOutcome::CachedEvicting { victim: old.0 }
+        } else {
+            WriteOutcome::Cached
+        }
+    }
+}
+
+#[test]
+fn mac_matches_per_set_reference_model() {
+    run_cases(
+        "mac_matches_per_set_reference_model",
+        CASES,
+        |g: &mut Gen| {
+            let num_sets = g.range_usize(1, 48);
+            let ways = g.range_usize(1, 4);
+            let m1 = g.range_u32(1, 4);
+            // Sometimes unclamped (u32::MAX), sometimes a shallow tree so the
+            // clamp and bypass paths are exercised too.
+            let leaf_level = if g.bool() {
+                u32::MAX
+            } else {
+                m1 + g.range_u32(0, 8)
+            };
+            let mut mac = MergingAwareCache::new_for_tree(num_sets, ways, m1, leaf_level);
+            let mut reference = RefMac::new(num_sets, ways, m1, leaf_level);
+            assert_eq!(mac.deepest_level(), reference.deepest_level());
+            let top = reference.deepest_level().min(20) + 2;
+            let ops = g.vec(1, 300, |g| {
+                let level = g.range_u32(0, top);
+                let node = (1u64 << level) + g.below(1 << level);
+                (node, g.bool())
+            });
+            for &(node, write) in &ops {
+                if write {
+                    assert_eq!(
+                        mac.insert_on_write(node),
+                        reference.insert_on_write(node),
+                        "insert_on_write({node}) diverged"
+                    );
+                } else {
+                    assert_eq!(
+                        mac.lookup_for_read(node),
+                        reference.lookup_for_read(node),
+                        "lookup_for_read({node}) diverged"
+                    );
+                }
+                assert_eq!(mac.resident(), reference.resident);
+            }
+        },
+    );
 }
 
 // ---------- whole-ORAM state ------------------------------------------

@@ -3,10 +3,17 @@
 //!
 //! Paper shape: high-intensity mixes suffer the largest ORAM slowdowns;
 //! Fork Path with a 1 MiB MAC cuts execution time by ~58 % vs traditional.
+//!
+//! The sweep writes `results/fig14_sweep.json` with every scheme's raw
+//! results *and* its failed mixes, so a partial sweep is visible in the
+//! artifact rather than only on stderr. Rows are joined by workload name:
+//! a mix that failed under one scheme is skipped consistently everywhere
+//! instead of silently misaligning the table.
 
 use fp_bench::{caching_schemes, print_cols, print_row, print_title};
-use fp_sim::experiment::{run_all_mixes, MissBudget};
+use fp_sim::experiment::{run_all_mixes_reported, MissBudget, SweepOutcome};
 use fp_sim::metrics::geomean;
+use fp_sim::report::{sweep_to_json, write_results_file};
 use fp_sim::{Scheme, SystemConfig};
 
 fn main() {
@@ -16,7 +23,7 @@ fn main() {
 
     print_title("Fig 14: full-system slowdown vs insecure processor");
 
-    let insecure = run_all_mixes(&cfg, &Scheme::Insecure, budget);
+    let insecure = run_all_mixes_reported(&cfg, &Scheme::Insecure, budget);
     let mut schemes: Vec<(String, Scheme)> = vec![("Traditional".to_string(), Scheme::Traditional)];
     schemes.extend(
         caching_schemes()
@@ -24,14 +31,37 @@ fn main() {
             .map(|(n, s)| (n.to_string(), s)),
     );
 
+    let mut sweeps: Vec<(String, SweepOutcome)> = vec![("Insecure".to_string(), insecure)];
+    for (name, scheme) in &schemes {
+        let outcome = run_all_mixes_reported(&cfg, scheme, budget);
+        sweeps.push((name.clone(), outcome));
+    }
+    let insecure = &sweeps[0].1;
+
+    // Join by workload name: only mixes that survived every sweep make the
+    // table; the JSON report below records the casualties.
+    let complete: Vec<&str> = insecure
+        .results
+        .iter()
+        .map(|r| r.workload.as_str())
+        .filter(|w| sweeps.iter().all(|(_, o)| o.result_for(w).is_some()))
+        .collect();
+
     let mut columns: Vec<Vec<f64>> = Vec::new();
-    for (_, scheme) in &schemes {
-        let results = run_all_mixes(&cfg, scheme, budget);
+    for (name, _) in &schemes {
+        let outcome = &sweeps
+            .iter()
+            .find(|(label, _)| label == name)
+            .expect("sweep label")
+            .1;
         columns.push(
-            results
+            complete
                 .iter()
-                .zip(&insecure)
-                .map(|(r, b)| r.exec_time_ps as f64 / b.exec_time_ps as f64)
+                .map(|w| {
+                    let r = outcome.result_for(w).expect("joined on complete mixes");
+                    let b = insecure.result_for(w).expect("joined on complete mixes");
+                    r.exec_time_ps as f64 / b.exec_time_ps as f64
+                })
                 .collect(),
         );
     }
@@ -39,14 +69,22 @@ fn main() {
     let mut headers: Vec<String> = schemes.iter().map(|(n, _)| n.clone()).collect();
     headers.push("Insecure".into());
     print_cols("mix", &headers);
-    for (i, b) in insecure.iter().enumerate() {
+    for (i, w) in complete.iter().enumerate() {
         let mut row: Vec<f64> = columns.iter().map(|c| c[i]).collect();
         row.push(1.0);
-        print_row(&b.workload, &row);
+        print_row(w, &row);
     }
     let mut means: Vec<f64> = columns.iter().map(|c| geomean(c.iter().copied())).collect();
     means.push(1.0);
     print_row("geomean", &means);
+
+    let labeled: Vec<(String, &SweepOutcome)> =
+        sweeps.iter().map(|(label, o)| (label.clone(), o)).collect();
+    let report = sweep_to_json("fig14", &labeled);
+    match write_results_file("fig14_sweep.json", &report) {
+        Ok(path) => println!("\nsweep report written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write sweep report: {e}"),
+    }
 
     let reduction = 1.0 - means[4] / means[0];
     println!(

@@ -20,6 +20,7 @@
 use std::time::Instant;
 
 use fp_bench::fork_with_mac;
+use fp_service::{OramService, ServiceConfig};
 use fp_sim::experiment::{mix_workload, MissBudget};
 use fp_sim::{run_workload, Scheme, SystemConfig};
 use fp_stats::json::{self, JsonObject};
@@ -97,6 +98,41 @@ fn main() {
         rows.push(row);
     }
 
+    // Serving-layer scenario: the sharded fp-service (4 shards) driving
+    // the same Mix1 population through its deterministic closed-loop
+    // mode. Simulated req/s is seed-stable; wall req/s charts the
+    // simulator's speed like the scheme rows above.
+    let mut svc_cfg = ServiceConfig::fast_test(4);
+    svc_cfg.seed = GATE_SEED;
+    let svc_requests: u64 = if fast { 4_096 } else { 65_536 };
+    let started = Instant::now();
+    let svc = OramService::run_closed_loop(svc_cfg, &mix.programs, svc_requests)
+        .expect("perf_gate service scenario failed");
+    let svc_wall = started.elapsed();
+    let svc_wall_rps = svc.completed() as f64 / svc_wall.as_secs_f64().max(1e-9);
+    println!(
+        "{:<12} {:>10} {:>12.1} {:>14.0} {:>14}",
+        "service/4",
+        svc.completed(),
+        svc_wall.as_secs_f64() * 1e3,
+        svc_wall_rps,
+        "-"
+    );
+    let service_row = JsonObject::new()
+        .field_str("name", "service")
+        .field_u64("shards", 4)
+        .field_str("workload", mix.name)
+        .field_u64("requests", svc.completed())
+        .field_u64("expired", svc.expired())
+        .field_u64("completed_late", svc.completed_late())
+        .field_f64("wall_ms", svc_wall.as_secs_f64() * 1e3)
+        .field_f64("wall_requests_per_sec", svc_wall_rps)
+        .field_f64("sim_requests_per_sec", svc.sim_requests_per_sec())
+        .field_u64("sim_finish_ps", svc.sim_finish_ps())
+        .field_u64("latency_p50_ps", svc.p50_ps())
+        .field_u64("latency_p99_ps", svc.p99_ps())
+        .finish();
+
     let report = JsonObject::new()
         .field_str("bench", "perf_gate")
         .field_str("mode", if fast { "fast" } else { "full" })
@@ -106,6 +142,7 @@ fn main() {
             "fast_test/15-level tree, 64 B blocks, 2x DDR3-1600",
         )
         .field_raw("schemes", &json::array(rows))
+        .field_raw("service", &service_row)
         .finish();
 
     json::validate(&report).expect("perf_gate emitted invalid JSON");

@@ -1,0 +1,194 @@
+//! Closed-loop load harness for the sharded serving layer (`fp-service`).
+//!
+//! Drives a fixed-seed Mix1 client population through `OramService`'s
+//! deterministic closed-loop mode at each requested shard count and prints
+//! the scaling curve. The headline metric is *simulated* aggregate
+//! requests/sec (total completions over the slowest shard's simulated
+//! makespan): it is a pure function of the seed, so it is comparable
+//! across PRs and host machines, unlike wall-clock throughput, which is
+//! also reported. Sharding shrinks each shard's tree by `log2(N)` levels
+//! while the shards' simulated clocks advance concurrently, so aggregate
+//! simulated throughput must rise monotonically from 1 to 4 shards — the
+//! binary checks that invariant and exits nonzero if it fails.
+//!
+//! Usage: `service_bench [--smoke|--fast] [--shards 1,2,4,8]
+//!         [--requests <per-run>] [--seed <n>] [--out <path>]`
+//!
+//! * `--smoke` — tier-1 CI mode: a smaller tree and 10k total requests
+//!   across shard counts {1,2}; seconds of wall time.
+//! * `--fast` — reduced budget (16384 requests per shard count).
+//! * default — 262144 requests per shard count; over the default four
+//!   shard counts that is ≥1M requests total.
+//!
+//! The JSON report is validated with [`fp_stats::json::validate`] before
+//! being written (default `results/BENCH_service.json`). See
+//! EXPERIMENTS.md ("Serving layer") for the schema.
+
+use fp_service::{OramService, ServiceConfig, ServiceStats};
+use fp_stats::json::{self, JsonObject};
+use fp_workloads::mixes;
+
+/// Fixed service seed (decorrelated from perf_gate's workload seed).
+const BENCH_SEED: u64 = 0x5E2F_1CE0;
+
+struct Args {
+    shard_counts: Vec<usize>,
+    requests_per_run: u64,
+    seed: u64,
+    out_path: String,
+    mode: &'static str,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| argv.iter().any(|a| a == name);
+    let value = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let smoke = flag("--smoke");
+    let fast = flag("--fast");
+    let mode = if smoke {
+        "smoke"
+    } else if fast {
+        "fast"
+    } else {
+        "full"
+    };
+    let shard_counts: Vec<usize> = value("--shards")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--shards takes a CSV of counts"))
+                .collect()
+        })
+        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] });
+    let requests_per_run = value("--requests")
+        .map(|s| s.parse().expect("--requests takes a number"))
+        .unwrap_or(match mode {
+            "smoke" => 5_000,
+            "fast" => 16_384,
+            _ => 262_144,
+        });
+    let seed = value("--seed")
+        .map(|s| s.parse().expect("--seed takes a number"))
+        .unwrap_or(BENCH_SEED);
+    let out_path = value("--out").unwrap_or_else(|| "results/BENCH_service.json".to_string());
+    Args {
+        shard_counts,
+        requests_per_run,
+        seed,
+        out_path,
+        mode,
+        smoke,
+    }
+}
+
+fn config_for(args: &Args, shards: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::fast_test(shards);
+    cfg.seed = args.seed;
+    if args.smoke {
+        // Smaller global tree so tier-1 stays in low seconds.
+        cfg.oram.data_blocks = 1 << 12;
+        cfg.oram.levels = 11;
+        cfg.oram.onchip_posmap_entries = 1 << 6;
+    }
+    cfg
+}
+
+fn run_to_json(shards: usize, requests: u64, stats: &ServiceStats) -> String {
+    JsonObject::new()
+        .field_u64("shards", shards as u64)
+        .field_u64("requests", requests)
+        .field_raw("stats", &stats.to_json())
+        .finish()
+}
+
+fn main() {
+    let args = parse_args();
+    let mix = &mixes::all()[0];
+
+    println!("== service_bench ({}) ==", args.mode);
+    println!(
+        "{:<7} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>6}",
+        "shards",
+        "requests",
+        "wall_ms",
+        "wall_req/s",
+        "sim_ms",
+        "sim_req/s",
+        "p50_us",
+        "p99_us",
+        "late"
+    );
+
+    let mut rows = Vec::new();
+    let mut sim_curve: Vec<(usize, f64)> = Vec::new();
+    for &shards in &args.shard_counts {
+        let cfg = config_for(&args, shards);
+        let stats = OramService::run_closed_loop(cfg, &mix.programs, args.requests_per_run)
+            .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+        assert_eq!(
+            stats.completed(),
+            args.requests_per_run,
+            "shards={shards}: closed loop must complete its full budget"
+        );
+        println!(
+            "{:<7} {:>10} {:>10.1} {:>12.0} {:>10.2} {:>12.0} {:>10.1} {:>10.1} {:>6}",
+            shards,
+            stats.completed(),
+            stats.wall_ns as f64 / 1e6,
+            stats.wall_requests_per_sec(),
+            stats.sim_finish_ps() as f64 / 1e9,
+            stats.sim_requests_per_sec(),
+            stats.p50_ps() as f64 / 1e6,
+            stats.p99_ps() as f64 / 1e6,
+            stats.completed_late(),
+        );
+        sim_curve.push((shards, stats.sim_requests_per_sec()));
+        rows.push(run_to_json(shards, args.requests_per_run, &stats));
+    }
+
+    // Scaling invariant: aggregate simulated throughput must not regress
+    // as shards grow from 1 to 4 (8 shards may taper on a 2^16 tree).
+    let mut monotonic_1_to_4 = true;
+    let mut prev = 0.0f64;
+    for &(shards, rps) in sim_curve.iter().filter(|&&(s, _)| s <= 4) {
+        if rps <= prev {
+            monotonic_1_to_4 = false;
+            eprintln!(
+                "scaling violation: {shards} shards {:.0} req/s <= previous {:.0}",
+                rps, prev
+            );
+        }
+        prev = rps;
+    }
+
+    let report = JsonObject::new()
+        .field_str("bench", "service_bench")
+        .field_str("mode", args.mode)
+        .field_u64("seed", args.seed)
+        .field_u64("requests_per_run", args.requests_per_run)
+        .field_str("workload", mix.name)
+        .field_raw(
+            "shard_counts",
+            &json::array(args.shard_counts.iter().map(|s| s.to_string())),
+        )
+        .field_bool("sim_rps_monotonic_1_to_4", monotonic_1_to_4)
+        .field_raw("runs", &json::array(rows))
+        .finish();
+    json::validate(&report).expect("service_bench emitted invalid JSON");
+    if let Some(dir) = std::path::Path::new(&args.out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out_path, format!("{report}\n")).expect("write service report");
+    println!("report written to {}", args.out_path);
+
+    assert!(
+        monotonic_1_to_4,
+        "aggregate simulated req/s must rise monotonically from 1 to 4 shards"
+    );
+}

@@ -172,6 +172,42 @@ impl ForkPathController {
         arrival_ps: u64,
         tag: u64,
     ) -> Result<u64, ControllerError> {
+        let id = self.enqueue_request(addr, op, data, arrival_ps, tag);
+        self.pump()?;
+        Ok(id)
+    }
+
+    /// Batch-admission handoff for external drivers (the serving layer):
+    /// every request is enqueued first — hazard shortcuts still fire per
+    /// request — and the pipeline is pumped once at the end, so a batch of
+    /// `n` requests costs one scheduler fill instead of `n`. Returns the
+    /// assigned ids in batch order.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal bookkeeping invariant violations.
+    pub fn submit_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = crate::reactive::NewRequest>,
+    ) -> Result<Vec<u64>, ControllerError> {
+        let ids = batch
+            .into_iter()
+            .map(|r| self.enqueue_request(r.addr, r.op, r.data, r.arrival_ps, r.tag))
+            .collect();
+        self.pump()?;
+        Ok(ids)
+    }
+
+    /// Enqueues one request into the address queue (no pump), applying the
+    /// hazard shortcuts, and returns its id.
+    fn enqueue_request(
+        &mut self,
+        addr: u64,
+        op: Op,
+        data: Vec<u8>,
+        arrival_ps: u64,
+        tag: u64,
+    ) -> u64 {
         let id = self.next_req_id;
         self.next_req_id += 1;
         let payload = match op {
@@ -222,8 +258,7 @@ impl ForkPathController {
                 });
             }
         }
-        self.pump()?;
-        Ok(id)
+        id
     }
 
     /// Executes one ORAM access (read phase, block handling, refill).

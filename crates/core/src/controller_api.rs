@@ -22,6 +22,14 @@ impl ForkPathController {
         !self.aq.is_empty() || !self.flights.is_empty()
     }
 
+    /// Whether the controller still holds real work — queued, stalled, in
+    /// flight, or a revealed pending real access. External drivers (the
+    /// serving layer's shard workers) use this to decide between admitting
+    /// the next batch and processing what is already inside.
+    pub fn has_pending_work(&self) -> bool {
+        self.has_real_work() || self.current.as_ref().is_some_and(|c| !c.is_dummy())
+    }
+
     /// Routes every not-yet-fed completion through `source`, submitting any
     /// follow-up requests it produces, until quiescent.
     pub(super) fn flush_feedback<S: ReactiveSource>(

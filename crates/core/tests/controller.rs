@@ -323,6 +323,51 @@ fn stage_stats_match_aggregate_record() {
 }
 
 #[test]
+fn submit_batch_matches_sequential_submits() {
+    // The batch handoff (one pump after N enqueues) must complete the same
+    // requests with the same data as N pumped submits; ids stay in order.
+    let run = |batched: bool| {
+        let mut ctl = fork(ForkConfig::default());
+        for a in 0..16u64 {
+            ctl.submit(a, Op::Write, vec![a as u8; 16], 0);
+        }
+        ctl.run_to_idle();
+        let t = ctl.clock_ps();
+        if batched {
+            let batch: Vec<NewRequest> = (0..16u64)
+                .map(|a| NewRequest {
+                    addr: a,
+                    op: Op::Read,
+                    data: vec![],
+                    arrival_ps: t,
+                    tag: a,
+                })
+                .collect();
+            let ids = ctl.submit_batch(batch).unwrap();
+            assert_eq!(ids.len(), 16);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids in submit order");
+        } else {
+            for a in 0..16u64 {
+                ctl.submit(a, Op::Read, vec![], t);
+            }
+        }
+        let mut done: Vec<(u64, Vec<u8>)> = ctl
+            .run_to_idle()
+            .into_iter()
+            .map(|c| (c.addr, c.data))
+            .collect();
+        done.sort();
+        done
+    };
+    let batched = run(true);
+    assert_eq!(batched.len(), 16);
+    for (a, data) in &batched {
+        assert_eq!(data[0], *a as u8);
+    }
+    assert_eq!(batched, run(false));
+}
+
+#[test]
 fn invalid_config_surfaces_typed_error() {
     use fp_core::ControllerError;
     let mut cfg = ForkConfig::default();

@@ -1,0 +1,72 @@
+//! # fp-service
+//!
+//! A sharded, concurrent serving layer over the Fork Path ORAM controller:
+//! the paper's single-controller pipeline (`fp-core`), scaled out the way a
+//! secure-memory *service* would deploy it.
+//!
+//! ## Architecture
+//!
+//! * **Sharding** ([`ServiceConfig`]) — the global block address space is
+//!   interleaved across `N` independent [`fp_core::ForkPathController`]s
+//!   (`shard = addr % N`, local address `addr / N`), each with a
+//!   proportionally smaller tree and a private simulated DRAM system.
+//!   Obliviousness is preserved per shard: routing depends only on public
+//!   address bits, and each shard applies the full Fork Path access
+//!   discipline to its own stream.
+//! * **Backpressure** ([`SubmissionQueue`]) — each shard is fed by a
+//!   bounded queue; a full queue rejects with [`SubmitError::Busy`]
+//!   without blocking the producer.
+//! * **Deadlines** — requests may carry an absolute deadline (or inherit a
+//!   service-wide relative one). Requests already past their deadline at
+//!   admission are dropped as [`CompletionStatus::Expired`] without
+//!   charging an ORAM access; completions past their deadline are counted
+//!   [`CompletionStatus::Late`].
+//! * **Drain/shutdown** — closing the queues wakes every idle worker;
+//!   queued and in-flight requests finish before workers exit, so
+//!   shutdown is deadlock-free by construction.
+//! * **Statistics** ([`ServiceStats`]) — per-shard fp-trace counters and
+//!   latency histograms fold into aggregate throughput (simulated and
+//!   wall-clock), p50/p99 latency, queue high-water marks, and JSON.
+//!
+//! ## Two run modes
+//!
+//! [`OramService::serve`] accepts external submissions through a
+//! [`ServiceHandle`] (concurrent, backpressured). For benchmarking,
+//! [`OramService::run_closed_loop`] embeds a deterministic client pool in
+//! each shard worker, driven by shard completions in *simulated* time — so
+//! its results are a pure function of the configuration and seed,
+//! independent of host thread interleaving.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_service::{OramService, ServiceConfig, ServiceRequest};
+//!
+//! let cfg = ServiceConfig::fast_test(2);
+//! let (stats, ()) = OramService::serve(cfg, |handle| {
+//!     for i in 0..8u64 {
+//!         handle
+//!             .submit(ServiceRequest::read(i * 101, i * 1_000_000, i))
+//!             .expect("queue has room for a short burst");
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(stats.completed(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod queue;
+mod request;
+mod service;
+mod shard;
+mod stats;
+
+pub use config::ServiceConfig;
+pub use queue::SubmissionQueue;
+pub use request::{CompletionStatus, ServiceCompletion, ServiceRequest, SubmitError};
+pub use service::{OramService, ServiceHandle};
+pub use shard::{ShardCounters, ShardEngine, ShardShared};
+pub use stats::{ServiceStats, ShardSnapshot};

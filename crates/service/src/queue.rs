@@ -1,0 +1,182 @@
+//! Bounded multi-producer submission queue with explicit backpressure.
+//!
+//! The queue never blocks producers: a full queue rejects with
+//! [`SubmitError::Busy`] and the caller decides whether to retry, shed, or
+//! slow down. Consumers (shard workers) block in [`SubmissionQueue::pop_batch`]
+//! until work arrives or the queue is closed and fully drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::request::{ServiceRequest, SubmitError};
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<ServiceRequest>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// A bounded MPSC queue feeding one shard worker.
+#[derive(Debug)]
+pub struct SubmissionQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl SubmissionQueue {
+    /// A queue holding at most `capacity` pending requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_water: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when the queue is at capacity (backpressure),
+    /// [`SubmitError::Shutdown`] once the queue has been closed.
+    pub fn try_push(&self, req: ServiceRequest) -> Result<(), SubmitError> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(SubmitError::Shutdown);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(SubmitError::Busy);
+        }
+        st.items.push_back(req);
+        st.high_water = st.high_water.max(st.items.len());
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is available, then takes up to
+    /// `max` of them. Returns `None` only once the queue is closed *and*
+    /// empty — drain semantics: close() does not discard queued work.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<ServiceRequest>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if !st.items.is_empty() {
+                let take = st.items.len().min(max.max(1));
+                return Some(st.items.drain(..take).collect());
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking variant of [`SubmissionQueue::pop_batch`]: returns an
+    /// empty vector when no work is queued right now.
+    pub fn try_pop_batch(&self, max: usize) -> Vec<ServiceRequest> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        let take = st.items.len().min(max.max(1));
+        st.items.drain(..take).collect()
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`SubmitError::Shutdown`]; consumers drain what remains, then see
+    /// `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue poisoned").high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tag: u64) -> ServiceRequest {
+        ServiceRequest::read(tag, 0, tag)
+    }
+
+    #[test]
+    fn full_queue_rejects_busy_without_blocking() {
+        let q = SubmissionQueue::new(2);
+        q.try_push(req(0)).unwrap();
+        q.try_push(req(1)).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(q.try_push(req(2)), Err(SubmitError::Busy));
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(50),
+            "Busy must be immediate, not a blocking wait"
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn popping_frees_capacity() {
+        let q = SubmissionQueue::new(1);
+        q.try_push(req(0)).unwrap();
+        assert_eq!(q.try_push(req(1)), Err(SubmitError::Busy));
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+        q.try_push(req(1)).unwrap();
+        assert_eq!(q.high_water(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = SubmissionQueue::new(4);
+        q.try_push(req(0)).unwrap();
+        q.try_push(req(1)).unwrap();
+        q.close();
+        assert_eq!(q.try_push(req(2)), Err(SubmitError::Shutdown));
+        let batch = q.pop_batch(8).expect("queued work survives close");
+        assert_eq!(batch.len(), 2);
+        assert!(q.pop_batch(8).is_none(), "closed and empty ends the stream");
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_push() {
+        let q = std::sync::Arc::new(SubmissionQueue::new(4));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop_batch(8));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(req(9)).unwrap();
+        let got = consumer.join().unwrap().unwrap();
+        assert_eq!(got[0].tag, 9);
+    }
+
+    #[test]
+    fn try_pop_batch_never_blocks() {
+        let q = SubmissionQueue::new(4);
+        assert!(q.try_pop_batch(8).is_empty());
+        q.try_push(req(1)).unwrap();
+        q.try_push(req(2)).unwrap();
+        assert_eq!(q.try_pop_batch(1).len(), 1);
+        assert_eq!(q.try_pop_batch(8).len(), 1);
+    }
+}

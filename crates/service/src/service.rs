@@ -1,0 +1,281 @@
+//! The service front end: shard spawning, request routing, drain/shutdown.
+//!
+//! [`OramService::serve`] runs the external-submission mode: shard workers
+//! block on their bounded queues while a caller-supplied driver submits
+//! requests through a [`ServiceHandle`]. When the driver returns, queues
+//! close, workers drain in-flight work, and the scope joins them — shutdown
+//! cannot deadlock because `close()` wakes every blocked consumer and
+//! `pop_batch` returns `None` once closed-and-empty.
+//!
+//! [`OramService::run_closed_loop`] runs the deterministic load mode: each
+//! shard embeds a seeded client pool driven by its own completions in
+//! simulated time, so results are a pure function of the configuration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fp_workloads::service::ServiceClientPool;
+use fp_workloads::BenchmarkProfile;
+
+use crate::config::ServiceConfig;
+use crate::request::{ServiceCompletion, ServiceRequest, SubmitError};
+use crate::shard::{ShardEngine, ShardShared};
+use crate::stats::{ServiceStats, ShardSnapshot};
+
+/// Submission/collection handle passed to the driver of
+/// [`OramService::serve`]. Cloneable across driver threads.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    cfg: Arc<ServiceConfig>,
+    shards: Arc<Vec<Arc<ShardShared>>>,
+}
+
+impl ServiceHandle {
+    /// Routes `req` (global address) to its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::OutOfRange`] for addresses outside the global space,
+    /// [`SubmitError::Busy`] when the target shard's queue is full,
+    /// [`SubmitError::Shutdown`] once draining has begun.
+    pub fn submit(&self, mut req: ServiceRequest) -> Result<usize, SubmitError> {
+        if req.addr >= self.cfg.oram.data_blocks {
+            return Err(SubmitError::OutOfRange);
+        }
+        let shard = self.cfg.shard_of(req.addr);
+        req.addr = self.cfg.local_addr(req.addr);
+        let shared = &self.shards[shard];
+        match shared.queue.try_push(req) {
+            Ok(()) => {
+                shared.note_enqueued();
+                Ok(shard)
+            }
+            Err(e) => {
+                if e == SubmitError::Busy {
+                    shared.note_rejected();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Collects completions published so far, across all shards.
+    /// Shard-local addresses are mapped back to global ones.
+    pub fn drain_completions(&self) -> Vec<ServiceCompletion> {
+        let mut out = Vec::new();
+        for (i, shared) in self.shards.iter().enumerate() {
+            let mut done = shared.completions.lock().expect("completions poisoned");
+            for mut c in done.drain(..) {
+                c.addr = self.cfg.global_addr(i, c.addr);
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Point-in-time aggregate statistics (wall time reported as 0; the
+    /// final stats from [`OramService::serve`] carry the real duration).
+    pub fn stats(&self) -> ServiceStats {
+        OramService::snapshot(&self.cfg, &self.shards, 0)
+    }
+
+    /// Occupancy of shard `shard`'s queue.
+    pub fn queue_len(&self, shard: usize) -> usize {
+        self.shards[shard].queue.len()
+    }
+}
+
+/// The sharded ORAM service. See the module docs for the two run modes.
+pub struct OramService;
+
+impl OramService {
+    fn build(cfg: &ServiceConfig) -> (Vec<ShardEngine>, Vec<Arc<ShardShared>>) {
+        let mut engines = Vec::with_capacity(cfg.shards);
+        let mut shareds = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (engine, shared) = ShardEngine::new(cfg, shard);
+            engines.push(engine);
+            shareds.push(shared);
+        }
+        (engines, shareds)
+    }
+
+    fn snapshot(cfg: &ServiceConfig, shards: &[Arc<ShardShared>], wall_ns: u64) -> ServiceStats {
+        let snaps = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardSnapshot::capture(i, s))
+            .collect();
+        ServiceStats::aggregate(cfg.shards, cfg.queue_depth, snaps, wall_ns)
+    }
+
+    /// Runs the service in external-submission mode: spawns one worker per
+    /// shard, hands a [`ServiceHandle`] to `driver`, and once the driver
+    /// returns closes all queues, drains in-flight work, and joins the
+    /// workers. Returns the aggregate stats and the driver's result.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors and propagated shard-controller failures.
+    pub fn serve<R>(
+        cfg: ServiceConfig,
+        driver: impl FnOnce(&ServiceHandle) -> R,
+    ) -> Result<(ServiceStats, R), String> {
+        cfg.validate()?;
+        let (engines, shareds) = Self::build(&cfg);
+        let cfg = Arc::new(cfg);
+        let shards = Arc::new(shareds);
+        let handle = ServiceHandle {
+            cfg: Arc::clone(&cfg),
+            shards: Arc::clone(&shards),
+        };
+        let start = Instant::now();
+        let driver_out = std::thread::scope(|scope| -> Result<R, String> {
+            let workers: Vec<_> = engines
+                .into_iter()
+                .map(|engine| scope.spawn(move || engine.run_external()))
+                .collect();
+            let out = driver(&handle);
+            // Begin drain: reject new work, wake idle workers.
+            for shared in shards.iter() {
+                shared.queue.close();
+            }
+            for (i, w) in workers.into_iter().enumerate() {
+                w.join()
+                    .map_err(|_| format!("shard {i} worker panicked"))?
+                    .map_err(|e| format!("shard {i}: {e}"))?;
+            }
+            Ok(out)
+        })?;
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        Ok((Self::snapshot(&cfg, &shards, wall_ns), driver_out))
+    }
+
+    /// Runs the deterministic closed-loop mode: each shard gets a private
+    /// client pool built from `profiles` over its own address slice, with
+    /// `total_budget` requests split evenly across shards. Returns once
+    /// every pool is exhausted and every shard is idle.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors and propagated shard-controller failures.
+    pub fn run_closed_loop(
+        cfg: ServiceConfig,
+        profiles: &[BenchmarkProfile],
+        total_budget: u64,
+    ) -> Result<ServiceStats, String> {
+        cfg.validate()?;
+        if profiles.is_empty() {
+            return Err("closed-loop mode needs at least one profile".into());
+        }
+        let (engines, shareds) = Self::build(&cfg);
+        let n = cfg.shards as u64;
+        let start = Instant::now();
+        std::thread::scope(|scope| -> Result<(), String> {
+            let workers: Vec<_> = engines
+                .into_iter()
+                .enumerate()
+                .map(|(shard, engine)| {
+                    let budget = total_budget / n + u64::from((shard as u64) < total_budget % n);
+                    let pool = ServiceClientPool::from_profiles(
+                        profiles,
+                        cfg.shard_blocks(),
+                        budget,
+                        // Pool seed decorrelated from the controller seed.
+                        cfg.shard_seed(shard) ^ 0xC1EE_7C1E_E7C1_EE7C,
+                    );
+                    scope.spawn(move || engine.run_closed_loop(pool))
+                })
+                .collect();
+            for (i, w) in workers.into_iter().enumerate() {
+                w.join()
+                    .map_err(|_| format!("shard {i} worker panicked"))?
+                    .map_err(|e| format!("shard {i}: {e}"))?;
+            }
+            Ok(())
+        })?;
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        Ok(Self::snapshot(&cfg, &shareds, wall_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::CompletionStatus;
+    use fp_workloads::mixes;
+
+    #[test]
+    fn serve_round_trips_requests() {
+        let cfg = ServiceConfig::fast_test(2);
+        let blocks = cfg.oram.data_blocks;
+        let (stats, collected) = OramService::serve(cfg, |h| {
+            let mut accepted = 0u64;
+            for i in 0..64u64 {
+                let addr = (i * 37) % blocks;
+                loop {
+                    match h.submit(ServiceRequest::read(addr, i * 1_000_000, i)) {
+                        Ok(_) => break,
+                        Err(SubmitError::Busy) => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+                accepted += 1;
+            }
+            accepted
+        })
+        .unwrap();
+        assert_eq!(collected, 64);
+        assert_eq!(stats.enqueued(), 64);
+        assert_eq!(stats.completed(), 64);
+        assert_eq!(stats.expired(), 0);
+        assert!(stats.sim_finish_ps() > 0);
+        assert!(stats.latency.count() >= 64);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_before_routing() {
+        let cfg = ServiceConfig::fast_test(1);
+        let blocks = cfg.oram.data_blocks;
+        let ((), ()) = OramService::serve(cfg, |h| {
+            assert_eq!(
+                h.submit(ServiceRequest::read(blocks, 0, 0)),
+                Err(SubmitError::OutOfRange)
+            );
+        })
+        .map(|(_, out)| ((), out))
+        .unwrap();
+    }
+
+    #[test]
+    fn completions_report_global_addresses() {
+        let cfg = ServiceConfig::fast_test(4);
+        let addrs: Vec<u64> = vec![0, 1, 2, 3, 5, 8, 13, 21];
+        let submitted = addrs.clone();
+        let (_, done) = OramService::serve(cfg, move |h| {
+            for (i, &a) in submitted.iter().enumerate() {
+                while h.submit(ServiceRequest::read(a, 0, i as u64)) == Err(SubmitError::Busy) {
+                    std::thread::yield_now();
+                }
+            }
+            // Collect after drain in the final handle snapshot.
+            h.clone()
+        })
+        .map(|(stats, h)| (stats, h.drain_completions()))
+        .unwrap();
+        let mut got: Vec<u64> = done.iter().map(|c| c.addr).collect();
+        got.sort_unstable();
+        assert_eq!(got, addrs);
+        assert!(done.iter().all(|c| c.status == CompletionStatus::Ok));
+    }
+
+    #[test]
+    fn closed_loop_runs_to_exhaustion() {
+        let cfg = ServiceConfig::fast_test(2);
+        let stats = OramService::run_closed_loop(cfg, &mixes::all()[0].programs, 300).unwrap();
+        assert_eq!(stats.enqueued(), 300);
+        assert_eq!(stats.completed(), 300);
+        assert!(stats.sim_requests_per_sec() > 0.0);
+        assert!(stats.wall_ns > 0);
+    }
+}

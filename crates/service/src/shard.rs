@@ -1,0 +1,438 @@
+//! Shard worker: one [`ForkPathController`] fed from a bounded submission
+//! queue (external mode) or an embedded closed-loop client pool
+//! (deterministic load mode).
+//!
+//! In external mode the worker blocks on its queue only while the
+//! controller is idle; with work in flight it polls the queue without
+//! blocking so simulated progress never waits on producers. In closed-loop
+//! mode the pool is a [`ReactiveSource`]: every completion immediately
+//! yields the issuing client's next request in *simulated* time, so the
+//! shard's entire execution is a pure function of its seed — independent of
+//! host thread scheduling.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fp_core::{ControllerError, ForkPathController, NewRequest, NoFeedback, ReactiveSource};
+use fp_dram::DramSystem;
+use fp_path_oram::{Completion, Op};
+use fp_trace::TraceHandle;
+use fp_workloads::service::ServiceClientPool;
+
+use crate::config::ServiceConfig;
+use crate::queue::SubmissionQueue;
+use crate::request::{CompletionStatus, ServiceCompletion, ServiceRequest};
+
+/// Monotonic per-shard accounting, folded into [`crate::ServiceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Requests accepted into the shard's queue (external mode) or issued
+    /// by its client pool (closed-loop mode).
+    pub enqueued: u64,
+    /// Submissions rejected with `Busy` (counted by the service handle).
+    pub rejected_busy: u64,
+    /// Requests admitted into the controller.
+    pub admitted: u64,
+    /// Requests dropped at admission because their deadline had passed.
+    pub expired: u64,
+    /// Requests completed by the controller.
+    pub completed: u64,
+    /// Completions that finished after their deadline.
+    pub completed_late: u64,
+    /// Admission batches handed to the controller.
+    pub batches: u64,
+    /// Largest single admission batch.
+    pub max_batch: u64,
+    /// Shard's simulated clock when it went idle, picoseconds.
+    pub sim_finish_ps: u64,
+}
+
+/// State shared between a shard worker and the service front end.
+#[derive(Debug)]
+pub struct ShardShared {
+    /// Bounded submission queue (external mode).
+    pub queue: SubmissionQueue,
+    /// Completions awaiting collection (external mode only; closed-loop
+    /// folds them into counters instead of storing them).
+    pub completions: Mutex<Vec<ServiceCompletion>>,
+    /// Monotonic counters.
+    pub counters: Mutex<ShardCounters>,
+    /// The shard controller's trace handle (cloned snapshot source).
+    pub trace: TraceHandle,
+}
+
+impl ShardShared {
+    fn new(queue_depth: usize, trace: TraceHandle) -> Self {
+        Self {
+            queue: SubmissionQueue::new(queue_depth),
+            completions: Mutex::new(Vec::new()),
+            counters: Mutex::new(ShardCounters::default()),
+            trace,
+        }
+    }
+
+    /// Notes a `Busy` rejection observed by the front end.
+    pub fn note_rejected(&self) {
+        self.counters
+            .lock()
+            .expect("counters poisoned")
+            .rejected_busy += 1;
+    }
+
+    /// Notes an accepted submission.
+    pub fn note_enqueued(&self) {
+        self.counters.lock().expect("counters poisoned").enqueued += 1;
+    }
+}
+
+struct ReqMeta {
+    tag: u64,
+    deadline_ps: Option<u64>,
+}
+
+/// One shard's engine: controller plus in-flight request metadata.
+pub struct ShardEngine {
+    shard: usize,
+    ctl: ForkPathController,
+    shared: Arc<ShardShared>,
+    batch_max: usize,
+    default_deadline_ps: Option<u64>,
+    block_bytes: usize,
+    meta: HashMap<u64, ReqMeta>,
+}
+
+impl ShardEngine {
+    /// Builds shard `shard` of `cfg` with its private controller, DRAM
+    /// system, and shared front-end state.
+    pub fn new(cfg: &ServiceConfig, shard: usize) -> (Self, Arc<ShardShared>) {
+        let oram = cfg.shard_oram();
+        let block_bytes = oram.block_bytes;
+        let dram = DramSystem::new(cfg.dram.clone());
+        let mut ctl = ForkPathController::new(oram, cfg.fork, dram, cfg.shard_seed(shard));
+        ctl.set_trace_capacity(cfg.trace_capacity);
+        let shared = Arc::new(ShardShared::new(cfg.queue_depth, ctl.trace().clone()));
+        (
+            Self {
+                shard,
+                ctl,
+                shared: Arc::clone(&shared),
+                batch_max: cfg.batch_max,
+                default_deadline_ps: cfg.deadline_ps,
+                block_bytes,
+                meta: HashMap::new(),
+            },
+            shared,
+        )
+    }
+
+    /// External-mode worker loop: drain the queue in batches, advance the
+    /// controller, publish completions. Returns when the queue is closed
+    /// and all admitted work has completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (stash overflow, config errors).
+    pub fn run_external(mut self) -> Result<(), ControllerError> {
+        loop {
+            let batch = if self.ctl.has_pending_work() {
+                Some(self.shared.queue.try_pop_batch(self.batch_max))
+            } else {
+                // Idle: block until producers push or the service drains.
+                self.shared.queue.pop_batch(self.batch_max)
+            };
+            match batch {
+                Some(reqs) => {
+                    if !reqs.is_empty() {
+                        self.admit(reqs)?;
+                    }
+                }
+                None => {
+                    // Closed and drained; finish what is in flight.
+                    while self.ctl.process_one(&mut NoFeedback)? {}
+                    self.publish_completions();
+                    self.finish();
+                    return Ok(());
+                }
+            }
+            self.ctl.process_one(&mut NoFeedback)?;
+            self.publish_completions();
+        }
+    }
+
+    /// Admits a batch: expires requests whose deadline already passed,
+    /// hands the rest to the controller in one batch submission.
+    fn admit(&mut self, reqs: Vec<ServiceRequest>) -> Result<(), ControllerError> {
+        let clock = self.ctl.clock_ps();
+        let mut live = Vec::with_capacity(reqs.len());
+        let mut metas = Vec::with_capacity(reqs.len());
+        let mut expired = Vec::new();
+        for req in reqs {
+            let deadline = req.deadline_ps.or_else(|| {
+                self.default_deadline_ps
+                    .map(|d| req.arrival_ps.saturating_add(d))
+            });
+            // A deadline in the past at admission time: reject without
+            // charging an ORAM access.
+            if deadline.is_some_and(|d| d < req.arrival_ps.max(clock)) {
+                expired.push(ServiceCompletion {
+                    tag: req.tag,
+                    shard: self.shard,
+                    addr: req.addr,
+                    status: CompletionStatus::Expired,
+                    latency_ps: 0,
+                    data: Vec::new(),
+                });
+                continue;
+            }
+            metas.push(ReqMeta {
+                tag: req.tag,
+                deadline_ps: deadline,
+            });
+            live.push(NewRequest {
+                addr: req.addr,
+                op: req.op,
+                data: req.data,
+                arrival_ps: req.arrival_ps,
+                tag: req.tag,
+            });
+        }
+        let admitted = live.len() as u64;
+        let ids = if live.is_empty() {
+            Vec::new()
+        } else {
+            self.ctl.submit_batch(live)?
+        };
+        for (id, meta) in ids.into_iter().zip(metas) {
+            self.meta.insert(id, meta);
+        }
+        {
+            let mut c = self.shared.counters.lock().expect("counters poisoned");
+            c.admitted += admitted;
+            c.expired += expired.len() as u64;
+            c.completed += expired.len() as u64;
+            if admitted > 0 {
+                c.batches += 1;
+                c.max_batch = c.max_batch.max(admitted);
+            }
+        }
+        if !expired.is_empty() {
+            self.shared
+                .completions
+                .lock()
+                .expect("completions poisoned")
+                .extend(expired);
+        }
+        Ok(())
+    }
+
+    /// Moves finished controller completions into the shared buffer with
+    /// deadline classification.
+    fn publish_completions(&mut self) {
+        let done = self.ctl.drain_completions();
+        if done.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(done.len());
+        let mut late = 0u64;
+        for c in done {
+            let meta = self.meta.remove(&c.id);
+            let (tag, deadline) = match &meta {
+                Some(m) => (m.tag, m.deadline_ps),
+                None => (c.tag, None),
+            };
+            let status = if deadline.is_some_and(|d| c.done_ps > d) {
+                late += 1;
+                CompletionStatus::Late
+            } else {
+                CompletionStatus::Ok
+            };
+            out.push(ServiceCompletion {
+                tag,
+                shard: self.shard,
+                addr: c.addr,
+                status,
+                latency_ps: c.done_ps.saturating_sub(c.arrival_ps),
+                data: c.data,
+            });
+        }
+        {
+            let mut ctr = self.shared.counters.lock().expect("counters poisoned");
+            ctr.completed += out.len() as u64;
+            ctr.completed_late += late;
+        }
+        self.shared
+            .completions
+            .lock()
+            .expect("completions poisoned")
+            .extend(out);
+    }
+
+    /// Records the shard's final simulated clock.
+    fn finish(&self) {
+        let mut c = self.shared.counters.lock().expect("counters poisoned");
+        c.sim_finish_ps = self.ctl.clock_ps();
+    }
+
+    /// Closed-loop mode: drives the embedded client `pool` to exhaustion.
+    /// Completions are folded into counters, not stored, so multi-million
+    /// request runs stay flat in memory. Deterministic per shard seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures.
+    pub fn run_closed_loop(mut self, pool: ServiceClientPool) -> Result<(), ControllerError> {
+        let mut src = PoolSource {
+            pool,
+            block_bytes: self.block_bytes,
+            issued: 0,
+        };
+        let burst: Vec<NewRequest> = src
+            .pool
+            .initial_burst()
+            .into_iter()
+            .map(|r| src.to_new_request(r))
+            .collect();
+        let n = burst.len() as u64;
+        if n > 0 {
+            self.ctl.submit_batch(burst)?;
+            let mut c = self.shared.counters.lock().expect("counters poisoned");
+            c.enqueued += n;
+            c.admitted += n;
+            c.batches += 1;
+            c.max_batch = c.max_batch.max(n);
+        }
+        let mut steps: u32 = 0;
+        while self.ctl.process_one(&mut src)? {
+            steps = steps.wrapping_add(1);
+            // Fold completions periodically instead of storing them.
+            if steps.is_multiple_of(1024) {
+                self.fold_closed_loop(&mut src);
+            }
+        }
+        self.fold_closed_loop(&mut src);
+        self.finish();
+        Ok(())
+    }
+
+    /// Folds drained completions and newly issued pool requests into the
+    /// shared counters (closed-loop bookkeeping).
+    fn fold_closed_loop(&mut self, src: &mut PoolSource) {
+        let done = self.ctl.drain_completions();
+        let issued = std::mem::take(&mut src.issued);
+        let mut late = 0u64;
+        if let Some(d) = self.default_deadline_ps {
+            for c in &done {
+                if c.done_ps.saturating_sub(c.arrival_ps) > d {
+                    late += 1;
+                }
+            }
+        }
+        let mut ctr = self.shared.counters.lock().expect("counters poisoned");
+        ctr.enqueued += issued;
+        ctr.admitted += issued;
+        ctr.completed += done.len() as u64;
+        ctr.completed_late += late;
+    }
+}
+
+/// Adapter making a [`ServiceClientPool`] drive the controller reactively:
+/// each completion births the issuing client's next request in simulated
+/// time.
+struct PoolSource {
+    pool: ServiceClientPool,
+    block_bytes: usize,
+    /// Requests issued since the last counter fold.
+    issued: u64,
+}
+
+impl PoolSource {
+    fn to_new_request(&self, r: fp_workloads::service::PoolRequest) -> NewRequest {
+        let data = match r.op {
+            Op::Write => {
+                // Deterministic payload derived from the address.
+                let mut d = vec![0u8; self.block_bytes];
+                d[..8].copy_from_slice(&r.addr.to_le_bytes());
+                d
+            }
+            Op::Read => Vec::new(),
+        };
+        NewRequest {
+            addr: r.addr,
+            op: r.op,
+            data,
+            arrival_ps: r.arrival_ps,
+            tag: r.client as u64,
+        }
+    }
+}
+
+impl ReactiveSource for PoolSource {
+    fn on_complete(&mut self, completion: &Completion) -> Vec<NewRequest> {
+        let client = completion.tag as usize;
+        match self.pool.on_complete(client, completion.done_ps) {
+            Some(r) => {
+                self.issued += 1;
+                vec![self.to_new_request(r)]
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_workloads::mixes;
+
+    #[test]
+    fn closed_loop_drains_pool_and_counts() {
+        let cfg = ServiceConfig::fast_test(1);
+        let (engine, shared) = ShardEngine::new(&cfg, 0);
+        let pool = ServiceClientPool::from_profiles(
+            &mixes::all()[0].programs,
+            cfg.shard_blocks(),
+            200,
+            cfg.shard_seed(0),
+        );
+        engine.run_closed_loop(pool).unwrap();
+        let c = *shared.counters.lock().unwrap();
+        assert_eq!(c.enqueued, 200);
+        assert_eq!(c.admitted, 200);
+        assert_eq!(c.completed, 200);
+        assert!(c.sim_finish_ps > 0);
+    }
+
+    #[test]
+    fn external_mode_serves_and_classifies_deadlines() {
+        let cfg = ServiceConfig::fast_test(1);
+        let (engine, shared) = ShardEngine::new(&cfg, 0);
+        for i in 0..8u64 {
+            shared
+                .queue
+                .try_push(ServiceRequest::read(i * 7, 0, i))
+                .unwrap();
+            shared.note_enqueued();
+        }
+        // One request already expired at admission.
+        let mut dead = ServiceRequest::read(3, 0, 99);
+        dead.deadline_ps = Some(0);
+        dead.arrival_ps = 10;
+        shared.queue.try_push(dead).unwrap();
+        shared.note_enqueued();
+        shared.queue.close();
+        engine.run_external().unwrap();
+        let c = *shared.counters.lock().unwrap();
+        assert_eq!(c.enqueued, 9);
+        assert_eq!(c.admitted, 8);
+        assert_eq!(c.expired, 1);
+        assert_eq!(c.completed, 9);
+        let done = shared.completions.lock().unwrap();
+        assert_eq!(done.len(), 9);
+        assert_eq!(
+            done.iter()
+                .filter(|c| c.status == CompletionStatus::Expired)
+                .count(),
+            1
+        );
+    }
+}

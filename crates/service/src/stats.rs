@@ -1,0 +1,317 @@
+//! Aggregate service statistics: per-shard snapshots folded into service
+//! totals, latency quantiles, and simulated/wall throughput.
+
+use fp_stats::json::{self, JsonObject};
+use fp_trace::{Counter, Log2Hist};
+
+use crate::shard::{ShardCounters, ShardShared};
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Monotonic request accounting.
+    pub counters: ShardCounters,
+    /// Queue occupancy at snapshot time.
+    pub queue_len: usize,
+    /// Highest queue occupancy observed.
+    pub queue_high_water: usize,
+    /// Completion-latency histogram from the shard's fp-trace spine.
+    pub latency: Log2Hist,
+    /// All 27 exact trace counters, indexed by [`Counter::ALL`] order.
+    pub trace_counters: Vec<u64>,
+}
+
+impl ShardSnapshot {
+    /// Snapshots `shared` as shard `shard`.
+    pub fn capture(shard: usize, shared: &ShardShared) -> Self {
+        Self {
+            shard,
+            counters: *shared.counters.lock().expect("counters poisoned"),
+            queue_len: shared.queue.len(),
+            queue_high_water: shared.queue.high_water(),
+            latency: shared.trace.latency_hist(),
+            trace_counters: Counter::ALL
+                .iter()
+                .map(|&c| shared.trace.counter(c))
+                .collect(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("shard", self.shard as u64)
+            .field_u64("enqueued", self.counters.enqueued)
+            .field_u64("rejected_busy", self.counters.rejected_busy)
+            .field_u64("admitted", self.counters.admitted)
+            .field_u64("expired", self.counters.expired)
+            .field_u64("completed", self.counters.completed)
+            .field_u64("completed_late", self.counters.completed_late)
+            .field_u64("batches", self.counters.batches)
+            .field_u64("max_batch", self.counters.max_batch)
+            .field_u64("queue_len", self.queue_len as u64)
+            .field_u64("queue_high_water", self.queue_high_water as u64)
+            .field_u64("sim_finish_ps", self.counters.sim_finish_ps)
+            .field_u64(
+                "oram_accesses",
+                self.trace_counter(Counter::FullReads) + self.trace_counter(Counter::MergedReads),
+            );
+        o.finish()
+    }
+
+    fn trace_counter(&self, c: Counter) -> u64 {
+        self.trace_counters[c as usize]
+    }
+}
+
+/// Aggregate statistics over all shards of a service run.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Shard count.
+    pub shards: usize,
+    /// Per-shard queue capacity.
+    pub queue_depth: usize,
+    /// Per-shard snapshots.
+    pub per_shard: Vec<ShardSnapshot>,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Merged completion-latency histogram across shards (picoseconds).
+    pub latency: Log2Hist,
+}
+
+impl ServiceStats {
+    /// Folds per-shard snapshots into aggregate stats.
+    pub fn aggregate(
+        shards: usize,
+        queue_depth: usize,
+        per_shard: Vec<ShardSnapshot>,
+        wall_ns: u64,
+    ) -> Self {
+        let mut latency = Log2Hist::new();
+        for s in &per_shard {
+            latency.merge(&s.latency);
+        }
+        Self {
+            shards,
+            queue_depth,
+            per_shard,
+            wall_ns,
+            latency,
+        }
+    }
+
+    /// Sums one counter field across shards.
+    fn total(&self, f: impl Fn(&ShardCounters) -> u64) -> u64 {
+        self.per_shard.iter().map(|s| f(&s.counters)).sum()
+    }
+
+    /// Total requests accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.total(|c| c.enqueued)
+    }
+
+    /// Total `Busy` rejections.
+    pub fn rejected_busy(&self) -> u64 {
+        self.total(|c| c.rejected_busy)
+    }
+
+    /// Total requests admitted into controllers.
+    pub fn admitted(&self) -> u64 {
+        self.total(|c| c.admitted)
+    }
+
+    /// Total requests expired at admission.
+    pub fn expired(&self) -> u64 {
+        self.total(|c| c.expired)
+    }
+
+    /// Total completions (including expirations).
+    pub fn completed(&self) -> u64 {
+        self.total(|c| c.completed)
+    }
+
+    /// Total completions past their deadline.
+    pub fn completed_late(&self) -> u64 {
+        self.total(|c| c.completed_late)
+    }
+
+    /// The service's simulated makespan: the slowest shard's final clock,
+    /// picoseconds. Shards run concurrently, so aggregate simulated
+    /// throughput divides total completions by this.
+    pub fn sim_finish_ps(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.counters.sim_finish_ps)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate throughput on the simulated clock, requests per second.
+    /// Deterministic per seed — the headline scaling metric.
+    pub fn sim_requests_per_sec(&self) -> f64 {
+        let ps = self.sim_finish_ps();
+        if ps == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 * 1e12 / ps as f64
+    }
+
+    /// Host wall-clock throughput, requests per second.
+    pub fn wall_requests_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Median completion latency, picoseconds (log2-bucket resolution).
+    pub fn p50_ps(&self) -> u64 {
+        self.latency.quantile(0.50)
+    }
+
+    /// 99th-percentile completion latency, picoseconds.
+    pub fn p99_ps(&self) -> u64 {
+        self.latency.quantile(0.99)
+    }
+
+    /// Element-wise sum of the 27 trace counters across shards, in
+    /// [`Counter::ALL`] order.
+    pub fn trace_counter_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; Counter::COUNT];
+        for s in &self.per_shard {
+            for (t, v) in totals.iter_mut().zip(&s.trace_counters) {
+                *t += v;
+            }
+        }
+        totals
+    }
+
+    /// Order-insensitive fingerprint of every shard's trace counters and
+    /// request accounting — equal across reruns iff the service behaved
+    /// identically. Used by the determinism property test.
+    pub fn fingerprint(&self) -> Vec<(usize, Vec<u64>)> {
+        let mut fp: Vec<(usize, Vec<u64>)> = self
+            .per_shard
+            .iter()
+            .map(|s| {
+                let mut v = s.trace_counters.clone();
+                v.extend([
+                    s.counters.enqueued,
+                    s.counters.admitted,
+                    s.counters.expired,
+                    s.counters.completed,
+                    s.counters.sim_finish_ps,
+                ]);
+                (s.shard, v)
+            })
+            .collect();
+        fp.sort_by_key(|(shard, _)| *shard);
+        fp
+    }
+
+    /// Serializes the stats as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut requests = JsonObject::new();
+        requests
+            .field_u64("enqueued", self.enqueued())
+            .field_u64("rejected_busy", self.rejected_busy())
+            .field_u64("admitted", self.admitted())
+            .field_u64("expired", self.expired())
+            .field_u64("completed", self.completed())
+            .field_u64("completed_late", self.completed_late());
+
+        let mut throughput = JsonObject::new();
+        throughput
+            .field_f64("wall_ms", self.wall_ns as f64 / 1e6)
+            .field_f64("wall_requests_per_sec", self.wall_requests_per_sec())
+            .field_f64("sim_ms", self.sim_finish_ps() as f64 / 1e9)
+            .field_f64("sim_requests_per_sec", self.sim_requests_per_sec());
+
+        let mut latency = JsonObject::new();
+        latency
+            .field_f64("mean_ps", self.latency.mean())
+            .field_u64("p50_ps", self.p50_ps())
+            .field_u64("p99_ps", self.p99_ps())
+            .field_u64("max_ps", self.latency.max())
+            .field_u64("count", self.latency.count());
+
+        let counters = json::array(
+            self.trace_counter_totals()
+                .into_iter()
+                .map(|v| v.to_string()),
+        );
+
+        let mut o = JsonObject::new();
+        o.field_u64("shards", self.shards as u64)
+            .field_u64("queue_depth", self.queue_depth as u64)
+            .field_raw("requests", &requests.finish())
+            .field_raw("throughput", &throughput.finish())
+            .field_raw("latency", &latency.finish())
+            .field_raw("trace_counter_totals", &counters)
+            .field_raw(
+                "per_shard",
+                &json::array(self.per_shard.iter().map(|s| s.to_json())),
+            );
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(shard: usize, completed: u64, finish: u64) -> ShardSnapshot {
+        let mut latency = Log2Hist::new();
+        for i in 0..completed {
+            latency.add(1000 + i * 100);
+        }
+        ShardSnapshot {
+            shard,
+            counters: ShardCounters {
+                enqueued: completed,
+                admitted: completed,
+                completed,
+                sim_finish_ps: finish,
+                ..ShardCounters::default()
+            },
+            queue_len: 0,
+            queue_high_water: 3,
+            latency,
+            trace_counters: vec![shard as u64 + 1; Counter::COUNT],
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_and_takes_max_finish() {
+        let stats = ServiceStats::aggregate(
+            2,
+            64,
+            vec![snapshot(0, 10, 2_000_000), snapshot(1, 30, 5_000_000)],
+            1_000_000,
+        );
+        assert_eq!(stats.completed(), 40);
+        assert_eq!(stats.sim_finish_ps(), 5_000_000);
+        // 40 requests / 5 us of simulated time = 8M req/s.
+        assert!((stats.sim_requests_per_sec() - 8.0e6).abs() < 1.0);
+        assert_eq!(stats.latency.count(), 40);
+        let totals = stats.trace_counter_totals();
+        assert!(totals.iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn fingerprint_is_shard_order_insensitive() {
+        let a = ServiceStats::aggregate(2, 64, vec![snapshot(0, 10, 1), snapshot(1, 20, 2)], 1);
+        let b = ServiceStats::aggregate(2, 64, vec![snapshot(1, 20, 2), snapshot(0, 10, 1)], 99);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn json_is_valid() {
+        let stats = ServiceStats::aggregate(1, 64, vec![snapshot(0, 5, 1_000_000)], 500_000);
+        let s = stats.to_json();
+        json::validate(&s).unwrap();
+        assert!(s.contains("\"sim_requests_per_sec\""));
+        assert!(s.contains("\"per_shard\""));
+    }
+}

@@ -56,9 +56,48 @@ pub fn mix_workload(mix: &Mix, budget: MissBudget, seed: u64) -> MultiCoreWorklo
 ///
 /// A mix whose run panics is reported on stderr and dropped from the
 /// results; the remaining mixes still land (a sweep must not lose hours of
-/// results to one bad configuration).
+/// results to one bad configuration). Sweeps that persist artifacts should
+/// prefer [`run_all_mixes_reported`], which records the failures instead of
+/// discarding them.
 pub fn run_all_mixes(cfg: &SystemConfig, scheme: &Scheme, budget: MissBudget) -> Vec<RunResult> {
     run_mixes(cfg, scheme, budget, &mixes::all())
+}
+
+/// Like [`run_all_mixes`], but returns a [`SweepOutcome`] so failed mixes
+/// land in the sweep's report file, not just on stderr.
+pub fn run_all_mixes_reported(
+    cfg: &SystemConfig,
+    scheme: &Scheme,
+    budget: MissBudget,
+) -> SweepOutcome {
+    run_mixes_reported(cfg, scheme, budget, &mixes::all())
+}
+
+/// One mix that failed during a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixFailure {
+    /// Mix name (Table 2).
+    pub mix: String,
+    /// The panic message of the failed run.
+    pub error: String,
+}
+
+/// The full outcome of a sweep: surviving results in mix order plus a
+/// record of every mix that failed. A sweep report built from this cannot
+/// silently present nine rows as if the sweep had been ten-for-ten.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Successful runs, in mix order.
+    pub results: Vec<RunResult>,
+    /// Mixes whose runs panicked, in mix order.
+    pub failures: Vec<MixFailure>,
+}
+
+impl SweepOutcome {
+    /// Looks up the surviving result for `workload`.
+    pub fn result_for(&self, workload: &str) -> Option<&RunResult> {
+        self.results.iter().find(|r| r.workload == workload)
+    }
 }
 
 /// Runs one scheme over the given mixes (in parallel), returning the
@@ -70,6 +109,19 @@ pub fn run_mixes(
     budget: MissBudget,
     mixes: &[Mix],
 ) -> Vec<RunResult> {
+    run_mixes_reported(cfg, scheme, budget, mixes).results
+}
+
+/// Runs one scheme over the given mixes (in parallel), recording both the
+/// surviving results and the failed mixes. Failures are still echoed to
+/// stderr as they happen, but the returned [`SweepOutcome`] is what report
+/// writers must consume so failures reach the artifact.
+pub fn run_mixes_reported(
+    cfg: &SystemConfig,
+    scheme: &Scheme,
+    budget: MissBudget,
+    mixes: &[Mix],
+) -> SweepOutcome {
     thread::scope(|s| {
         let handles: Vec<_> = mixes
             .iter()
@@ -85,10 +137,10 @@ pub fn run_mixes(
                 (mix.name, handle)
             })
             .collect();
-        handles
-            .into_iter()
-            .filter_map(|(name, h)| match h.join() {
-                Ok(r) => Some(r),
+        let mut outcome = SweepOutcome::default();
+        for (name, h) in handles {
+            match h.join() {
+                Ok(r) => outcome.results.push(r),
                 Err(panic) => {
                     let msg = panic
                         .downcast_ref::<String>()
@@ -96,10 +148,14 @@ pub fn run_mixes(
                         .or_else(|| panic.downcast_ref::<&str>().copied())
                         .unwrap_or("unknown panic");
                     eprintln!("warning: mix {name} failed: {msg}; continuing with remaining mixes");
-                    None
+                    outcome.failures.push(MixFailure {
+                        mix: name.to_string(),
+                        error: msg.to_string(),
+                    });
                 }
-            })
-            .collect()
+            }
+        }
+        outcome
     })
 }
 
@@ -234,10 +290,18 @@ mod tests {
             // Far beyond the fast_test ORAM capacity: run_workload panics.
             p.working_set_blocks = 1 << 40;
         }
-        let results = run_mixes(&cfg, &Scheme::ForkDefault, MissBudget::Fast, &[good, bad]);
-        assert_eq!(results.len(), 1, "the healthy mix must survive");
-        assert_eq!(results[0].workload, "GoodMix");
-        assert!(results[0].oram_latency_ns > 0.0);
+        let outcome =
+            run_mixes_reported(&cfg, &Scheme::ForkDefault, MissBudget::Fast, &[good, bad]);
+        assert_eq!(outcome.results.len(), 1, "the healthy mix must survive");
+        assert_eq!(outcome.results[0].workload, "GoodMix");
+        assert!(outcome.results[0].oram_latency_ns > 0.0);
+        // The failure is *recorded*, not just printed: sweep reports carry
+        // it into their JSON artifact.
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].mix, "BadMix");
+        assert!(!outcome.failures[0].error.is_empty());
+        assert!(outcome.result_for("GoodMix").is_some());
+        assert!(outcome.result_for("BadMix").is_none());
     }
 
     #[test]

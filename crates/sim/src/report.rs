@@ -6,7 +6,10 @@
 
 use std::fmt::Write as _;
 
-use crate::metrics::RunResult;
+use fp_stats::json::{self, JsonObject};
+
+use crate::experiment::SweepOutcome;
+use crate::metrics::{results_to_json, RunResult};
 
 /// Escapes one CSV field (quotes when needed).
 fn csv_field(s: &str) -> String {
@@ -79,6 +82,38 @@ pub fn to_markdown_table(
         out.push('\n');
     }
     out
+}
+
+/// Renders a labeled set of sweep outcomes as one validated JSON report.
+///
+/// Every [`SweepOutcome`]'s failures land in a per-sweep `failed_mixes`
+/// array (plus an aggregate `failed_total`), so a report with missing rows
+/// says *which* mixes are missing and why — previously that information
+/// only scrolled by on stderr and was lost from the artifact.
+pub fn sweep_to_json(name: &str, sweeps: &[(String, &SweepOutcome)]) -> String {
+    let sweep_objs = sweeps.iter().map(|(label, outcome)| {
+        JsonObject::new()
+            .field_str("label", label)
+            .field_raw("results", &results_to_json(&outcome.results))
+            .field_raw(
+                "failed_mixes",
+                &json::array(outcome.failures.iter().map(|f| {
+                    JsonObject::new()
+                        .field_str("mix", &f.mix)
+                        .field_str("error", &f.error)
+                        .finish()
+                })),
+            )
+            .finish()
+    });
+    let failed_total: u64 = sweeps.iter().map(|(_, o)| o.failures.len() as u64).sum();
+    let report = JsonObject::new()
+        .field_str("report", name)
+        .field_u64("failed_total", failed_total)
+        .field_raw("sweeps", &json::array(sweep_objs))
+        .finish();
+    json::validate(&report).expect("sweep report emitted invalid JSON");
+    report
 }
 
 /// Writes `content` under `results/` (creating the directory), returning
@@ -155,5 +190,33 @@ mod tests {
     #[should_panic(expected = "one cell per column")]
     fn markdown_table_validates_shape() {
         let _ = to_markdown_table("x", &["r".into()], &["a".into(), "b".into()], &[vec![1.0]]);
+    }
+
+    #[test]
+    fn sweep_json_records_failures() {
+        use crate::experiment::MixFailure;
+        let outcome = SweepOutcome {
+            results: vec![result("fork", "Mix1", 10.0)],
+            failures: vec![MixFailure {
+                mix: "Mix2".into(),
+                error: "stash overflow: \"cap\" hit".into(),
+            }],
+        };
+        let clean = SweepOutcome {
+            results: vec![result("trad", "Mix1", 20.0)],
+            failures: vec![],
+        };
+        let s = sweep_to_json(
+            "fig14",
+            &[("fork".to_string(), &outcome), ("trad".to_string(), &clean)],
+        );
+        json::validate(&s).unwrap();
+        assert!(s.contains("\"failed_total\":1"));
+        assert!(s.contains("\"mix\":\"Mix2\""));
+        assert!(s.contains("stash overflow"));
+        assert!(
+            s.contains("\"failed_mixes\":[]"),
+            "clean sweeps record none"
+        );
     }
 }

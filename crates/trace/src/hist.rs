@@ -86,6 +86,48 @@ impl Log2Hist {
         &self.bins
     }
 
+    /// Folds `other` into `self`: bin counts and exact count/sum add,
+    /// min/max combine. The aggregation primitive for multi-shard stats,
+    /// where each shard keeps its own spine and a snapshot merges them.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the value at quantile `q` (0.0..=1.0): the largest
+    /// value of the first bin where the cumulative count reaches
+    /// `ceil(q * count)`. Exact for the min (q=0 uses the tracked minimum)
+    /// and max (the tracked maximum caps the answer); elsewhere accurate
+    /// to the log2 bucket width. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bin, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bin k holds values in [2^(k-1), 2^k - 1]; bin 0 holds 0.
+                let hi = if bin >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bin) - 1
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Resets the histogram to empty.
     pub fn clear(&mut self) {
         *self = Self::default();
@@ -146,6 +188,42 @@ mod tests {
         assert_eq!(h.mean(), 20.0);
         h.clear();
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_extrema() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        for v in [1, 4, 9] {
+            a.add(v);
+        }
+        for v in [0, 100] {
+            b.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 114);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 100);
+        // Merging an empty histogram is a no-op (min must not regress).
+        let before = a.clone();
+        a.merge(&Log2Hist::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn quantile_tracks_bucket_bounds() {
+        let mut h = Log2Hist::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.add(v);
+        }
+        // p50 of 1..=100 is 50, inside bin 6 (32..=63).
+        assert_eq!(h.quantile(0.5), 63);
+        // p99 is 99, inside bin 7 (64..=127) but capped at the true max.
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to the minimum");
+        assert_eq!(h.quantile(1.0), 100);
     }
 
     #[test]

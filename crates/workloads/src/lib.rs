@@ -20,6 +20,9 @@
 //! * [`cpu`] — [`cpu::CoreModel`] / [`cpu::MultiCoreWorkload`]: in-order or
 //!   out-of-order cores with bounded outstanding misses, deterministic per
 //!   seed so every controller variant replays an identical request stream.
+//! * [`service`] — [`service::ServiceClientPool`]: closed-loop tenant
+//!   clients for the sharded serving layer (`fp-service`), deterministic
+//!   per `(seed, shard)` in simulated time.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod cpu;
 pub mod mixes;
 pub mod parsec;
 mod profile;
+pub mod service;
 pub mod spec;
 pub mod trace;
 

@@ -17,4 +17,13 @@ cargo test -q --offline
 tmp_perf="$(mktemp)"
 cargo run --release --offline -q -p fp-bench --bin perf_gate -- --fast --out "$tmp_perf" >/dev/null
 rm -f "$tmp_perf"
+
+# Serving-layer smoke check: 10k closed-loop requests through fp-service
+# (shards {1,2}, small tree). The binary self-validates its JSON and
+# asserts the 1->N simulated-throughput scaling invariant; a bare sanity
+# grep here guards against an empty or truncated report file.
+tmp_svc="$(mktemp)"
+cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --out "$tmp_svc" >/dev/null
+grep -q '"bench":"service_bench"' "$tmp_svc"
+rm -f "$tmp_svc"
 echo "tier1 OK"

@@ -11,6 +11,8 @@
 //! * [`core`] — the paper's contribution: path merging, request scheduling,
 //!   dummy replacing, merging-aware caching, the Fork Path controller.
 //! * [`workloads`] — synthetic SPEC/PARSEC stand-ins and the CPU frontend.
+//! * [`service`] — sharded concurrent serving layer: bounded queues with
+//!   backpressure, deadlines, drain/shutdown, aggregate service stats.
 //! * [`sim`] — full-system simulation, metrics, and energy accounting.
 //! * [`stats`] — the statistical tests behind the security audit.
 //! * [`trace`] — the shared tracing/metrics spine (counters, histograms,
@@ -29,6 +31,7 @@ pub use fp_core as core;
 pub use fp_crypto as crypto;
 pub use fp_dram as dram;
 pub use fp_path_oram as path_oram;
+pub use fp_service as service;
 pub use fp_sim as sim;
 pub use fp_stats as stats;
 pub use fp_trace as trace;

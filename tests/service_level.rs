@@ -1,0 +1,232 @@
+//! Integration tests for the sharded serving layer (`fp-service`):
+//! backpressure, deadline accounting, drain/shutdown under load, shard
+//! scaling, and the cross-rerun determinism property the closed-loop mode
+//! guarantees.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fork_path_oram::propcheck::{run_cases, Gen};
+use fork_path_oram::service::{
+    CompletionStatus, OramService, ServiceConfig, ServiceRequest, SubmitError,
+};
+use fork_path_oram::workloads::mixes;
+
+/// A small config for tests: the fast-test geometry shrunk further so each
+/// case stays in tens of milliseconds.
+fn small_cfg(shards: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::fast_test(shards);
+    cfg.oram.data_blocks = 1 << 12;
+    cfg.oram.levels = 11;
+    cfg.oram.onchip_posmap_entries = 1 << 6;
+    cfg
+}
+
+// ---------- determinism (the closed-loop property) ------------------
+
+/// Same seed + shard count => bit-identical aggregate trace counters and
+/// request accounting, no matter how the host scheduler interleaves the
+/// worker threads. This is the property that makes `service_bench` numbers
+/// comparable across PRs; it holds because each shard's client pool is
+/// driven by the shard's own completions in *simulated* time.
+#[test]
+fn closed_loop_reruns_are_counter_identical() {
+    run_cases("service-closed-loop-determinism", 4, |g: &mut Gen| {
+        let shards = 1 << g.range(0, 2); // 1, 2, or 4
+        let seed = g.below(u64::MAX);
+        let budget = g.range(64, 256);
+        let run = || {
+            let mut cfg = small_cfg(shards as usize);
+            cfg.seed = seed;
+            OramService::run_closed_loop(cfg, &mixes::all()[0].programs, budget)
+                .expect("closed loop must not fail")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "shards={shards} seed={seed:#x} budget={budget}: reruns diverged"
+        );
+        assert_eq!(a.completed(), budget);
+        assert_eq!(a.sim_finish_ps(), b.sim_finish_ps());
+    });
+}
+
+// ---------- backpressure --------------------------------------------
+
+/// Flooding one shard faster than it can serve must surface `Busy` to the
+/// producer (and count the rejections) rather than blocking or dropping
+/// silently; everything accepted still completes.
+#[test]
+fn overload_surfaces_busy_and_loses_nothing() {
+    let mut cfg = small_cfg(1);
+    cfg.queue_depth = 4;
+    let (stats, (accepted, rejected)) = OramService::serve(cfg, |h| {
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        // Push far more than queue_depth with no pacing: most submissions
+        // must bounce off the full queue.
+        for i in 0..512u64 {
+            match h.submit(ServiceRequest::read(i % 4096, 0, i)) {
+                Ok(_) => accepted += 1,
+                Err(SubmitError::Busy) => rejected += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        (accepted, rejected)
+    })
+    .unwrap();
+    assert!(
+        rejected > 0,
+        "a 4-deep queue cannot absorb 512 instant submissions"
+    );
+    assert_eq!(accepted + rejected, 512);
+    assert_eq!(stats.rejected_busy(), rejected);
+    assert_eq!(stats.enqueued(), accepted);
+    assert_eq!(stats.completed(), accepted, "accepted work must all finish");
+}
+
+// ---------- deadlines ------------------------------------------------
+
+/// A request whose deadline already passed at admission is dropped as
+/// Expired (no ORAM access); a completion past its deadline counts Late.
+#[test]
+fn deadlines_classify_expired_and_late() {
+    let cfg = small_cfg(1);
+    let (stats, ()) = OramService::serve(cfg, |h| {
+        // Deadline in the past at admission -> Expired.
+        let mut dead = ServiceRequest::read(17, 1_000_000, 1);
+        dead.deadline_ps = Some(999);
+        h.submit(dead).unwrap();
+        // A 1 ps deadline cannot cover a multi-microsecond ORAM access ->
+        // completes, but Late.
+        let mut tight = ServiceRequest::read(33, 0, 2);
+        tight.deadline_ps = Some(1);
+        // arrival 0 with deadline 1 >= arrival: admitted, then late.
+        tight.arrival_ps = 0;
+        h.submit(tight).unwrap();
+        // No deadline -> plain Ok.
+        h.submit(ServiceRequest::read(49, 0, 3)).unwrap();
+    })
+    .unwrap();
+    assert_eq!(stats.expired(), 1);
+    assert_eq!(stats.completed_late(), 1);
+    assert_eq!(
+        stats.completed(),
+        3,
+        "expired + late + ok all produce completions"
+    );
+}
+
+/// The service-wide relative deadline applies to requests that carry none.
+#[test]
+fn default_relative_deadline_applies() {
+    let mut cfg = small_cfg(1);
+    cfg.deadline_ps = Some(1); // 1 ps after arrival: everything is late
+    let (stats, ()) = OramService::serve(cfg, |h| {
+        for i in 0..4u64 {
+            h.submit(ServiceRequest::read(i * 11, 0, i)).unwrap();
+        }
+    })
+    .unwrap();
+    assert_eq!(stats.completed(), 4);
+    assert_eq!(stats.completed_late(), 4);
+    assert_eq!(stats.expired(), 0);
+}
+
+// ---------- drain / shutdown ----------------------------------------
+
+/// Shutdown while producers are still mid-burst and workers mid-access
+/// must terminate (no deadlock) and account for every accepted request.
+/// The driver returning triggers the drain, so ending it with requests
+/// still queued and in flight exercises exactly that window.
+#[test]
+fn drain_under_load_terminates_and_accounts() {
+    let mut cfg = small_cfg(4);
+    cfg.queue_depth = 8;
+    let accepted = AtomicU64::new(0);
+    let (stats, ()) = OramService::serve(cfg, |h| {
+        for i in 0..256u64 {
+            if h.submit(ServiceRequest::read(i % 4096, 0, i)).is_ok() {
+                accepted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Return immediately: queues are still loaded, shards mid-flight.
+    })
+    .unwrap();
+    let accepted = accepted.load(Ordering::Relaxed);
+    assert!(accepted > 0);
+    assert_eq!(stats.completed(), accepted, "drain must finish queued work");
+    let done_tags: Vec<_> = stats
+        .per_shard
+        .iter()
+        .map(|s| s.counters.completed)
+        .collect();
+    assert_eq!(done_tags.iter().sum::<u64>(), accepted);
+}
+
+/// Submissions after drain has begun are refused with Shutdown, not lost.
+#[test]
+fn post_drain_submissions_are_refused() {
+    let cfg = small_cfg(1);
+    let (_, handle) = OramService::serve(cfg, |h| h.clone()).unwrap();
+    assert_eq!(
+        handle.submit(ServiceRequest::read(1, 0, 0)),
+        Err(SubmitError::Shutdown)
+    );
+}
+
+// ---------- scaling --------------------------------------------------
+
+/// Aggregate *simulated* throughput must grow with the shard count on a
+/// fixed workload: shards serve smaller trees and their simulated clocks
+/// advance concurrently. (Wall-clock throughput is host-dependent and not
+/// asserted here; `service_bench` tracks it.)
+#[test]
+fn sim_throughput_scales_with_shards() {
+    let run = |shards: usize| {
+        let cfg = small_cfg(shards);
+        OramService::run_closed_loop(cfg, &mixes::all()[0].programs, 512)
+            .unwrap()
+            .sim_requests_per_sec()
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    assert!(one > 0.0);
+    assert!(
+        two > one,
+        "2 shards ({two:.0} req/s) must beat 1 ({one:.0})"
+    );
+    assert!(
+        four > two,
+        "4 shards ({four:.0} req/s) must beat 2 ({two:.0})"
+    );
+}
+
+// ---------- completions ----------------------------------------------
+
+/// Reads round-trip through sharding: completions surface global
+/// addresses, correct tags, and Ok status.
+#[test]
+fn completions_carry_global_addresses_and_tags() {
+    let cfg = small_cfg(4);
+    let (stats, done) = OramService::serve(cfg, |h| {
+        for i in 0..32u64 {
+            let addr = i * 97 % 4096;
+            while h.submit(ServiceRequest::read(addr, 0, addr)) == Err(SubmitError::Busy) {
+                std::thread::yield_now();
+            }
+        }
+        h.clone()
+    })
+    .map(|(stats, h)| (stats, h.drain_completions()))
+    .unwrap();
+    assert_eq!(stats.completed(), 32);
+    assert_eq!(done.len(), 32);
+    for c in &done {
+        assert_eq!(c.addr, c.tag, "global address must round-trip");
+        assert_eq!(c.status, CompletionStatus::Ok);
+        assert!(c.latency_ps > 0);
+    }
+}

@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use fp_bench::fork_with_mac;
+use fp_bench::by_name;
 use fp_service::{OramService, ServiceConfig};
 use fp_sim::experiment::{mix_workload, MissBudget};
 use fp_sim::{run_workload, Scheme, SystemConfig};
@@ -54,11 +54,13 @@ fn main() {
         p.working_set_blocks = 1 << 12;
     }
 
-    let schemes: Vec<(&str, Scheme)> = vec![
-        ("baseline", Scheme::Traditional),
-        ("fork", Scheme::ForkDefault),
-        ("fork+mac", fork_with_mac(256 << 10)),
-    ];
+    // Scheme rows come from the shared engine registry, so the names in
+    // BENCH_perf.json match `service_bench --scheme <name>` and the figure
+    // binaries exactly.
+    let schemes: Vec<(&str, Scheme)> = ["traditional", "fork", "fork+mac"]
+        .into_iter()
+        .map(|name| (name, by_name(name).expect("registry scheme")))
+        .collect();
 
     println!("== perf_gate ({}) ==", if fast { "fast" } else { "full" });
     println!(
@@ -104,6 +106,7 @@ fn main() {
     // simulator's speed like the scheme rows above.
     let mut svc_cfg = ServiceConfig::fast_test(4);
     svc_cfg.seed = GATE_SEED;
+    let svc_scheme = svc_cfg.scheme.label();
     let svc_requests: u64 = if fast { 4_096 } else { 65_536 };
     let started = Instant::now();
     let svc = OramService::run_closed_loop(svc_cfg, &mix.programs, svc_requests)
@@ -120,6 +123,7 @@ fn main() {
     );
     let service_row = JsonObject::new()
         .field_str("name", "service")
+        .field_str("scheme", &svc_scheme)
         .field_u64("shards", 4)
         .field_str("workload", mix.name)
         .field_u64("requests", svc.completed())

@@ -12,11 +12,15 @@
 //! binary checks that invariant and exits nonzero if it fails.
 //!
 //! Usage: `service_bench [--smoke|--fast] [--shards 1,2,4,8]
-//!         [--requests <per-run>] [--seed <n>] [--out <path>]`
+//!         [--requests <per-run>] [--seed <n>] [--scheme <name>]
+//!         [--out <path>]`
 //!
 //! * `--smoke` — tier-1 CI mode: a smaller tree and 10k total requests
 //!   across shard counts {1,2}; seconds of wall time.
 //! * `--fast` — reduced budget (16384 requests per shard count).
+//! * `--scheme <name>` — any name from the shared engine registry
+//!   (`fp_core::engine::registry`), e.g. `traditional` or `fork`
+//!   (default). Every shard runs the selected engine.
 //! * default — 262144 requests per shard count; over the default four
 //!   shard counts that is ≥1M requests total.
 //!
@@ -24,6 +28,8 @@
 //! being written (default `results/BENCH_service.json`). See
 //! EXPERIMENTS.md ("Serving layer") for the schema.
 
+use fp_bench::{by_name, registry};
+use fp_core::Scheme;
 use fp_service::{OramService, ServiceConfig, ServiceStats};
 use fp_stats::json::{self, JsonObject};
 use fp_workloads::mixes;
@@ -38,6 +44,8 @@ struct Args {
     out_path: String,
     mode: &'static str,
     smoke: bool,
+    scheme_name: String,
+    scheme: Scheme,
 }
 
 fn parse_args() -> Args {
@@ -75,6 +83,11 @@ fn parse_args() -> Args {
         .map(|s| s.parse().expect("--seed takes a number"))
         .unwrap_or(BENCH_SEED);
     let out_path = value("--out").unwrap_or_else(|| "results/BENCH_service.json".to_string());
+    let scheme_name = value("--scheme").unwrap_or_else(|| "fork".to_string());
+    let scheme = by_name(&scheme_name).unwrap_or_else(|| {
+        let known: Vec<&str> = registry().into_iter().map(|(n, _)| n).collect();
+        panic!("unknown scheme {scheme_name:?}; registry has {known:?}")
+    });
     Args {
         shard_counts,
         requests_per_run,
@@ -82,12 +95,15 @@ fn parse_args() -> Args {
         out_path,
         mode,
         smoke,
+        scheme_name,
+        scheme,
     }
 }
 
 fn config_for(args: &Args, shards: usize) -> ServiceConfig {
     let mut cfg = ServiceConfig::fast_test(shards);
     cfg.seed = args.seed;
+    cfg.scheme = args.scheme.clone();
     if args.smoke {
         // Smaller global tree so tier-1 stays in low seconds.
         cfg.oram.data_blocks = 1 << 12;
@@ -109,7 +125,12 @@ fn main() {
     let args = parse_args();
     let mix = &mixes::all()[0];
 
-    println!("== service_bench ({}) ==", args.mode);
+    println!(
+        "== service_bench ({}, scheme={} \"{}\") ==",
+        args.mode,
+        args.scheme_name,
+        args.scheme.label()
+    );
     println!(
         "{:<7} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>6}",
         "shards",
@@ -168,6 +189,7 @@ fn main() {
     let report = JsonObject::new()
         .field_str("bench", "service_bench")
         .field_str("mode", args.mode)
+        .field_str("scheme", &args.scheme.label())
         .field_u64("seed", args.seed)
         .field_u64("requests_per_run", args.requests_per_run)
         .field_str("workload", mix.name)

@@ -27,32 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fp_core::{CacheChoice, ForkConfig};
 use fp_sim::Scheme;
 
-/// Fork Path with an explicit label-queue size and no cache.
-pub fn fork_with_queue(queue: usize) -> Scheme {
-    Scheme::Fork(ForkConfig {
-        label_queue_size: queue,
-        ..ForkConfig::default()
-    })
-}
-
-/// Fork Path (queue 64) with a merging-aware cache of `bytes`.
-pub fn fork_with_mac(bytes: u64) -> Scheme {
-    Scheme::Fork(ForkConfig {
-        cache: CacheChoice::MergingAware { bytes, ways: 4 },
-        ..ForkConfig::default()
-    })
-}
-
-/// Fork Path (queue 64) with a treetop cache of `bytes`.
-pub fn fork_with_treetop(bytes: u64) -> Scheme {
-    Scheme::Fork(ForkConfig {
-        cache: CacheChoice::Treetop { bytes },
-        ..ForkConfig::default()
-    })
-}
+// Scheme constructors come from the shared engine registry in
+// `fp_core::engine`, so every binary names schemes consistently.
+pub use fp_core::engine::{by_name, fork_with_mac, fork_with_queue, fork_with_treetop, registry};
 
 /// The caching-design scheme set of Figs 13–15: merge-only, MAC at
 /// 128 K/256 K/1 M, and 1 M treetop.

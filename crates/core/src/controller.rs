@@ -267,7 +267,7 @@ impl ForkPathController {
     /// # Errors
     ///
     /// Surfaces internal bookkeeping invariant violations.
-    pub fn process_one<S: ReactiveSource>(
+    pub fn process_one<S: ReactiveSource + ?Sized>(
         &mut self,
         source: &mut S,
     ) -> Result<bool, ControllerError> {
@@ -280,7 +280,7 @@ impl ForkPathController {
     /// # Errors
     ///
     /// Surfaces internal bookkeeping invariant violations.
-    pub fn process_one_at<S: ReactiveSource>(
+    pub fn process_one_at<S: ReactiveSource + ?Sized>(
         &mut self,
         source: &mut S,
         not_before_ps: u64,
@@ -308,7 +308,7 @@ impl ForkPathController {
 
     /// Moves work forward: stalled chain steps first (they are older), then
     /// address-queue transformations, as far as space and hazards allow.
-    fn pump(&mut self) -> Result<(), ControllerError> {
+    pub(crate) fn pump(&mut self) -> Result<(), ControllerError> {
         {
             let mut ctx = step_ctx!(self);
             self.flights.retry_stalled(&mut ctx)?;
@@ -340,7 +340,7 @@ impl ForkPathController {
     }
 
     /// Executes one ORAM access end to end.
-    fn execute<S: ReactiveSource>(
+    fn execute<S: ReactiveSource + ?Sized>(
         &mut self,
         cur: Entry,
         source: &mut S,

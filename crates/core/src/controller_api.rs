@@ -32,7 +32,7 @@ impl ForkPathController {
 
     /// Routes every not-yet-fed completion through `source`, submitting any
     /// follow-up requests it produces, until quiescent.
-    pub(super) fn flush_feedback<S: ReactiveSource>(
+    pub(super) fn flush_feedback<S: ReactiveSource + ?Sized>(
         &mut self,
         source: &mut S,
     ) -> Result<(), ControllerError> {

@@ -30,6 +30,12 @@
 //! two-queue architecture as Fig 9: an address queue with data-hazard
 //! handling feeding a label queue that schedules the ORAM requests.
 //!
+//! The [`engine`] module abstracts this controller, the baseline
+//! [`fp_path_oram::BaselineController`], and an insecure plain-DRAM engine
+//! behind one scheme-agnostic incremental API ([`OramEngine`]); [`Scheme`]
+//! names and constructs them, so simulators, the serving layer, and the
+//! bench harness drive every memory system through the same loop.
+//!
 //! # Example
 //!
 //! ```
@@ -58,6 +64,7 @@ mod address_queue;
 mod config;
 mod controller;
 pub mod dummy;
+pub mod engine;
 pub mod error;
 mod flight;
 mod mac;
@@ -74,6 +81,7 @@ pub use address_queue::{AddressQueue, SubmitEffect};
 pub use config::{CacheChoice, ForkConfig};
 pub use controller::ForkPathController;
 pub use dummy::{DummyReplacer, DummyStats};
+pub use engine::{InsecureEngine, OramEngine, Scheme};
 pub use error::ControllerError;
 pub use mac::MergingAwareCache;
 pub use merge::{MergeStats, PathMerger};

@@ -1,43 +1,8 @@
 //! Closed-loop request feedback for the controller.
 //!
-//! The system simulator implements [`ReactiveSource`] so that a core whose
-//! LLC miss completes during an ORAM access can issue its next miss in time
-//! to participate in dummy replacement (§3.3) — the feedback loop is what
-//! makes replacement fire at realistic rates.
+//! The vocabulary ([`NewRequest`], [`ReactiveSource`], [`NoFeedback`]) now
+//! lives in [`fp_path_oram::reactive`], next to [`fp_path_oram::Completion`],
+//! so the baseline controller and every optimized engine share it; this
+//! module re-exports it under the historical `fp_core` paths.
 
-use fp_path_oram::{Completion, Op};
-
-/// A follow-up request produced by a [`ReactiveSource`] when a completion is
-/// delivered mid-simulation.
-#[derive(Debug, Clone)]
-pub struct NewRequest {
-    /// Program (data-block) address.
-    pub addr: u64,
-    /// Direction.
-    pub op: Op,
-    /// Payload for writes.
-    pub data: Vec<u8>,
-    /// Arrival time at the controller, picoseconds.
-    pub arrival_ps: u64,
-    /// Opaque routing tag echoed in the completion.
-    pub tag: u64,
-}
-
-/// Closed-loop request feedback: the system simulator implements this so
-/// that a core whose miss completes during an access can issue its next miss
-/// in time to participate in dummy replacement.
-pub trait ReactiveSource {
-    /// Called the moment `completion`'s data is returned; any produced
-    /// requests are submitted before the refill decision.
-    fn on_complete(&mut self, completion: &Completion) -> Vec<NewRequest>;
-}
-
-/// A no-op source for open-loop use.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NoFeedback;
-
-impl ReactiveSource for NoFeedback {
-    fn on_complete(&mut self, _completion: &Completion) -> Vec<NewRequest> {
-        Vec::new()
-    }
-}
+pub use fp_path_oram::reactive::{NewRequest, NoFeedback, ReactiveSource};

@@ -12,8 +12,6 @@
 //! access *starts* at least every `interval_ps` until `horizon_ps`,
 //! inserting merged dummy accesses whenever the program supplies no work.
 
-use fp_path_oram::Completion;
-
 use crate::controller::ForkPathController;
 use crate::error::must;
 use crate::reactive::ReactiveSource;
@@ -84,12 +82,6 @@ pub fn idle_cost(
     let mut source = NoFeedback;
     enforce_fixed_rate(ctl, &mut source, horizon, interval_ps)
 }
-
-/// Re-export for doc linkage.
-pub use fp_path_oram::Completion as _Completion;
-
-#[allow(unused)]
-fn _assert_types(c: Completion) {}
 
 #[cfg(test)]
 mod tests {

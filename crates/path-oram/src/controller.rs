@@ -9,9 +9,11 @@ use std::collections::VecDeque;
 
 use fp_dram::layout::{SubtreeLayout, TreeLayout};
 use fp_dram::{AccessKind, DramSystem};
+use fp_trace::{Counter, EventKind, TraceHandle};
 
 use crate::cache::{BucketCache, NoCache, TreetopCache, WriteOutcome};
 use crate::config::OramConfig;
+use crate::reactive::{NoFeedback, ReactiveSource};
 use crate::state::OramState;
 use crate::stats::OramStats;
 
@@ -88,6 +90,12 @@ pub struct BaselineController {
     clock_ps: u64,
     next_id: u64,
     stats: OramStats,
+    completions: Vec<Completion>,
+    /// Completions before this index have been fed to the reactive source.
+    feedback_cursor: usize,
+    /// The shared trace spine (counters, histograms, event ring) the
+    /// controller, stash, and DRAM system report into.
+    trace: TraceHandle,
     label_trace: Option<Vec<u64>>,
     bursts_per_bucket: u64,
     /// Reusable node-id buffer for the per-access read phase.
@@ -121,8 +129,13 @@ impl BaselineController {
             .bucket_bytes()
             .div_ceil(dram.config().burst_bytes)
             .max(1);
+        let trace = TraceHandle::default();
+        let mut state = OramState::new(cfg, seed);
+        state.attach_trace(trace.clone());
+        let mut dram = dram;
+        dram.attach_trace(trace.clone());
         Self {
-            state: OramState::new(cfg, seed),
+            state,
             dram,
             layout,
             cache,
@@ -130,6 +143,9 @@ impl BaselineController {
             clock_ps: 0,
             next_id: 0,
             stats: OramStats::default(),
+            completions: Vec::new(),
+            feedback_cursor: 0,
+            trace,
             label_trace: None,
             bursts_per_bucket,
             path_nodes: Vec::new(),
@@ -157,6 +173,8 @@ impl BaselineController {
             Op::Write => Some(data),
             Op::Read => None,
         };
+        self.trace
+            .record(arrival_ps, EventKind::RequestSubmitted { id });
         self.queue.push_back(LlcRequest {
             id,
             addr,
@@ -168,13 +186,73 @@ impl BaselineController {
         id
     }
 
+    /// Processes one queued request end to end (FIFO order), routing the
+    /// resulting completion — and any earlier unflushed ones — through
+    /// `source` so follow-up requests join the queue. Returns `false` when
+    /// the queue is empty.
+    ///
+    /// This is the incremental half of the submit/pump model: interleaving
+    /// `submit*` and `process_one` in any order produces exactly the same
+    /// completions, statistics, and stash state as batching everything
+    /// through [`BaselineController::run_to_idle`], because requests are
+    /// consumed strictly in submission order either way.
+    pub fn process_one<S: ReactiveSource + ?Sized>(&mut self, source: &mut S) -> bool {
+        self.flush_feedback(source);
+        let Some(req) = self.queue.pop_front() else {
+            return false;
+        };
+        let done = self.process(req);
+        self.completions.push(done);
+        self.flush_feedback(source);
+        true
+    }
+
+    /// Routes every not-yet-fed completion through `source`, submitting any
+    /// follow-up requests it produces, until quiescent.
+    fn flush_feedback<S: ReactiveSource + ?Sized>(&mut self, source: &mut S) {
+        while self.feedback_cursor < self.completions.len() {
+            let completion = self.completions[self.feedback_cursor].clone();
+            self.feedback_cursor += 1;
+            for r in source.on_complete(&completion) {
+                self.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag);
+            }
+        }
+    }
+
+    /// Completions produced since the last drain. Only completions that
+    /// have already been routed through the reactive feedback are returned;
+    /// anything newer is delivered on a later drain (after the next
+    /// [`BaselineController::process_one`] flushes it).
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        let flushed: Vec<Completion> = self.completions.drain(..self.feedback_cursor).collect();
+        self.feedback_cursor = 0;
+        flushed
+    }
+
+    /// Whether any submitted request is still waiting to be processed.
+    pub fn has_pending_work(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
     /// Processes every queued request in FIFO order.
     pub fn run_to_idle(&mut self) -> Vec<Completion> {
-        let mut out = Vec::with_capacity(self.queue.len());
-        while let Some(req) = self.queue.pop_front() {
-            out.push(self.process(req));
-        }
-        out
+        let mut source = NoFeedback;
+        while self.process_one(&mut source) {}
+        self.drain_completions()
+    }
+
+    /// The shared trace spine the controller, the stash, and the DRAM
+    /// system report into. Counters are always exact; the event ring is
+    /// empty until [`BaselineController::set_trace_capacity`] gives it
+    /// room.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Sizes the trace event ring (0 = counters only). The ring keeps the
+    /// most recent `capacity` events.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
     }
 
     /// Starts recording the externally visible leaf-label sequence.
@@ -217,6 +295,7 @@ impl BaselineController {
 
     fn process(&mut self, req: LlcRequest) -> Completion {
         self.clock_ps = self.clock_ps.max(req.arrival_ps);
+        self.trace.set_now(self.clock_ps);
         let levels = self.state.config().levels;
         let chain = self.state.chain(req.addr);
         let (mut old, mut new, _) = self.state.start_chain(req.addr);
@@ -255,6 +334,7 @@ impl BaselineController {
             self.state.load_path_range_into(old, 0, levels, &mut nodes);
             let read_end = self.read_phase_timing(&nodes);
             self.stats.buckets_read += nodes.len() as u64;
+            self.trace.bump(Counter::FullReads);
             self.path_nodes = nodes;
 
             // Block handling between the phases.
@@ -274,12 +354,17 @@ impl BaselineController {
             self.stats.access_busy_ps += self.clock_ps.saturating_sub(access_start);
             self.stats.stash_size_sum += self.state.stash().len() as u64;
             self.stats.stash_samples += 1;
+            self.trace.record_occupancy(self.state.stash().len() as u64);
         }
         self.drain_stash_pressure();
 
         self.stats.completed_requests += 1;
         self.stats.sum_latency_ps += done_ps.saturating_sub(req.arrival_ps);
         self.stats.finish_time_ps = self.clock_ps;
+        self.trace
+            .record(done_ps, EventKind::RequestCompleted { id: req.id });
+        self.trace
+            .record_latency(done_ps.saturating_sub(req.arrival_ps));
         Completion {
             id: req.id,
             addr: req.addr,
@@ -301,6 +386,7 @@ impl BaselineController {
         self.clock_ps = read_end;
         let mut t = read_end;
         for level in (0..=levels).rev() {
+            self.trace.set_now(t);
             let node = self.state.evict_level(leaf, level);
             match self.cache.insert_on_write(node) {
                 WriteOutcome::Cached => {}
@@ -308,6 +394,7 @@ impl BaselineController {
                 WriteOutcome::CachedEvicting { victim } => t = self.write_bucket_at(victim, t),
             }
             self.stats.buckets_written += 1;
+            self.trace.bump(Counter::BucketsWritten);
         }
         self.clock_ps = t + CTRL_PHASE_LATENCY_PS;
     }
@@ -320,15 +407,18 @@ impl BaselineController {
         for &node in nodes {
             if self.cache.lookup_for_read(node) {
                 self.stats.cache_hits += 1;
+                self.trace.bump(Counter::CacheHits);
                 continue;
             }
             self.stats.cache_misses += 1;
+            self.trace.bump(Counter::CacheMisses);
             self.push_bucket_bursts(&mut batch, node, AccessKind::Read);
         }
         let end = if batch.is_empty() {
             self.clock_ps + CTRL_PHASE_LATENCY_PS
         } else {
             self.stats.dram_blocks_read += batch.len() as u64;
+            self.trace.add(Counter::DramBlocksRead, batch.len() as u64);
             self.dram
                 .access_batch(self.clock_ps, &batch)
                 .batch_finish_ps
@@ -344,6 +434,8 @@ impl BaselineController {
         batch.clear();
         self.push_bucket_bursts(&mut batch, node, AccessKind::Write);
         self.stats.dram_blocks_written += batch.len() as u64;
+        self.trace
+            .add(Counter::DramBlocksWritten, batch.len() as u64);
         let end = self.dram.access_batch(t, &batch).batch_finish_ps;
         self.batch_scratch = batch;
         end
@@ -371,11 +463,13 @@ impl BaselineController {
                 .load_path_range_into(label, 0, levels, &mut nodes);
             let read_end = self.read_phase_timing(&nodes);
             self.stats.buckets_read += nodes.len() as u64;
+            self.trace.bump(Counter::FullReads);
             self.path_nodes = nodes;
             self.refill(label, read_end);
             self.stats.oram_accesses += 1;
             self.stats.dummy_accesses += 1;
             self.stats.background_evictions += 1;
+            self.trace.bump(Counter::DummiesExecuted);
             guard += 1;
         }
     }

@@ -23,7 +23,12 @@
 //!   (`load_path_range`, `finish_access`, `evict_range`) that both the
 //!   baseline and the Fork Path controllers drive.
 //! * [`BaselineController`] — the traditional Path ORAM controller: every
-//!   access reads and refills a complete path.
+//!   access reads and refills a complete path, driven either synchronously
+//!   ([`BaselineController::access_sync`]) or incrementally through the
+//!   submit/pump model ([`BaselineController::process_one`]).
+//! * [`reactive`] — the closed-loop feedback vocabulary
+//!   ([`NewRequest`], [`ReactiveSource`], [`NoFeedback`]) shared by every
+//!   incremental engine from the baseline to Fork Path.
 //! * [`cache`] — the on-chip bucket-cache abstraction with the prior-art
 //!   [`cache::TreetopCache`] policy (Phantom [13]).
 //! * [`integrity`] — Merkle-tree verification over the ORAM tree, the
@@ -52,6 +57,7 @@ mod controller;
 pub mod integrity;
 pub mod path;
 mod posmap;
+pub mod reactive;
 mod stash;
 mod state;
 mod stats;
@@ -60,6 +66,7 @@ mod tree;
 pub use config::{CipherMode, OramConfig};
 pub use controller::{BaselineController, Completion, LlcRequest, Op};
 pub use posmap::PosMapHierarchy;
+pub use reactive::{NewRequest, NoFeedback, ReactiveSource};
 pub use stash::{Block, Stash};
 pub use state::{AccessOutcome, OramState};
 pub use stats::OramStats;

@@ -1,6 +1,6 @@
 //! Service configuration and the address-space partitioning scheme.
 
-use fp_core::ForkConfig;
+use fp_core::Scheme;
 use fp_dram::DramConfig;
 use fp_path_oram::OramConfig;
 
@@ -36,8 +36,10 @@ pub struct ServiceConfig {
     pub deadline_ps: Option<u64>,
     /// Global ORAM geometry; per-shard trees are derived from it.
     pub oram: OramConfig,
-    /// Fork Path controller knobs, identical in every shard.
-    pub fork: ForkConfig,
+    /// The ORAM scheme every shard runs — any [`Scheme`] the engine
+    /// registry knows (traditional Path ORAM, Fork Path in any
+    /// configuration, even insecure DRAM for calibration).
+    pub scheme: Scheme,
     /// Per-shard DRAM system (each shard gets its own instance).
     pub dram: DramConfig,
     /// Service seed; shard `i` seeds its controller and clients from it.
@@ -63,7 +65,7 @@ impl ServiceConfig {
             batch_max: 16,
             deadline_ps: None,
             oram,
-            fork: ForkConfig::default(),
+            scheme: Scheme::ForkDefault,
             dram: DramConfig::ddr3_1600(2),
             seed: 0x5EED,
             trace_capacity: 0,
@@ -104,7 +106,7 @@ impl ServiceConfig {
         self.shard_oram()
             .validate()
             .map_err(|e| format!("derived shard geometry invalid: {e}"))?;
-        self.fork.validate()
+        self.scheme.validate()
     }
 
     /// `log2(shards)`.

@@ -1,13 +1,17 @@
 //! # fp-service
 //!
-//! A sharded, concurrent serving layer over the Fork Path ORAM controller:
-//! the paper's single-controller pipeline (`fp-core`), scaled out the way a
-//! secure-memory *service* would deploy it.
+//! A sharded, concurrent serving layer over any ORAM engine: the paper's
+//! single-controller pipeline (`fp-core`), scaled out the way a
+//! secure-memory *service* would deploy it. Each shard runs the
+//! scheme-agnostic [`fp_core::OramEngine`] selected by
+//! [`ServiceConfig`]'s `scheme` field — traditional Path ORAM and Fork
+//! Path are served by the *same* worker code path, differing only in the
+//! engine the scheme builds.
 //!
 //! ## Architecture
 //!
 //! * **Sharding** ([`ServiceConfig`]) — the global block address space is
-//!   interleaved across `N` independent [`fp_core::ForkPathController`]s
+//!   interleaved across `N` independent engines
 //!   (`shard = addr % N`, local address `addr / N`), each with a
 //!   proportionally smaller tree and a private simulated DRAM system.
 //!   Obliviousness is preserved per shard: routing depends only on public

@@ -1,6 +1,8 @@
-//! Shard worker: one [`ForkPathController`] fed from a bounded submission
-//! queue (external mode) or an embedded closed-loop client pool
-//! (deterministic load mode).
+//! Shard worker: one scheme-agnostic [`OramEngine`] fed from a bounded
+//! submission queue (external mode) or an embedded closed-loop client pool
+//! (deterministic load mode). The engine is built from
+//! [`ServiceConfig::scheme`](crate::ServiceConfig), so the same worker
+//! serves traditional Path ORAM, Fork Path, or any future scheme.
 //!
 //! In external mode the worker blocks on its queue only while the
 //! controller is idle; with work in flight it polls the queue without
@@ -13,7 +15,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fp_core::{ControllerError, ForkPathController, NewRequest, NoFeedback, ReactiveSource};
+use fp_core::engine::OramEngine;
+use fp_core::{ControllerError, NewRequest, NoFeedback, ReactiveSource};
 use fp_dram::DramSystem;
 use fp_path_oram::{Completion, Op};
 use fp_trace::TraceHandle;
@@ -90,10 +93,12 @@ struct ReqMeta {
     deadline_ps: Option<u64>,
 }
 
-/// One shard's engine: controller plus in-flight request metadata.
-pub struct ShardEngine {
+/// One shard's worker: a scheme-agnostic ORAM engine plus in-flight
+/// request metadata. Defaults to the boxed engine [`ServiceConfig::scheme`]
+/// builds; tests can instantiate it with a concrete engine type.
+pub struct ShardEngine<E: OramEngine = Box<dyn OramEngine + Send>> {
     shard: usize,
-    ctl: ForkPathController,
+    ctl: E,
     shared: Arc<ShardShared>,
     batch_max: usize,
     default_deadline_ps: Option<u64>,
@@ -102,13 +107,13 @@ pub struct ShardEngine {
 }
 
 impl ShardEngine {
-    /// Builds shard `shard` of `cfg` with its private controller, DRAM
-    /// system, and shared front-end state.
+    /// Builds shard `shard` of `cfg` with its private engine (selected by
+    /// [`ServiceConfig::scheme`]), DRAM system, and shared front-end state.
     pub fn new(cfg: &ServiceConfig, shard: usize) -> (Self, Arc<ShardShared>) {
         let oram = cfg.shard_oram();
         let block_bytes = oram.block_bytes;
         let dram = DramSystem::new(cfg.dram.clone());
-        let mut ctl = ForkPathController::new(oram, cfg.fork, dram, cfg.shard_seed(shard));
+        let mut ctl = cfg.scheme.build(oram, dram, cfg.shard_seed(shard));
         ctl.set_trace_capacity(cfg.trace_capacity);
         let shared = Arc::new(ShardShared::new(cfg.queue_depth, ctl.trace().clone()));
         (
@@ -124,7 +129,9 @@ impl ShardEngine {
             shared,
         )
     }
+}
 
+impl<E: OramEngine> ShardEngine<E> {
     /// External-mode worker loop: drain the queue in batches, advance the
     /// controller, publish completions. Returns when the queue is closed
     /// and all admitted work has completed.

@@ -35,7 +35,6 @@ fn main() {
         let mix = mixes::by_name("Mix1").unwrap();
         let wl = mix_workload(&mix, MissBudget::Fast, cfg.seed ^ 0x5eed);
         let (_, trace) = run_workload_traced(&cfg, Scheme::ForkDefault, wl, 4096);
-        let trace = trace.expect("fork schemes carry a trace");
         std::fs::write(&path, trace.to_json()).expect("write trace dump");
         println!("trace written to {}", path.display());
     }

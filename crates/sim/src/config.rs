@@ -1,48 +1,13 @@
 //! System-level configuration (Table 1) and the schemes under comparison.
+//!
+//! The [`Scheme`] enum itself now lives in [`fp_core::engine`], next to
+//! the engine registry every harness binary shares; it is re-exported
+//! here so simulator callers keep their historical import path.
 
-use fp_core::{CacheChoice, ForkConfig};
 use fp_dram::DramConfig;
 use fp_path_oram::{CipherMode, OramConfig};
 
-/// Which memory system a run uses.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Scheme {
-    /// No protection: each LLC miss is one DRAM block access.
-    Insecure,
-    /// Traditional Path ORAM: full path per access, FIFO processing.
-    Traditional,
-    /// Traditional Path ORAM with a treetop cache of the given capacity.
-    TraditionalTreetop {
-        /// Cache capacity in bytes.
-        bytes: u64,
-    },
-    /// Fork Path with the paper's default knobs (queue 64, no cache).
-    ForkDefault,
-    /// Fork Path with explicit knobs.
-    Fork(ForkConfig),
-}
-
-impl Scheme {
-    /// Short label used in reports.
-    pub fn label(&self) -> String {
-        match self {
-            Scheme::Insecure => "insecure".into(),
-            Scheme::Traditional => "traditional".into(),
-            Scheme::TraditionalTreetop { bytes } => {
-                format!("traditional+treetop{}K", bytes >> 10)
-            }
-            Scheme::ForkDefault => "fork".into(),
-            Scheme::Fork(f) => {
-                let cache = match f.cache {
-                    CacheChoice::None => String::new(),
-                    CacheChoice::Treetop { bytes } => format!("+treetop{}K", bytes >> 10),
-                    CacheChoice::MergingAware { bytes, .. } => format!("+mac{}K", bytes >> 10),
-                };
-                format!("fork(q{}){}", f.label_queue_size, cache)
-            }
-        }
-    }
-}
+pub use fp_core::engine::Scheme;
 
 /// The evaluated system: processor, ORAM geometry, and memory system.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,19 +91,6 @@ mod tests {
     fn capacity_and_channel_variants() {
         assert_eq!(SystemConfig::with_capacity(1 << 30).oram.levels, 22);
         assert_eq!(SystemConfig::with_channels(4).dram.channels, 4);
-    }
-
-    #[test]
-    fn labels_are_distinct() {
-        let labels = [
-            Scheme::Insecure.label(),
-            Scheme::Traditional.label(),
-            Scheme::TraditionalTreetop { bytes: 1 << 20 }.label(),
-            Scheme::ForkDefault.label(),
-            Scheme::Fork(ForkConfig::paper_best()).label(),
-        ];
-        let set: std::collections::HashSet<_> = labels.iter().collect();
-        assert_eq!(set.len(), labels.len(), "{labels:?}");
     }
 
     #[test]

@@ -1,16 +1,19 @@
-//! Closed-loop full-system drivers for each scheme.
+//! The closed-loop full-system driver.
 //!
 //! A run couples a [`MultiCoreWorkload`] to a memory system: cores issue
 //! LLC misses when their think time elapses and their MLP window allows;
 //! completions feed back into the cores. Address streams are identical
 //! across schemes for a given workload/seed — only timing differs.
+//!
+//! There is exactly ONE driver loop. [`Scheme::build`] constructs the
+//! engine ([`fp_core::OramEngine`]) and the loop below pumps it: insecure
+//! DRAM, traditional Path ORAM (with or without a treetop cache), and
+//! every Fork Path configuration all run through the same code path.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use fp_core::{ForkConfig, ForkPathController, NewRequest, ReactiveSource};
-use fp_dram::{AccessKind, DramSystem};
-use fp_path_oram::{BaselineController, Completion, Op};
+use fp_core::engine::OramEngine;
+use fp_core::NewRequest;
+use fp_core::ReactiveSource;
+use fp_path_oram::{Completion, Op};
 use fp_trace::TraceHandle;
 use fp_workloads::cpu::{untag_addr, untag_core, MultiCoreWorkload};
 
@@ -24,25 +27,13 @@ use crate::metrics::RunResult;
 ///
 /// Panics if the workload footprint exceeds the ORAM's data capacity.
 pub fn run_workload(cfg: &SystemConfig, scheme: Scheme, workload: MultiCoreWorkload) -> RunResult {
-    assert!(
-        workload.footprint_blocks() <= cfg.oram.data_blocks,
-        "workload footprint {} exceeds ORAM capacity {}",
-        workload.footprint_blocks(),
-        cfg.oram.data_blocks
-    );
-    match &scheme {
-        Scheme::Insecure => run_insecure(cfg, &scheme, workload),
-        Scheme::Traditional => run_baseline(cfg, &scheme, workload, None),
-        Scheme::TraditionalTreetop { bytes } => run_baseline(cfg, &scheme, workload, Some(*bytes)),
-        Scheme::ForkDefault => run_fork(cfg, &scheme, workload, ForkConfig::default(), 0).0,
-        Scheme::Fork(f) => run_fork(cfg, &scheme, workload, *f, 0).0,
-    }
+    run_workload_traced(cfg, scheme, workload, 0).0
 }
 
-/// Like [`run_workload`], but also returns the controller's trace spine
+/// Like [`run_workload`], but also returns the engine's trace spine
 /// (counters, histograms, and an event ring of `trace_capacity` most
-/// recent events). Only Fork Path schemes carry a trace; the insecure
-/// and traditional baselines return `None`.
+/// recent events). Every scheme carries a trace — counters are always
+/// exact; the event ring is empty when `trace_capacity` is 0.
 ///
 /// # Panics
 ///
@@ -50,32 +41,56 @@ pub fn run_workload(cfg: &SystemConfig, scheme: Scheme, workload: MultiCoreWorkl
 pub fn run_workload_traced(
     cfg: &SystemConfig,
     scheme: Scheme,
-    workload: MultiCoreWorkload,
+    mut wl: MultiCoreWorkload,
     trace_capacity: usize,
-) -> (RunResult, Option<TraceHandle>) {
+) -> (RunResult, TraceHandle) {
     assert!(
-        workload.footprint_blocks() <= cfg.oram.data_blocks,
+        wl.footprint_blocks() <= cfg.oram.data_blocks,
         "workload footprint {} exceeds ORAM capacity {}",
-        workload.footprint_blocks(),
+        wl.footprint_blocks(),
         cfg.oram.data_blocks
     );
-    match &scheme {
-        Scheme::ForkDefault => {
-            let (r, t) = run_fork(
-                cfg,
-                &scheme,
-                workload,
-                ForkConfig::default(),
-                trace_capacity,
-            );
-            (r, Some(t))
-        }
-        Scheme::Fork(f) => {
-            let (r, t) = run_fork(cfg, &scheme, workload, *f, trace_capacity);
-            (r, Some(t))
-        }
-        _ => (run_workload(cfg, scheme, workload), None),
+    let dram = fp_dram::DramSystem::new(cfg.dram.clone());
+    let mut engine = scheme.build(cfg.oram.clone(), dram, cfg.seed);
+    engine.set_trace_capacity(trace_capacity);
+    let block_bytes = cfg.oram.block_bytes;
+
+    // Per-request submission: each submit pumps the engine's pipeline, so
+    // arrival order and the label-stream consumption match the hardware
+    // model (a batch submit would change fork's dummy padding).
+    for r in drain_issues(&mut wl, block_bytes) {
+        engine.submit(r).expect("engine invariant violated");
     }
+    {
+        let mut src = CoreSource {
+            wl: &mut wl,
+            block_bytes,
+        };
+        while engine
+            .process_one(&mut src)
+            .expect("engine invariant violated")
+        {}
+    }
+    let done = engine.drain_completions();
+    debug_assert!(wl.finished(), "driver must drain the workload");
+
+    let exec_time_ps = done
+        .iter()
+        .map(|c| c.done_ps)
+        .max()
+        .unwrap_or(0)
+        .max(engine.stats().finish_time_ps);
+    let result = build_result(
+        &scheme,
+        &wl,
+        engine.stats().clone(),
+        engine.dram().stats().clone(),
+        exec_time_ps,
+        engine.dram().total_ranks(),
+        cfg.dram.background_mw_per_rank,
+        engine.stash_high_water(),
+    );
+    (result, engine.trace().clone())
 }
 
 fn write_payload(addr: u64, block_bytes: usize) -> Vec<u8> {
@@ -115,174 +130,6 @@ impl ReactiveSource for CoreSource<'_> {
         self.wl
             .complete_core(completion.tag as usize, completion.done_ps);
         drain_issues(self.wl, self.block_bytes)
-    }
-}
-
-fn run_fork(
-    cfg: &SystemConfig,
-    scheme: &Scheme,
-    mut wl: MultiCoreWorkload,
-    fork: ForkConfig,
-    trace_capacity: usize,
-) -> (RunResult, TraceHandle) {
-    let dram = DramSystem::new(cfg.dram.clone());
-    let mut ctl = ForkPathController::new(cfg.oram.clone(), fork, dram, cfg.seed);
-    ctl.set_trace_capacity(trace_capacity);
-    let block_bytes = cfg.oram.block_bytes;
-
-    for r in drain_issues(&mut wl, block_bytes) {
-        ctl.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag)
-            .expect("controller invariant violated");
-    }
-    {
-        let mut src = CoreSource {
-            wl: &mut wl,
-            block_bytes,
-        };
-        while ctl
-            .process_one(&mut src)
-            .expect("controller invariant violated")
-        {}
-    }
-    let done = ctl.drain_completions();
-    debug_assert!(wl.finished(), "driver must drain the workload");
-
-    let exec_time_ps = done
-        .iter()
-        .map(|c| c.done_ps)
-        .max()
-        .unwrap_or(0)
-        .max(ctl.stats().finish_time_ps);
-    let result = build_result(
-        scheme,
-        &wl,
-        ctl.stats().clone(),
-        ctl.dram().stats().clone(),
-        exec_time_ps,
-        ctl.dram().total_ranks(),
-        cfg.dram.background_mw_per_rank,
-        ctl.state().stash().high_water(),
-    );
-    (result, ctl.trace().clone())
-}
-
-fn run_baseline(
-    cfg: &SystemConfig,
-    scheme: &Scheme,
-    mut wl: MultiCoreWorkload,
-    treetop_bytes: Option<u64>,
-) -> RunResult {
-    let dram = DramSystem::new(cfg.dram.clone());
-    let mut ctl = match treetop_bytes {
-        Some(bytes) => BaselineController::with_treetop(cfg.oram.clone(), dram, cfg.seed, bytes),
-        None => BaselineController::new(cfg.oram.clone(), dram, cfg.seed),
-    };
-    let block_bytes = cfg.oram.block_bytes;
-
-    let mut exec_time_ps = 0u64;
-    loop {
-        let wave = drain_issues(&mut wl, block_bytes);
-        let waiting = wave.is_empty();
-        for r in wave {
-            ctl.submit_tagged(r.addr, r.op, r.data, r.arrival_ps, r.tag);
-        }
-        let done = ctl.run_to_idle();
-        if done.is_empty() && waiting {
-            break;
-        }
-        for c in &done {
-            wl.complete_core(c.tag as usize, c.done_ps);
-            exec_time_ps = exec_time_ps.max(c.done_ps);
-        }
-    }
-    debug_assert!(wl.finished());
-    exec_time_ps = exec_time_ps.max(ctl.stats().finish_time_ps);
-
-    build_result(
-        scheme,
-        &wl,
-        ctl.stats().clone(),
-        ctl.dram().stats().clone(),
-        exec_time_ps,
-        ctl.dram().total_ranks(),
-        cfg.dram.background_mw_per_rank,
-        ctl.state().stash().high_water(),
-    )
-}
-
-fn run_insecure(cfg: &SystemConfig, scheme: &Scheme, mut wl: MultiCoreWorkload) -> RunResult {
-    let mut dram = DramSystem::new(cfg.dram.clone());
-    let block_bytes = cfg.oram.block_bytes as u64;
-    // Outstanding accesses: (finish, arrival, core).
-    let mut outstanding: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
-    let mut latency_sum = 0u64;
-    let mut completed = 0u64;
-    let mut exec_time_ps = 0u64;
-
-    // Chronological event interleaving: an access is handed to the memory
-    // controller only once simulated time reaches it, so DRAM state always
-    // advances monotonically.
-    loop {
-        let next_issue = wl.next_issue_time();
-        let next_done = outstanding.peek().map(|r| r.0 .0);
-        match (next_issue, next_done) {
-            (Some(ti), done) if done.is_none_or(|tc| ti <= tc) => {
-                let (tagged, op) = wl.issue_at(ti).expect("issueable");
-                let kind = match op {
-                    Op::Read => AccessKind::Read,
-                    Op::Write => AccessKind::Write,
-                };
-                let res = dram.access(ti, untag_addr(tagged) * block_bytes, kind);
-                outstanding.push(Reverse((res.finish_ps, ti, untag_core(tagged))));
-            }
-            (_, Some(_)) => {
-                let Reverse((finish, arrival, core)) = outstanding.pop().expect("peeked");
-                wl.complete_core(core, finish);
-                latency_sum += finish - arrival;
-                completed += 1;
-                exec_time_ps = exec_time_ps.max(finish);
-            }
-            (Some(_), None) => unreachable!("guard accepts issue when nothing is outstanding"),
-            (None, None) => break,
-        }
-    }
-    debug_assert!(wl.finished());
-
-    let dram_stats = dram.stats().clone();
-    let energy = energy::compute(
-        &EnergyParams::default(),
-        &dram_stats,
-        &Default::default(),
-        exec_time_ps,
-        dram.total_ranks(),
-        cfg.dram.background_mw_per_rank,
-    );
-    RunResult {
-        scheme: scheme.label(),
-        workload: String::new(),
-        oram_latency_ns: if completed == 0 {
-            0.0
-        } else {
-            latency_sum as f64 / completed as f64 / 1000.0
-        },
-        avg_path_len: 1.0,
-        dram_busy_ns_per_access: if completed == 0 {
-            0.0
-        } else {
-            latency_sum as f64 / completed as f64 / 1000.0
-        },
-        llc_requests: completed,
-        oram_accesses: completed,
-        real_accesses: completed,
-        dummy_accesses: 0,
-        dummies_replaced: 0,
-        exec_time_ps,
-        energy,
-        row_hit_rate: dram_stats.row_hit_rate(),
-        dram_blocks_read: dram_stats.reads,
-        dram_blocks_written: dram_stats.writes,
-        stash_high_water: 0,
-        sched_ready_reals: 0.0,
     }
 }
 
@@ -375,6 +222,8 @@ mod tests {
             insecure.exec_time_ps
         );
         assert!(oram.oram_latency_ns > 5.0 * insecure.oram_latency_ns);
+        assert_eq!(insecure.avg_path_len, 1.0, "plain DRAM touches one block");
+        assert_eq!(insecure.stash_high_water, 0);
     }
 
     #[test]
@@ -395,17 +244,27 @@ mod tests {
     fn traced_run_counters_match_run_result() {
         use fp_trace::Counter;
         let cfg = SystemConfig::fast_test();
-        let (r, trace) = run_workload_traced(&cfg, Scheme::ForkDefault, wl(40), 256);
-        let t = trace.expect("fork runs carry a trace");
+        let (r, t) = run_workload_traced(&cfg, Scheme::ForkDefault, wl(40), 256);
         assert_eq!(t.counter(Counter::DummiesExecuted), r.dummy_accesses);
         assert_eq!(t.counter(Counter::DummiesReplaced), r.dummies_replaced);
         assert_eq!(t.counter(Counter::DramBlocksRead), r.dram_blocks_read);
         assert_eq!(t.counter(Counter::DramBlocksWritten), r.dram_blocks_written);
         assert_eq!(t.len(), 256, "ring kept the most recent events");
         assert!(fp_stats::json::validate(&t.to_json()).is_ok());
-        // Baselines carry no trace.
-        let (_, none) = run_workload_traced(&cfg, Scheme::Traditional, wl(40), 256);
-        assert!(none.is_none());
+        // Every engine carries the same trace spine now — the traditional
+        // baseline and even the insecure DRAM run report through it.
+        let (rb, tb) = run_workload_traced(&cfg, Scheme::Traditional, wl(40), 256);
+        assert_eq!(tb.counter(Counter::RequestsSubmitted), rb.llc_requests);
+        assert_eq!(tb.counter(Counter::DramBlocksRead), rb.dram_blocks_read);
+        assert_eq!(
+            tb.counter(Counter::DramBlocksWritten),
+            rb.dram_blocks_written
+        );
+        assert!(fp_stats::json::validate(&tb.to_json()).is_ok());
+        let (ri, ti) = run_workload_traced(&cfg, Scheme::Insecure, wl(40), 16);
+        assert_eq!(ti.counter(Counter::RequestsSubmitted), ri.llc_requests);
+        assert_eq!(ti.counter(Counter::RequestsCompleted), ri.llc_requests);
+        assert!(ti.counter(Counter::DramActs) > 0);
     }
 
     #[test]

@@ -10,6 +10,11 @@ cargo clippy --offline --workspace -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
 
+# Documentation gate: every public item is documented (workspace crates set
+# #![warn(missing_docs)]) and no rustdoc warnings (broken intra-doc links,
+# invalid code fences) slip through.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
+
 # Perf-gate smoke check: the gate must run and emit valid JSON (it
 # validates via fp_stats::json::validate and exits nonzero otherwise).
 # No timing threshold here — wall-clock numbers are tracked across PRs in
@@ -26,4 +31,12 @@ tmp_svc="$(mktemp)"
 cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --out "$tmp_svc" >/dev/null
 grep -q '"bench":"service_bench"' "$tmp_svc"
 rm -f "$tmp_svc"
+
+# Scheme-agnostic serving: the same shard worker must also serve the
+# traditional Path ORAM engine end to end (selected via the shared engine
+# registry), proving the service layer is not fork-specific.
+tmp_svc_trad="$(mktemp)"
+cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --scheme traditional --out "$tmp_svc_trad" >/dev/null
+grep -q '"scheme":"traditional"' "$tmp_svc_trad"
+rm -f "$tmp_svc_trad"
 echo "tier1 OK"

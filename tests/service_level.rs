@@ -5,6 +5,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fork_path_oram::core::Scheme;
 use fork_path_oram::propcheck::{run_cases, Gen};
 use fork_path_oram::service::{
     CompletionStatus, OramService, ServiceConfig, ServiceRequest, SubmitError,
@@ -50,6 +51,42 @@ fn closed_loop_reruns_are_counter_identical() {
         assert_eq!(a.completed(), budget);
         assert_eq!(a.sim_finish_ps(), b.sim_finish_ps());
     });
+}
+
+/// The scheme-agnostic engine layer end to end: the *same* `ShardEngine`
+/// worker path serves both traditional Path ORAM and Fork Path, selected
+/// only by `ServiceConfig::scheme`. Both runs are rerun-deterministic
+/// (identical per-shard fingerprints), and Fork Path's redundancy removal
+/// shows up as strictly higher aggregate simulated throughput.
+#[test]
+fn traditional_and_fork_serve_through_the_same_engine_path() {
+    let run = |scheme: Scheme| {
+        let cfg = || {
+            let mut cfg = small_cfg(4);
+            cfg.scheme = scheme.clone();
+            cfg
+        };
+        let a = OramService::run_closed_loop(cfg(), &mixes::all()[0].programs, 512)
+            .expect("closed loop must not fail");
+        let b = OramService::run_closed_loop(cfg(), &mixes::all()[0].programs, 512)
+            .expect("closed loop must not fail");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "scheme {}: reruns diverged",
+            scheme.label()
+        );
+        assert_eq!(a.completed(), 512, "scheme {}", scheme.label());
+        a
+    };
+    let traditional = run(Scheme::Traditional);
+    let fork = run(Scheme::ForkDefault);
+    assert!(
+        fork.sim_requests_per_sec() > traditional.sim_requests_per_sec(),
+        "fork {:.0} req/s must beat traditional {:.0} req/s",
+        fork.sim_requests_per_sec(),
+        traditional.sim_requests_per_sec()
+    );
 }
 
 // ---------- backpressure --------------------------------------------

@@ -13,7 +13,7 @@
 //!
 //! Usage: `service_bench [--smoke|--fast] [--shards 1,2,4,8]
 //!         [--requests <per-run>] [--seed <n>] [--scheme <name>]
-//!         [--out <path>]`
+//!         [--fault-rate <f>] [--out <path>]`
 //!
 //! * `--smoke` — tier-1 CI mode: a smaller tree and 10k total requests
 //!   across shard counts {1,2}; seconds of wall time.
@@ -21,6 +21,12 @@
 //! * `--scheme <name>` — any name from the shared engine registry
 //!   (`fp_core::engine::registry`), e.g. `traditional` or `fork`
 //!   (default). Every shard runs the selected engine.
+//! * `--fault-rate <f>` — wrap every shard engine in a deterministic
+//!   `fp_core::FaultInjector` rolling transient integrity faults at
+//!   per-access probability `f` (deep retry budget, so runs complete in
+//!   degraded mode). The scaling invariant is skipped: retry penalties
+//!   perturb per-shard simulated time. `0.0` (the default) adds no
+//!   wrapper at all.
 //! * default — 262144 requests per shard count; over the default four
 //!   shard counts that is ≥1M requests total.
 //!
@@ -29,7 +35,7 @@
 //! EXPERIMENTS.md ("Serving layer") for the schema.
 
 use fp_bench::{by_name, registry};
-use fp_core::Scheme;
+use fp_core::{FaultConfig, Scheme};
 use fp_service::{OramService, ServiceConfig, ServiceStats};
 use fp_stats::json::{self, JsonObject};
 use fp_workloads::mixes;
@@ -46,6 +52,7 @@ struct Args {
     smoke: bool,
     scheme_name: String,
     scheme: Scheme,
+    fault_rate: f64,
 }
 
 fn parse_args() -> Args {
@@ -83,6 +90,13 @@ fn parse_args() -> Args {
         .map(|s| s.parse().expect("--seed takes a number"))
         .unwrap_or(BENCH_SEED);
     let out_path = value("--out").unwrap_or_else(|| "results/BENCH_service.json".to_string());
+    let fault_rate: f64 = value("--fault-rate")
+        .map(|s| s.parse().expect("--fault-rate takes a probability"))
+        .unwrap_or(0.0);
+    assert!(
+        (0.0..=1.0).contains(&fault_rate),
+        "--fault-rate must be in [0, 1]"
+    );
     let scheme_name = value("--scheme").unwrap_or_else(|| "fork".to_string());
     let scheme = by_name(&scheme_name).unwrap_or_else(|| {
         let known: Vec<&str> = registry().into_iter().map(|(n, _)| n).collect();
@@ -97,6 +111,7 @@ fn parse_args() -> Args {
         smoke,
         scheme_name,
         scheme,
+        fault_rate,
     }
 }
 
@@ -109,6 +124,12 @@ fn config_for(args: &Args, shards: usize) -> ServiceConfig {
         cfg.oram.data_blocks = 1 << 12;
         cfg.oram.levels = 11;
         cfg.oram.onchip_posmap_entries = 1 << 6;
+    }
+    if args.fault_rate > 0.0 {
+        // Deep retry budget: the run should finish degraded, not dead.
+        let mut fault = FaultConfig::transient(args.seed ^ 0xFA_017, args.fault_rate);
+        fault.max_retries = 8;
+        cfg.fault = Some(fault);
     }
     cfg
 }
@@ -126,10 +147,11 @@ fn main() {
     let mix = &mixes::all()[0];
 
     println!(
-        "== service_bench ({}, scheme={} \"{}\") ==",
+        "== service_bench ({}, scheme={} \"{}\", fault_rate={}) ==",
         args.mode,
         args.scheme_name,
-        args.scheme.label()
+        args.scheme.label(),
+        args.fault_rate
     );
     println!(
         "{:<7} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>6}",
@@ -173,9 +195,11 @@ fn main() {
 
     // Scaling invariant: aggregate simulated throughput must not regress
     // as shards grow from 1 to 4 (8 shards may taper on a 2^16 tree).
+    // Skipped under fault injection: retry penalties perturb sim time.
+    let check_scaling = args.fault_rate == 0.0;
     let mut monotonic_1_to_4 = true;
     let mut prev = 0.0f64;
-    for &(shards, rps) in sim_curve.iter().filter(|&&(s, _)| s <= 4) {
+    for &(shards, rps) in sim_curve.iter().filter(|&&(s, _)| check_scaling && s <= 4) {
         if rps <= prev {
             monotonic_1_to_4 = false;
             eprintln!(
@@ -192,6 +216,7 @@ fn main() {
         .field_str("scheme", &args.scheme.label())
         .field_u64("seed", args.seed)
         .field_u64("requests_per_run", args.requests_per_run)
+        .field_f64("fault_rate", args.fault_rate)
         .field_str("workload", mix.name)
         .field_raw(
             "shard_counts",
@@ -209,8 +234,10 @@ fn main() {
     std::fs::write(&args.out_path, format!("{report}\n")).expect("write service report");
     println!("report written to {}", args.out_path);
 
-    assert!(
-        monotonic_1_to_4,
-        "aggregate simulated req/s must rise monotonically from 1 to 4 shards"
-    );
+    if check_scaling {
+        assert!(
+            monotonic_1_to_4,
+            "aggregate simulated req/s must rise monotonically from 1 to 4 shards"
+        );
+    }
 }

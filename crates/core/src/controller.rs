@@ -361,7 +361,7 @@ impl ForkPathController {
         let read_lo = self.merge.read_floor(levels, cur.label);
         let mut nodes = std::mem::take(&mut self.path_nodes);
         self.state
-            .load_path_range_into(cur.label, read_lo, levels, &mut nodes);
+            .load_path_range_into(cur.label, read_lo, levels, &mut nodes)?;
         self.stats.buckets_read += nodes.len() as u64;
         let read_end =
             self.writeback.read_path(&mut self.dram, &nodes, start) + CTRL_PHASE_LATENCY_PS;

@@ -216,7 +216,7 @@ impl OramEngine for BaselineController {
         Ok(self.submit_tagged(req.addr, req.op, req.data, req.arrival_ps, req.tag))
     }
     fn process_one(&mut self, source: &mut dyn ReactiveSource) -> Result<bool, ControllerError> {
-        Ok(BaselineController::process_one(self, source))
+        BaselineController::process_one(self, source).map_err(ControllerError::from)
     }
     fn drain_completions(&mut self) -> Vec<Completion> {
         BaselineController::drain_completions(self)

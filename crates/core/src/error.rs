@@ -45,6 +45,20 @@ pub enum ControllerError {
         /// The flight that attempted the release.
         flight: u64,
     },
+    /// A bucket fetched from external memory failed integrity verification
+    /// (tampering, a transient memory fault, or an injected fault).
+    Integrity {
+        /// Tree node whose verification failed.
+        node: u64,
+    },
+    /// The stash exceeded its configured capacity — Path ORAM's inherent
+    /// (negligible-probability) failure mode, forceable by fault injection.
+    StashOverflow {
+        /// Blocks resident when the overflow was detected.
+        occupancy: usize,
+        /// Configured stash capacity in blocks.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -68,11 +82,29 @@ impl fmt::Display for ControllerError {
             Self::NotBlockOwner { block, flight } => {
                 write!(f, "flight {flight} released block {block} it does not own")
             }
+            Self::Integrity { node } => {
+                write!(f, "integrity violation at tree node {node}")
+            }
+            Self::StashOverflow {
+                occupancy,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "stash overflow: {occupancy} blocks > capacity {capacity}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ControllerError {}
+
+impl From<fp_path_oram::IntegrityError> for ControllerError {
+    fn from(e: fp_path_oram::IntegrityError) -> Self {
+        Self::Integrity { node: e.node }
+    }
+}
 
 /// Converts an internal-invariant error into a panic at the infallible API
 /// boundary (`submit`, `run_to_idle`, `force_dummy_access`).

@@ -66,6 +66,7 @@ mod controller;
 pub mod dummy;
 pub mod engine;
 pub mod error;
+pub mod fault;
 mod flight;
 mod mac;
 pub mod merge;
@@ -83,6 +84,7 @@ pub use controller::ForkPathController;
 pub use dummy::{DummyReplacer, DummyStats};
 pub use engine::{InsecureEngine, OramEngine, Scheme};
 pub use error::ControllerError;
+pub use fault::{FaultConfig, FaultInjector};
 pub use mac::MergingAwareCache;
 pub use merge::{MergeStats, PathMerger};
 pub use pipeline::PipelineStage;

@@ -13,6 +13,7 @@ use fp_trace::{Counter, EventKind, TraceHandle};
 
 use crate::cache::{BucketCache, NoCache, TreetopCache, WriteOutcome};
 use crate::config::OramConfig;
+use crate::integrity::IntegrityError;
 use crate::reactive::{NoFeedback, ReactiveSource};
 use crate::state::OramState;
 use crate::stats::OramStats;
@@ -196,15 +197,25 @@ impl BaselineController {
     /// completions, statistics, and stash state as batching everything
     /// through [`BaselineController::run_to_idle`], because requests are
     /// consumed strictly in submission order either way.
-    pub fn process_one<S: ReactiveSource + ?Sized>(&mut self, source: &mut S) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Surfaces an [`IntegrityError`] when a fetched bucket fails to decode
+    /// (memory tampering or an injected transient fault); the infallible
+    /// wrappers ([`BaselineController::run_to_idle`],
+    /// [`BaselineController::access_sync`]) panic instead.
+    pub fn process_one<S: ReactiveSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<bool, IntegrityError> {
         self.flush_feedback(source);
         let Some(req) = self.queue.pop_front() else {
-            return false;
+            return Ok(false);
         };
-        let done = self.process(req);
+        let done = self.process(req)?;
         self.completions.push(done);
         self.flush_feedback(source);
-        true
+        Ok(true)
     }
 
     /// Routes every not-yet-fed completion through `source`, submitting any
@@ -235,9 +246,21 @@ impl BaselineController {
     }
 
     /// Processes every queued request in FIFO order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an [`IntegrityError`] — the infallible boundary for
+    /// drivers that do not model faults; fallible drivers use
+    /// [`BaselineController::process_one`] directly.
     pub fn run_to_idle(&mut self) -> Vec<Completion> {
         let mut source = NoFeedback;
-        while self.process_one(&mut source) {}
+        loop {
+            match self.process_one(&mut source) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
         self.drain_completions()
     }
 
@@ -293,7 +316,7 @@ impl BaselineController {
         done.pop().expect("one completion").data
     }
 
-    fn process(&mut self, req: LlcRequest) -> Completion {
+    fn process(&mut self, req: LlcRequest) -> Result<Completion, IntegrityError> {
         self.clock_ps = self.clock_ps.max(req.arrival_ps);
         self.trace.set_now(self.clock_ps);
         let levels = self.state.config().levels;
@@ -331,7 +354,8 @@ impl BaselineController {
             // Read phase: the complete path.
             let access_start = self.clock_ps;
             let mut nodes = std::mem::take(&mut self.path_nodes);
-            self.state.load_path_range_into(old, 0, levels, &mut nodes);
+            self.state
+                .load_path_range_into(old, 0, levels, &mut nodes)?;
             let read_end = self.read_phase_timing(&nodes);
             self.stats.buckets_read += nodes.len() as u64;
             self.trace.bump(Counter::FullReads);
@@ -356,7 +380,7 @@ impl BaselineController {
             self.stats.stash_samples += 1;
             self.trace.record_occupancy(self.state.stash().len() as u64);
         }
-        self.drain_stash_pressure();
+        self.drain_stash_pressure()?;
 
         self.stats.completed_requests += 1;
         self.stats.sum_latency_ps += done_ps.saturating_sub(req.arrival_ps);
@@ -365,14 +389,14 @@ impl BaselineController {
             .record(done_ps, EventKind::RequestCompleted { id: req.id });
         self.trace
             .record_latency(done_ps.saturating_sub(req.arrival_ps));
-        Completion {
+        Ok(Completion {
             id: req.id,
             addr: req.addr,
             data,
             arrival_ps: req.arrival_ps,
             done_ps,
             tag: req.tag,
-        }
+        })
     }
 
     /// Refills the full path and advances the clock past the write phase.
@@ -450,7 +474,7 @@ impl BaselineController {
 
     /// Background eviction (Ren et al. [18]): if the stash exceeds its
     /// nominal capacity, issue dummy accesses until pressure subsides.
-    fn drain_stash_pressure(&mut self) {
+    fn drain_stash_pressure(&mut self) -> Result<(), IntegrityError> {
         let levels = self.state.config().levels;
         let mut guard = 0;
         while self.state.stash().over_capacity() && guard < 64 {
@@ -460,7 +484,7 @@ impl BaselineController {
             }
             let mut nodes = std::mem::take(&mut self.path_nodes);
             self.state
-                .load_path_range_into(label, 0, levels, &mut nodes);
+                .load_path_range_into(label, 0, levels, &mut nodes)?;
             let read_end = self.read_phase_timing(&nodes);
             self.stats.buckets_read += nodes.len() as u64;
             self.trace.bump(Counter::FullReads);
@@ -472,6 +496,7 @@ impl BaselineController {
             self.trace.bump(Counter::DummiesExecuted);
             guard += 1;
         }
+        Ok(())
     }
 }
 

@@ -65,6 +65,7 @@ mod tree;
 
 pub use config::{CipherMode, OramConfig};
 pub use controller::{BaselineController, Completion, LlcRequest, Op};
+pub use integrity::IntegrityError;
 pub use posmap::PosMapHierarchy;
 pub use reactive::{NewRequest, NoFeedback, ReactiveSource};
 pub use stash::{Block, Stash};

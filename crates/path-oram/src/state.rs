@@ -16,6 +16,7 @@
 use fp_crypto::Xoshiro256;
 
 use crate::config::OramConfig;
+use crate::integrity::IntegrityError;
 use crate::path::{node_at_level, path_contains};
 use crate::posmap::{OnChipMap, PosMapHierarchy};
 use crate::stash::{Block, Stash};
@@ -42,7 +43,7 @@ pub enum AccessOutcome {
 /// use fp_path_oram::{OramConfig, OramState};
 /// let mut state = OramState::new(OramConfig::small_test(), 7);
 /// let label = state.random_label();
-/// let nodes = state.load_path_range(label, 0, state.config().levels);
+/// let nodes = state.load_path_range(label, 0, state.config().levels).unwrap();
 /// assert_eq!(nodes.len() as u32, state.config().path_len());
 /// state.evict_range(label, 0, state.config().levels);
 /// state.check_invariants().unwrap();
@@ -126,6 +127,14 @@ impl OramState {
         &self.tree
     }
 
+    /// The untrusted tree store, mutably — the fault-injection surface
+    /// (e.g. [`TreeStore::corrupt_bucket`]). Untrusted memory is outside
+    /// the security boundary, so handing out mutation is the point: it
+    /// models an adversary or a transient hardware fault.
+    pub fn tree_mut(&mut self) -> &mut TreeStore {
+        &mut self.tree
+    }
+
     /// Blocks materialized by lazy initialization so far.
     pub fn created_blocks(&self) -> u64 {
         self.created_blocks
@@ -180,22 +189,34 @@ impl OramState {
     }
 
     /// Read phase: decrypts the buckets at `level_lo..=level_hi` of the path
-    /// to `leaf` into the stash. Returns the bucket node ids in level order.
-    pub fn load_path_range(&mut self, leaf: u64, level_lo: u32, level_hi: u32) -> Vec<u64> {
+    /// to `leaf` into the stash. Returns the bucket node ids in level order,
+    /// or the [`IntegrityError`] of the first bucket whose stored image
+    /// failed to decode (tampering / transient memory fault).
+    pub fn load_path_range(
+        &mut self,
+        leaf: u64,
+        level_lo: u32,
+        level_hi: u32,
+    ) -> Result<Vec<u64>, IntegrityError> {
         let mut nodes = Vec::with_capacity((level_hi - level_lo + 1) as usize);
-        self.load_path_range_into(leaf, level_lo, level_hi, &mut nodes);
-        nodes
+        self.load_path_range_into(leaf, level_lo, level_hi, &mut nodes)?;
+        Ok(nodes)
     }
 
     /// [`OramState::load_path_range`] into a caller-provided node buffer
     /// (cleared first), so per-access controllers can reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first bucket that fails to decode and returns its
+    /// [`IntegrityError`]; `nodes` holds the levels loaded so far.
     pub fn load_path_range_into(
         &mut self,
         leaf: u64,
         level_lo: u32,
         level_hi: u32,
         nodes: &mut Vec<u64>,
-    ) {
+    ) -> Result<(), IntegrityError> {
         debug_assert!(level_lo <= level_hi && level_hi <= self.cfg.levels);
         nodes.clear();
         for level in level_lo..=level_hi {
@@ -204,11 +225,12 @@ impl OramState {
             // the stale tree copy empty (it is rewritten at refill), keeping
             // the "block is in stash XOR on its path" invariant checkable —
             // without cloning blocks or re-encrypting an empty bucket.
-            for block in self.tree.take_bucket(node) {
+            for block in self.tree.try_take_bucket(node)? {
                 self.stash.insert(block);
             }
             nodes.push(node);
         }
+        Ok(())
     }
 
     /// Completes a posmap chain step: takes the parent posmap block from the
@@ -410,7 +432,7 @@ mod tests {
         for addr in 0..16u64 {
             let (old, new, _) = s.start_chain(addr);
             // Non-recursive shortcut: drive the data access directly.
-            s.load_path_range(old, 0, levels);
+            s.load_path_range(old, 0, levels).unwrap();
             let _ = s.apply_op(addr, new, Some(&[addr as u8]));
             s.evict_range(old, 0, levels);
             s.check_invariants().unwrap();
@@ -428,7 +450,7 @@ mod tests {
             let chain = s.chain(37);
             let (mut old, mut new, _) = s.start_chain(37);
             for (i, &u) in chain.iter().enumerate() {
-                s.load_path_range(old, 0, levels);
+                s.load_path_range(old, 0, levels).unwrap();
                 if i + 1 < chain.len() {
                     let (o, n, _) = s.chain_step(u, new, chain[i + 1]);
                     s.evict_range(old, 0, levels);
@@ -452,7 +474,7 @@ mod tests {
         let levels = s.config().levels;
         let chain = s.chain(5);
         let (old, new, _) = s.start_chain(5);
-        s.load_path_range(old, 0, levels);
+        s.load_path_range(old, 0, levels).unwrap();
         let (child_old1, child_new1, outcome1) = s.chain_step(chain[0], new, chain[1]);
         s.evict_range(old, 0, levels);
         assert_eq!(outcome1, AccessOutcome::Created);
@@ -462,7 +484,7 @@ mod tests {
         // one we just assigned.
         let (old2, new2, outcome2) = s.start_chain(5);
         assert_eq!(outcome2, AccessOutcome::Found);
-        s.load_path_range(old2, 0, levels);
+        s.load_path_range(old2, 0, levels).unwrap();
         let (child_old2, _, outcome3) = s.chain_step(chain[0], new2, chain[1]);
         s.evict_range(old2, 0, levels);
         assert_eq!(outcome3, AccessOutcome::Found);
@@ -486,13 +508,13 @@ mod tests {
         let mut s = state();
         let levels = s.config().levels;
         let (old, new, _) = s.start_chain(3);
-        s.load_path_range(old, 0, levels);
+        s.load_path_range(old, 0, levels).unwrap();
         let _ = s.apply_op(3, new, Some(&[1]));
         s.evict_range(old, 0, levels);
         // Re-read the same path: every real block must now be in exactly one
         // place.
         let (old2, _, _) = s.start_chain(3);
-        s.load_path_range(old2, 0, levels);
+        s.load_path_range(old2, 0, levels).unwrap();
         s.check_invariants().unwrap();
         // Clean up for good measure.
         s.evict_range(old2, 0, levels);
@@ -504,7 +526,7 @@ mod tests {
         let mut s = state();
         let levels = s.config().levels;
         let (old, new, _) = s.start_chain(9);
-        s.load_path_range(old, 0, levels);
+        s.load_path_range(old, 0, levels).unwrap();
         let _ = s.apply_op(9, new, Some(&[9]));
         // Merged refill: pretend the next path shares levels 0..=2.
         s.evict_range(old, 3, levels);
@@ -527,6 +549,20 @@ mod tests {
         assert!(labels.iter().all(|&l| l < leaves));
         let distinct: std::collections::HashSet<_> = labels.iter().collect();
         assert!(distinct.len() > 16, "labels vary");
+    }
+
+    #[test]
+    fn corrupt_path_bucket_surfaces_integrity_error() {
+        let mut s = state();
+        let levels = s.config().levels;
+        let (old, new, _) = s.start_chain(3);
+        s.load_path_range(old, 0, levels).unwrap();
+        let _ = s.apply_op(3, new, Some(&[1]));
+        let written = s.evict_range(old, 0, levels);
+        let victim = *written.first().expect("refill wrote buckets");
+        assert!(s.tree_mut().corrupt_bucket(victim));
+        let err = s.load_path_range(old, 0, levels).unwrap_err();
+        assert_eq!(err.node, victim);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use fp_crypto::{BlockCipher, Nonce};
 
 use crate::config::{CipherMode, OramConfig};
+use crate::integrity::IntegrityError;
 use crate::stash::Block;
 
 /// On-disk (well, in-DRAM) representation of one bucket.
@@ -57,36 +58,78 @@ impl TreeStore {
         self.buckets.len()
     }
 
+    /// Reads and decrypts the real blocks of bucket `node`, surfacing a
+    /// corrupt stored image (wrong ciphertext length — memory tampering or
+    /// an injected transient fault) as an [`IntegrityError`] instead of a
+    /// panic, so the controller can retry or fail the shard structurally.
+    pub fn try_read_bucket(&self, node: u64) -> Result<Vec<Block>, IntegrityError> {
+        match self.buckets.get(&node) {
+            None => Ok(Vec::new()),
+            Some(StoredBucket::Plain(blocks)) => Ok(blocks.clone()),
+            Some(StoredBucket::Sealed { nonce, ciphertext }) => {
+                let plain = self.cipher.decrypt(*nonce, ciphertext);
+                deserialize_bucket(&plain, self.z, self.block_bytes, node)
+            }
+        }
+    }
+
     /// Reads and decrypts the real blocks of bucket `node`.
     ///
     /// # Panics
     ///
     /// Panics in `Real` mode if the stored ciphertext is corrupt (wrong
-    /// length), which would indicate memory tampering — integrity checking
-    /// proper (Merkle trees) is out of scope, as in the paper.
+    /// length). Fallible callers (the controller hot paths) use
+    /// [`TreeStore::try_read_bucket`] instead.
     pub fn read_bucket(&self, node: u64) -> Vec<Block> {
-        match self.buckets.get(&node) {
-            None => Vec::new(),
-            Some(StoredBucket::Plain(blocks)) => blocks.clone(),
+        self.try_read_bucket(node)
+            .unwrap_or_else(|e| panic!("corrupt bucket: {e}"))
+    }
+
+    /// Removes bucket `node` from the store and returns its decrypted real
+    /// blocks. Equivalent to `try_read_bucket` followed by clearing the
+    /// bucket, but without cloning the blocks or re-encrypting an empty
+    /// bucket — this is the read-phase hot path (the stale tree copy is dead
+    /// the moment its blocks enter the stash, and the refill overwrites it).
+    /// A corrupt image surfaces as an [`IntegrityError`]; the bucket is
+    /// still consumed (its bytes are unusable either way).
+    pub fn try_take_bucket(&mut self, node: u64) -> Result<Vec<Block>, IntegrityError> {
+        match self.buckets.remove(&node) {
+            None => Ok(Vec::new()),
+            Some(StoredBucket::Plain(blocks)) => Ok(blocks),
             Some(StoredBucket::Sealed { nonce, ciphertext }) => {
-                let plain = self.cipher.decrypt(*nonce, ciphertext);
-                deserialize_bucket(&plain, self.z, self.block_bytes)
+                let plain = self.cipher.decrypt(nonce, &ciphertext);
+                deserialize_bucket(&plain, self.z, self.block_bytes, node)
             }
         }
     }
 
-    /// Removes bucket `node` from the store and returns its decrypted real
-    /// blocks. Equivalent to `read_bucket` followed by clearing the bucket,
-    /// but without cloning the blocks or re-encrypting an empty bucket —
-    /// this is the read-phase hot path (the stale tree copy is dead the
-    /// moment its blocks enter the stash, and the refill overwrites it).
+    /// Infallible [`TreeStore::try_take_bucket`]: panics on a corrupt image.
     pub fn take_bucket(&mut self, node: u64) -> Vec<Block> {
-        match self.buckets.remove(&node) {
-            None => Vec::new(),
-            Some(StoredBucket::Plain(blocks)) => blocks,
-            Some(StoredBucket::Sealed { nonce, ciphertext }) => {
-                let plain = self.cipher.decrypt(nonce, &ciphertext);
-                deserialize_bucket(&plain, self.z, self.block_bytes)
+        self.try_take_bucket(node)
+            .unwrap_or_else(|e| panic!("corrupt bucket: {e}"))
+    }
+
+    /// Corrupts the stored image of bucket `node` (truncates a sealed
+    /// ciphertext / clears a plain bucket's tail) so the next read surfaces
+    /// an [`IntegrityError`]. Deterministic fault-injection hook; a no-op on
+    /// untouched buckets (they hold no bytes to flip). Returns whether a
+    /// stored bucket was actually corrupted.
+    pub fn corrupt_bucket(&mut self, node: u64) -> bool {
+        match self.buckets.get_mut(&node) {
+            None => false,
+            Some(StoredBucket::Sealed { ciphertext, .. }) => {
+                ciphertext.pop();
+                true
+            }
+            Some(slot @ StoredBucket::Plain(_)) => {
+                // Plain mode stores decoded blocks, so there is no ciphertext
+                // to truncate; swap in a sealed stub whose image has the
+                // wrong length, which the next decode rejects the same way.
+                *slot = StoredBucket::Sealed {
+                    nonce: Nonce::new(u64::MAX, node as u32),
+                    ciphertext: Vec::new(),
+                };
+                true
             }
         }
     }
@@ -155,9 +198,16 @@ fn serialize_bucket(blocks: &[Block], z: usize, block_bytes: usize) -> Vec<u8> {
     out
 }
 
-fn deserialize_bucket(bytes: &[u8], z: usize, block_bytes: usize) -> Vec<Block> {
+fn deserialize_bucket(
+    bytes: &[u8],
+    z: usize,
+    block_bytes: usize,
+    node: u64,
+) -> Result<Vec<Block>, IntegrityError> {
     let sb = slot_bytes(block_bytes);
-    assert_eq!(bytes.len(), z * sb, "corrupt bucket");
+    if bytes.len() != z * sb {
+        return Err(IntegrityError { node });
+    }
     let mut blocks = Vec::new();
     for i in 0..z {
         let base = i * sb;
@@ -169,7 +219,7 @@ fn deserialize_bucket(bytes: &[u8], z: usize, block_bytes: usize) -> Vec<Block> 
         let data = bytes[base + 17..base + 17 + block_bytes].to_vec();
         blocks.push(Block { addr, leaf, data });
     }
-    blocks
+    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -253,6 +303,30 @@ mod tests {
             assert!(store.read_bucket(10).is_empty(), "drained after take");
             assert!(store.take_bucket(99).is_empty(), "untouched bucket");
         }
+    }
+
+    #[test]
+    fn corrupt_bucket_surfaces_integrity_error() {
+        for mode in [CipherMode::Transparent, CipherMode::Real] {
+            let mut store = TreeStore::new(&cfg(mode), [9; 32]);
+            assert!(!store.corrupt_bucket(10), "untouched bucket: no-op");
+            store.write_bucket(10, vec![Block::new(3, 5, vec![7; 16])]);
+            assert!(store.corrupt_bucket(10));
+            assert_eq!(store.try_read_bucket(10), Err(IntegrityError { node: 10 }));
+            assert_eq!(store.try_take_bucket(10), Err(IntegrityError { node: 10 }));
+            // The corrupt image is consumed by the take; rewrite recovers.
+            store.write_bucket(10, vec![Block::new(4, 1, vec![9; 16])]);
+            assert_eq!(store.try_read_bucket(10).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt bucket")]
+    fn infallible_read_panics_on_corrupt_image() {
+        let mut store = TreeStore::new(&cfg(CipherMode::Real), [9; 32]);
+        store.write_bucket(10, vec![Block::new(3, 5, vec![7; 16])]);
+        store.corrupt_bucket(10);
+        store.read_bucket(10);
     }
 
     #[test]

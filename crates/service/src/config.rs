@@ -1,6 +1,6 @@
 //! Service configuration and the address-space partitioning scheme.
 
-use fp_core::Scheme;
+use fp_core::{FaultConfig, Scheme};
 use fp_dram::DramConfig;
 use fp_path_oram::OramConfig;
 
@@ -46,6 +46,12 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Per-shard trace event-ring capacity (0 = exact counters only).
     pub trace_capacity: usize,
+    /// Deterministic fault injection applied to shard engines. `None`
+    /// (the default) adds zero overhead — engines are not wrapped at all.
+    pub fault: Option<FaultConfig>,
+    /// Restricts fault injection to one shard (`None` = all shards).
+    /// Useful for fail-over tests: kill shard 0, assert the others serve.
+    pub fault_shard: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -69,6 +75,8 @@ impl ServiceConfig {
             dram: DramConfig::ddr3_1600(2),
             seed: 0x5EED,
             trace_capacity: 0,
+            fault: None,
+            fault_shard: None,
         }
     }
 
@@ -106,6 +114,17 @@ impl ServiceConfig {
         self.shard_oram()
             .validate()
             .map_err(|e| format!("derived shard geometry invalid: {e}"))?;
+        if let Some(fault) = &self.fault {
+            fault.validate().map_err(|e| format!("fault config: {e}"))?;
+        }
+        if let Some(s) = self.fault_shard {
+            if s >= self.shards {
+                return Err(format!(
+                    "fault_shard {s} out of range for {} shards",
+                    self.shards
+                ));
+            }
+        }
         self.scheme.validate()
     }
 
@@ -201,6 +220,15 @@ mod tests {
         cfg = ServiceConfig::fast_test(8);
         cfg.oram.levels = 5;
         assert!(cfg.validate().is_err(), "tree too shallow for 8 shards");
+        cfg = ServiceConfig::fast_test(2);
+        cfg.fault = Some(FaultConfig::transient(1, 2.0));
+        assert!(cfg.validate().is_err(), "fault rate above 1.0");
+        cfg = ServiceConfig::fast_test(2);
+        cfg.fault = Some(FaultConfig::transient(1, 0.01));
+        cfg.fault_shard = Some(2);
+        assert!(cfg.validate().is_err(), "fault_shard out of range");
+        cfg.fault_shard = Some(1);
+        cfg.validate().unwrap();
     }
 
     #[test]

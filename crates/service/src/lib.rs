@@ -28,9 +28,19 @@
 //! * **Drain/shutdown** — closing the queues wakes every idle worker;
 //!   queued and in-flight requests finish before workers exit, so
 //!   shutdown is deadlock-free by construction.
+//! * **Fail-fast supervision** ([`ShardHealth`], [`ServeError`]) — a
+//!   worker that errors or panics marks its shard *dead*: the queue
+//!   closes (producers get [`SubmitError::ShardDown`] instead of
+//!   spinning on `Busy`), its poisoned locks are recovered, and the run
+//!   returns a structured [`ServeError::Shards`] carrying partial stats
+//!   while the surviving shards drain normally. Deterministic fault
+//!   injection ([`fp_core::FaultInjector`], enabled via
+//!   [`ServiceConfig::fault`]) exercises these paths on demand; shards
+//!   that absorbed transient faults through retries report *degraded*.
 //! * **Statistics** ([`ServiceStats`]) — per-shard fp-trace counters and
 //!   latency histograms fold into aggregate throughput (simulated and
-//!   wall-clock), p50/p99 latency, queue high-water marks, and JSON.
+//!   wall-clock), p50/p99 latency, queue high-water marks, per-shard
+//!   health, fault counters, and JSON.
 //!
 //! ## Two run modes
 //!
@@ -67,10 +77,11 @@ mod request;
 mod service;
 mod shard;
 mod stats;
+mod sync;
 
 pub use config::ServiceConfig;
 pub use queue::SubmissionQueue;
 pub use request::{CompletionStatus, ServiceCompletion, ServiceRequest, SubmitError};
-pub use service::{OramService, ServiceHandle};
-pub use shard::{ShardCounters, ShardEngine, ShardShared};
+pub use service::{OramService, ServeError, ServiceHandle, ShardFailure};
+pub use shard::{ShardCounters, ShardEngine, ShardHealth, ShardShared};
 pub use stats::{ServiceStats, ShardSnapshot};

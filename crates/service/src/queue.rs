@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 use crate::request::{ServiceRequest, SubmitError};
+use crate::sync::{relock, rewait};
 
 #[derive(Debug)]
 struct QueueState {
@@ -51,7 +52,7 @@ impl SubmissionQueue {
     /// [`SubmitError::Busy`] when the queue is at capacity (backpressure),
     /// [`SubmitError::Shutdown`] once the queue has been closed.
     pub fn try_push(&self, req: ServiceRequest) -> Result<(), SubmitError> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = relock(&self.state);
         if st.closed {
             return Err(SubmitError::Shutdown);
         }
@@ -69,7 +70,7 @@ impl SubmissionQueue {
     /// `max` of them. Returns `None` only once the queue is closed *and*
     /// empty — drain semantics: close() does not discard queued work.
     pub fn pop_batch(&self, max: usize) -> Option<Vec<ServiceRequest>> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = relock(&self.state);
         loop {
             if !st.items.is_empty() {
                 let take = st.items.len().min(max.max(1));
@@ -78,14 +79,14 @@ impl SubmissionQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("queue poisoned");
+            st = rewait(&self.ready, st);
         }
     }
 
     /// Non-blocking variant of [`SubmissionQueue::pop_batch`]: returns an
     /// empty vector when no work is queued right now.
     pub fn try_pop_batch(&self, max: usize) -> Vec<ServiceRequest> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = relock(&self.state);
         let take = st.items.len().min(max.max(1));
         st.items.drain(..take).collect()
     }
@@ -94,13 +95,13 @@ impl SubmissionQueue {
     /// [`SubmitError::Shutdown`]; consumers drain what remains, then see
     /// `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        relock(&self.state).closed = true;
         self.ready.notify_all();
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        relock(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -110,7 +111,7 @@ impl SubmissionQueue {
 
     /// Highest occupancy ever observed.
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("queue poisoned").high_water
+        relock(&self.state).high_water
     }
 }
 

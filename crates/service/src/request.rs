@@ -96,6 +96,11 @@ pub enum SubmitError {
     Shutdown,
     /// The address lies outside the service's global address space.
     OutOfRange,
+    /// The owning shard's worker died (controller failure or panic) and
+    /// its addresses are unserviceable; other shards keep serving.
+    /// Retrying cannot help — unlike [`SubmitError::Busy`], this is final
+    /// for the address until the service is rebuilt.
+    ShardDown,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -104,6 +109,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Busy => write!(f, "shard queue full (backpressure)"),
             SubmitError::Shutdown => write!(f, "service is shutting down"),
             SubmitError::OutOfRange => write!(f, "address outside the service address space"),
+            SubmitError::ShardDown => write!(f, "owning shard is dead (failed over)"),
         }
     }
 }
@@ -136,5 +142,6 @@ mod tests {
     fn submit_error_displays() {
         assert!(SubmitError::Busy.to_string().contains("backpressure"));
         assert!(SubmitError::Shutdown.to_string().contains("shutting down"));
+        assert!(SubmitError::ShardDown.to_string().contains("dead"));
     }
 }

@@ -1,4 +1,5 @@
-//! The service front end: shard spawning, request routing, drain/shutdown.
+//! The service front end: shard spawning, request routing, drain/shutdown,
+//! and fail-fast supervision.
 //!
 //! [`OramService::serve`] runs the external-submission mode: shard workers
 //! block on their bounded queues while a caller-supplied driver submits
@@ -7,10 +8,19 @@
 //! cannot deadlock because `close()` wakes every blocked consumer and
 //! `pop_batch` returns `None` once closed-and-empty.
 //!
+//! Workers are *supervised*: a controller error or a panic inside one
+//! shard marks that shard [`ShardHealth::Dead`] (closing its queue so
+//! producers get [`SubmitError::ShardDown`] instead of spinning on
+//! `Busy`), while the surviving shards keep serving. The run then returns
+//! [`ServeError::Shards`] carrying every failure *and* the partial
+//! aggregate statistics — a fault never panics the caller or hangs the
+//! scope.
+//!
 //! [`OramService::run_closed_loop`] runs the deterministic load mode: each
 //! shard embeds a seeded client pool driven by its own completions in
 //! simulated time, so results are a pure function of the configuration.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -19,8 +29,75 @@ use fp_workloads::BenchmarkProfile;
 
 use crate::config::ServiceConfig;
 use crate::request::{ServiceCompletion, ServiceRequest, SubmitError};
-use crate::shard::{ShardEngine, ShardShared};
+use crate::shard::{ShardEngine, ShardHealth, ShardShared};
 use crate::stats::{ServiceStats, ShardSnapshot};
+use crate::sync::relock;
+
+/// One shard's abnormal exit, as observed by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Which shard died.
+    pub shard: usize,
+    /// `true` when the worker panicked; `false` for a controller error
+    /// returned through [`ShardEngine::run_external`].
+    pub panicked: bool,
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.panicked { "panicked" } else { "failed" };
+        write!(f, "shard {} {kind}: {}", self.shard, self.error)
+    }
+}
+
+/// Why a service run did not finish cleanly.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration failed validation; nothing was spawned.
+    Config(String),
+    /// One or more shard workers died. The surviving shards completed
+    /// their drain normally; `stats` carries the partial aggregate
+    /// (including the dead shards' counters up to the failure).
+    Shards {
+        /// Every abnormal worker exit, in shard order.
+        failures: Vec<ShardFailure>,
+        /// Partial statistics captured after the scope joined.
+        stats: Box<ServiceStats>,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "invalid service config: {e}"),
+            ServeError::Shards { failures, .. } => {
+                write!(f, "{} shard worker(s) died: ", failures.len())?;
+                for (i, fail) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{fail}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Submission/collection handle passed to the driver of
 /// [`OramService::serve`]. Cloneable across driver threads.
@@ -37,7 +114,9 @@ impl ServiceHandle {
     ///
     /// [`SubmitError::OutOfRange`] for addresses outside the global space,
     /// [`SubmitError::Busy`] when the target shard's queue is full,
-    /// [`SubmitError::Shutdown`] once draining has begun.
+    /// [`SubmitError::ShardDown`] when the owning shard's worker has died
+    /// (final — retrying cannot help), and [`SubmitError::Shutdown`] once
+    /// draining has begun.
     pub fn submit(&self, mut req: ServiceRequest) -> Result<usize, SubmitError> {
         if req.addr >= self.cfg.oram.data_blocks {
             return Err(SubmitError::OutOfRange);
@@ -45,6 +124,9 @@ impl ServiceHandle {
         let shard = self.cfg.shard_of(req.addr);
         req.addr = self.cfg.local_addr(req.addr);
         let shared = &self.shards[shard];
+        if shared.health() == ShardHealth::Dead {
+            return Err(SubmitError::ShardDown);
+        }
         match shared.queue.try_push(req) {
             Ok(()) => {
                 shared.note_enqueued();
@@ -53,6 +135,11 @@ impl ServiceHandle {
             Err(e) => {
                 if e == SubmitError::Busy {
                     shared.note_rejected();
+                }
+                // A shard dying between the health check and the push sees
+                // its queue closed; report the stronger signal.
+                if e == SubmitError::Shutdown && shared.health() == ShardHealth::Dead {
+                    return Err(SubmitError::ShardDown);
                 }
                 Err(e)
             }
@@ -64,7 +151,7 @@ impl ServiceHandle {
     pub fn drain_completions(&self) -> Vec<ServiceCompletion> {
         let mut out = Vec::new();
         for (i, shared) in self.shards.iter().enumerate() {
-            let mut done = shared.completions.lock().expect("completions poisoned");
+            let mut done = relock(&shared.completions);
             for mut c in done.drain(..) {
                 c.addr = self.cfg.global_addr(i, c.addr);
                 out.push(c);
@@ -82,6 +169,11 @@ impl ServiceHandle {
     /// Occupancy of shard `shard`'s queue.
     pub fn queue_len(&self, shard: usize) -> usize {
         self.shards[shard].queue.len()
+    }
+
+    /// Current liveness of shard `shard`.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.shards[shard].health()
     }
 }
 
@@ -109,19 +201,53 @@ impl OramService {
         ServiceStats::aggregate(cfg.shards, cfg.queue_depth, snaps, wall_ns)
     }
 
+    /// Joins supervised workers, turning abnormal exits into
+    /// [`ShardFailure`]s. Each worker returns `None` on a clean exit or
+    /// `Some((panicked, error))` otherwise.
+    fn collect_failures(
+        workers: Vec<std::thread::ScopedJoinHandle<'_, Option<(bool, String)>>>,
+    ) -> Vec<ShardFailure> {
+        let mut failures = Vec::new();
+        for (shard, w) in workers.into_iter().enumerate() {
+            match w.join() {
+                Ok(None) => {}
+                Ok(Some((panicked, error))) => failures.push(ShardFailure {
+                    shard,
+                    panicked,
+                    error,
+                }),
+                // catch_unwind should make this unreachable; record it
+                // rather than panic the supervisor.
+                Err(_) => failures.push(ShardFailure {
+                    shard,
+                    panicked: true,
+                    error: "worker died outside supervision".to_string(),
+                }),
+            }
+        }
+        failures
+    }
+
     /// Runs the service in external-submission mode: spawns one worker per
     /// shard, hands a [`ServiceHandle`] to `driver`, and once the driver
     /// returns closes all queues, drains in-flight work, and joins the
     /// workers. Returns the aggregate stats and the driver's result.
     ///
+    /// Workers are supervised: a controller failure or panic in one shard
+    /// marks it dead and closes its queue *immediately* (producers see
+    /// [`SubmitError::ShardDown`]), while the other shards keep serving
+    /// and drain normally.
+    ///
     /// # Errors
     ///
-    /// Configuration errors and propagated shard-controller failures.
+    /// [`ServeError::Config`] before anything is spawned;
+    /// [`ServeError::Shards`] when workers died — it still carries the
+    /// partial aggregate statistics (the driver's result is dropped).
     pub fn serve<R>(
         cfg: ServiceConfig,
         driver: impl FnOnce(&ServiceHandle) -> R,
-    ) -> Result<(ServiceStats, R), String> {
-        cfg.validate()?;
+    ) -> Result<(ServiceStats, R), ServeError> {
+        cfg.validate().map_err(ServeError::Config)?;
         let (engines, shareds) = Self::build(&cfg);
         let cfg = Arc::new(cfg);
         let shards = Arc::new(shareds);
@@ -130,52 +256,76 @@ impl OramService {
             shards: Arc::clone(&shards),
         };
         let start = Instant::now();
-        let driver_out = std::thread::scope(|scope| -> Result<R, String> {
+        let (driver_out, failures) = std::thread::scope(|scope| {
             let workers: Vec<_> = engines
                 .into_iter()
-                .map(|engine| scope.spawn(move || engine.run_external()))
+                .zip(shards.iter())
+                .map(|(engine, shared)| {
+                    let shared = Arc::clone(shared);
+                    scope.spawn(move || {
+                        match catch_unwind(AssertUnwindSafe(move || engine.run_external())) {
+                            Ok(Ok(())) => None,
+                            // run_external already marked the shard dead.
+                            Ok(Err(e)) => Some((false, e.to_string())),
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                shared.mark_dead(&format!("worker panicked: {msg}"));
+                                Some((true, msg))
+                            }
+                        }
+                    })
+                })
                 .collect();
             let out = driver(&handle);
             // Begin drain: reject new work, wake idle workers.
             for shared in shards.iter() {
                 shared.queue.close();
             }
-            for (i, w) in workers.into_iter().enumerate() {
-                w.join()
-                    .map_err(|_| format!("shard {i} worker panicked"))?
-                    .map_err(|e| format!("shard {i}: {e}"))?;
-            }
-            Ok(out)
-        })?;
+            (out, Self::collect_failures(workers))
+        });
         let wall_ns = start.elapsed().as_nanos() as u64;
-        Ok((Self::snapshot(&cfg, &shards, wall_ns), driver_out))
+        let stats = Self::snapshot(&cfg, &shards, wall_ns);
+        if failures.is_empty() {
+            Ok((stats, driver_out))
+        } else {
+            Err(ServeError::Shards {
+                failures,
+                stats: Box::new(stats),
+            })
+        }
     }
 
     /// Runs the deterministic closed-loop mode: each shard gets a private
     /// client pool built from `profiles` over its own address slice, with
     /// `total_budget` requests split evenly across shards. Returns once
-    /// every pool is exhausted and every shard is idle.
+    /// every pool is exhausted and every shard is idle. Workers are
+    /// supervised exactly like [`OramService::serve`]'s.
     ///
     /// # Errors
     ///
-    /// Configuration errors and propagated shard-controller failures.
+    /// [`ServeError::Config`] for invalid configurations (or an empty
+    /// profile list); [`ServeError::Shards`] when workers died, carrying
+    /// the partial statistics.
     pub fn run_closed_loop(
         cfg: ServiceConfig,
         profiles: &[BenchmarkProfile],
         total_budget: u64,
-    ) -> Result<ServiceStats, String> {
-        cfg.validate()?;
+    ) -> Result<ServiceStats, ServeError> {
+        cfg.validate().map_err(ServeError::Config)?;
         if profiles.is_empty() {
-            return Err("closed-loop mode needs at least one profile".into());
+            return Err(ServeError::Config(
+                "closed-loop mode needs at least one profile".into(),
+            ));
         }
         let (engines, shareds) = Self::build(&cfg);
         let n = cfg.shards as u64;
         let start = Instant::now();
-        std::thread::scope(|scope| -> Result<(), String> {
+        let failures = std::thread::scope(|scope| {
             let workers: Vec<_> = engines
                 .into_iter()
+                .zip(shareds.iter())
                 .enumerate()
-                .map(|(shard, engine)| {
+                .map(|(shard, (engine, shared))| {
                     let budget = total_budget / n + u64::from((shard as u64) < total_budget % n);
                     let pool = ServiceClientPool::from_profiles(
                         profiles,
@@ -184,18 +334,32 @@ impl OramService {
                         // Pool seed decorrelated from the controller seed.
                         cfg.shard_seed(shard) ^ 0xC1EE_7C1E_E7C1_EE7C,
                     );
-                    scope.spawn(move || engine.run_closed_loop(pool))
+                    let shared = Arc::clone(shared);
+                    scope.spawn(move || {
+                        match catch_unwind(AssertUnwindSafe(move || engine.run_closed_loop(pool))) {
+                            Ok(Ok(())) => None,
+                            Ok(Err(e)) => Some((false, e.to_string())),
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                shared.mark_dead(&format!("worker panicked: {msg}"));
+                                Some((true, msg))
+                            }
+                        }
+                    })
                 })
                 .collect();
-            for (i, w) in workers.into_iter().enumerate() {
-                w.join()
-                    .map_err(|_| format!("shard {i} worker panicked"))?
-                    .map_err(|e| format!("shard {i}: {e}"))?;
-            }
-            Ok(())
-        })?;
+            Self::collect_failures(workers)
+        });
         let wall_ns = start.elapsed().as_nanos() as u64;
-        Ok(Self::snapshot(&cfg, &shareds, wall_ns))
+        let stats = Self::snapshot(&cfg, &shareds, wall_ns);
+        if failures.is_empty() {
+            Ok(stats)
+        } else {
+            Err(ServeError::Shards {
+                failures,
+                stats: Box::new(stats),
+            })
+        }
     }
 }
 

@@ -13,18 +13,56 @@
 //! host thread scheduling.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fp_core::engine::OramEngine;
-use fp_core::{ControllerError, NewRequest, NoFeedback, ReactiveSource};
+use fp_core::{ControllerError, FaultInjector, NewRequest, NoFeedback, ReactiveSource};
 use fp_dram::DramSystem;
 use fp_path_oram::{Completion, Op};
-use fp_trace::TraceHandle;
+use fp_trace::{Counter, TraceHandle};
 use fp_workloads::service::ServiceClientPool;
 
 use crate::config::ServiceConfig;
 use crate::queue::SubmissionQueue;
 use crate::request::{CompletionStatus, ServiceCompletion, ServiceRequest};
+use crate::sync::relock;
+
+/// Liveness of one shard as seen by the service front end.
+///
+/// Transitions are one-way: `Healthy → Degraded` (the shard absorbed
+/// injected or transient faults but kept serving) and `* → Dead` (its
+/// worker exited with an error or panicked). A dead shard's queue is
+/// closed and [`crate::SubmitError::ShardDown`] is returned for its
+/// addresses; the remaining shards keep serving theirs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally; no faults observed.
+    Healthy,
+    /// Serving, but transient faults were absorbed (retries succeeded).
+    Degraded,
+    /// Worker exited abnormally; the shard no longer serves requests.
+    Dead,
+}
+
+impl ShardHealth {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Degraded => "degraded",
+            ShardHealth::Dead => "dead",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Degraded,
+            _ => ShardHealth::Dead,
+        }
+    }
+}
 
 /// Monotonic per-shard accounting, folded into [`crate::ServiceStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +100,11 @@ pub struct ShardShared {
     pub counters: Mutex<ShardCounters>,
     /// The shard controller's trace handle (cloned snapshot source).
     pub trace: TraceHandle,
+    /// Liveness, written by the worker/supervisor, read by the front end.
+    /// Atomic (not under a mutex) so health survives lock poisoning.
+    health: AtomicU8,
+    /// Description of the failure that killed the shard, if any.
+    fault: Mutex<Option<String>>,
 }
 
 impl ShardShared {
@@ -71,20 +114,57 @@ impl ShardShared {
             completions: Mutex::new(Vec::new()),
             counters: Mutex::new(ShardCounters::default()),
             trace,
+            health: AtomicU8::new(0),
+            fault: Mutex::new(None),
         }
     }
 
     /// Notes a `Busy` rejection observed by the front end.
     pub fn note_rejected(&self) {
-        self.counters
-            .lock()
-            .expect("counters poisoned")
-            .rejected_busy += 1;
+        relock(&self.counters).rejected_busy += 1;
     }
 
     /// Notes an accepted submission.
     pub fn note_enqueued(&self) {
-        self.counters.lock().expect("counters poisoned").enqueued += 1;
+        relock(&self.counters).enqueued += 1;
+    }
+
+    /// Current liveness of this shard.
+    pub fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    /// The failure that killed the shard, if it is dead.
+    pub fn fault(&self) -> Option<String> {
+        relock(&self.fault).clone()
+    }
+
+    /// Marks the shard degraded (faults absorbed, still serving). A dead
+    /// shard stays dead.
+    pub fn mark_degraded(&self) {
+        let _ = self.health.compare_exchange(
+            ShardHealth::Healthy as u8,
+            ShardHealth::Degraded as u8,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Marks the shard dead: records the failure, closes the queue so
+    /// producers see `Shutdown`/`ShardDown` instead of retrying `Busy`
+    /// forever, and counts a failover in the trace.
+    pub fn mark_dead(&self, error: &str) {
+        let was = self.health.swap(ShardHealth::Dead as u8, Ordering::AcqRel);
+        if was != ShardHealth::Dead as u8 {
+            self.trace.bump(Counter::ShardFailovers);
+        }
+        {
+            let mut f = relock(&self.fault);
+            if f.is_none() {
+                *f = Some(error.to_string());
+            }
+        }
+        self.queue.close();
     }
 }
 
@@ -109,12 +189,26 @@ pub struct ShardEngine<E: OramEngine = Box<dyn OramEngine + Send>> {
 impl ShardEngine {
     /// Builds shard `shard` of `cfg` with its private engine (selected by
     /// [`ServiceConfig::scheme`]), DRAM system, and shared front-end state.
+    ///
+    /// When [`ServiceConfig::fault`] is set (and `fault_shard` either
+    /// matches this shard or is `None`), the engine is wrapped in a
+    /// deterministic [`FaultInjector`] whose seed is decorrelated per
+    /// shard, so shards roll independent fault streams.
     pub fn new(cfg: &ServiceConfig, shard: usize) -> (Self, Arc<ShardShared>) {
         let oram = cfg.shard_oram();
         let block_bytes = oram.block_bytes;
         let dram = DramSystem::new(cfg.dram.clone());
         let mut ctl = cfg.scheme.build(oram, dram, cfg.shard_seed(shard));
         ctl.set_trace_capacity(cfg.trace_capacity);
+        if let Some(fault) = cfg
+            .fault
+            .as_ref()
+            .filter(|_| cfg.fault_shard.is_none_or(|s| s == shard))
+        {
+            let mut fc = fault.clone();
+            fc.seed ^= cfg.shard_seed(shard);
+            ctl = Box::new(FaultInjector::new(ctl, fc));
+        }
         let shared = Arc::new(ShardShared::new(cfg.queue_depth, ctl.trace().clone()));
         (
             Self {
@@ -136,10 +230,25 @@ impl<E: OramEngine> ShardEngine<E> {
     /// controller, publish completions. Returns when the queue is closed
     /// and all admitted work has completed.
     ///
+    /// On *every* exit path — clean drain or controller failure — the
+    /// shard's queue is closed, completions drained so far are published,
+    /// and final counters are recorded. Without this, an error exit left
+    /// the queue open and producers spun forever on `Busy` against a
+    /// worker that would never pop again (the dead-shard livelock).
+    ///
     /// # Errors
     ///
-    /// Propagates controller failures (stash overflow, config errors).
+    /// Propagates controller failures (integrity violations, stash
+    /// overflow, config errors) after marking the shard [`ShardHealth::Dead`].
     pub fn run_external(mut self) -> Result<(), ControllerError> {
+        let result = self.run_external_inner();
+        if let Err(e) = &result {
+            self.fail(&e.to_string());
+        }
+        result
+    }
+
+    fn run_external_inner(&mut self) -> Result<(), ControllerError> {
         loop {
             let batch = if self.ctl.has_pending_work() {
                 Some(self.shared.queue.try_pop_batch(self.batch_max))
@@ -164,6 +273,15 @@ impl<E: OramEngine> ShardEngine<E> {
             self.ctl.process_one(&mut NoFeedback)?;
             self.publish_completions();
         }
+    }
+
+    /// Error-exit cleanup: marks the shard dead (which closes the queue so
+    /// producers stop retrying `Busy`), publishes whatever completions the
+    /// engine had finished, and records final counters.
+    fn fail(&mut self, error: &str) {
+        self.shared.mark_dead(error);
+        self.publish_completions();
+        self.finish();
     }
 
     /// Admits a batch: expires requests whose deadline already passed,
@@ -213,7 +331,7 @@ impl<E: OramEngine> ShardEngine<E> {
             self.meta.insert(id, meta);
         }
         {
-            let mut c = self.shared.counters.lock().expect("counters poisoned");
+            let mut c = relock(&self.shared.counters);
             c.admitted += admitted;
             c.expired += expired.len() as u64;
             c.completed += expired.len() as u64;
@@ -223,11 +341,7 @@ impl<E: OramEngine> ShardEngine<E> {
             }
         }
         if !expired.is_empty() {
-            self.shared
-                .completions
-                .lock()
-                .expect("completions poisoned")
-                .extend(expired);
+            relock(&self.shared.completions).extend(expired);
         }
         Ok(())
     }
@@ -263,31 +377,45 @@ impl<E: OramEngine> ShardEngine<E> {
             });
         }
         {
-            let mut ctr = self.shared.counters.lock().expect("counters poisoned");
+            let mut ctr = relock(&self.shared.counters);
             ctr.completed += out.len() as u64;
             ctr.completed_late += late;
         }
-        self.shared
-            .completions
-            .lock()
-            .expect("completions poisoned")
-            .extend(out);
+        relock(&self.shared.completions).extend(out);
     }
 
-    /// Records the shard's final simulated clock.
+    /// Records the shard's final simulated clock and settles health: a
+    /// shard that absorbed injected faults (but recovered via retries)
+    /// reports [`ShardHealth::Degraded`] instead of `Healthy`.
     fn finish(&self) {
-        let mut c = self.shared.counters.lock().expect("counters poisoned");
-        c.sim_finish_ps = self.ctl.clock_ps();
+        {
+            let mut c = relock(&self.shared.counters);
+            c.sim_finish_ps = self.ctl.clock_ps();
+        }
+        if self.shared.trace.counter(Counter::FaultsInjected) > 0 {
+            self.shared.mark_degraded();
+        }
     }
 
     /// Closed-loop mode: drives the embedded client `pool` to exhaustion.
     /// Completions are folded into counters, not stored, so multi-million
     /// request runs stay flat in memory. Deterministic per shard seed.
     ///
+    /// Like [`ShardEngine::run_external`], every error exit marks the
+    /// shard dead and records final counters before propagating.
+    ///
     /// # Errors
     ///
     /// Propagates controller failures.
     pub fn run_closed_loop(mut self, pool: ServiceClientPool) -> Result<(), ControllerError> {
+        let result = self.run_closed_loop_inner(pool);
+        if let Err(e) = &result {
+            self.fail(&e.to_string());
+        }
+        result
+    }
+
+    fn run_closed_loop_inner(&mut self, pool: ServiceClientPool) -> Result<(), ControllerError> {
         let mut src = PoolSource {
             pool,
             block_bytes: self.block_bytes,
@@ -302,7 +430,7 @@ impl<E: OramEngine> ShardEngine<E> {
         let n = burst.len() as u64;
         if n > 0 {
             self.ctl.submit_batch(burst)?;
-            let mut c = self.shared.counters.lock().expect("counters poisoned");
+            let mut c = relock(&self.shared.counters);
             c.enqueued += n;
             c.admitted += n;
             c.batches += 1;
@@ -334,7 +462,7 @@ impl<E: OramEngine> ShardEngine<E> {
                 }
             }
         }
-        let mut ctr = self.shared.counters.lock().expect("counters poisoned");
+        let mut ctr = relock(&self.shared.counters);
         ctr.enqueued += issued;
         ctr.admitted += issued;
         ctr.completed += done.len() as u64;

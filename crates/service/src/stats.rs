@@ -4,7 +4,8 @@
 use fp_stats::json::{self, JsonObject};
 use fp_trace::{Counter, Log2Hist};
 
-use crate::shard::{ShardCounters, ShardShared};
+use crate::shard::{ShardCounters, ShardHealth, ShardShared};
+use crate::sync::relock;
 
 /// Point-in-time view of one shard.
 #[derive(Debug, Clone)]
@@ -19,16 +20,21 @@ pub struct ShardSnapshot {
     pub queue_high_water: usize,
     /// Completion-latency histogram from the shard's fp-trace spine.
     pub latency: Log2Hist,
-    /// All 27 exact trace counters, indexed by [`Counter::ALL`] order.
+    /// All exact trace counters, indexed by [`Counter::ALL`] order.
     pub trace_counters: Vec<u64>,
+    /// Shard liveness at snapshot time.
+    pub health: ShardHealth,
+    /// Failure description when the shard is dead.
+    pub fault: Option<String>,
 }
 
 impl ShardSnapshot {
-    /// Snapshots `shared` as shard `shard`.
+    /// Snapshots `shared` as shard `shard`. Poison-tolerant: a shard whose
+    /// worker panicked still yields its partial counters.
     pub fn capture(shard: usize, shared: &ShardShared) -> Self {
         Self {
             shard,
-            counters: *shared.counters.lock().expect("counters poisoned"),
+            counters: *relock(&shared.counters),
             queue_len: shared.queue.len(),
             queue_high_water: shared.queue.high_water(),
             latency: shared.trace.latency_hist(),
@@ -36,12 +42,15 @@ impl ShardSnapshot {
                 .iter()
                 .map(|&c| shared.trace.counter(c))
                 .collect(),
+            health: shared.health(),
+            fault: shared.fault(),
         }
     }
 
     fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("shard", self.shard as u64)
+            .field_str("health", self.health.name())
             .field_u64("enqueued", self.counters.enqueued)
             .field_u64("rejected_busy", self.counters.rejected_busy)
             .field_u64("admitted", self.counters.admitted)
@@ -57,6 +66,9 @@ impl ShardSnapshot {
                 "oram_accesses",
                 self.trace_counter(Counter::FullReads) + self.trace_counter(Counter::MergedReads),
             );
+        if let Some(fault) = &self.fault {
+            o.field_str("fault", fault);
+        }
         o.finish()
     }
 
@@ -175,7 +187,7 @@ impl ServiceStats {
         self.latency.quantile(0.99)
     }
 
-    /// Element-wise sum of the 27 trace counters across shards, in
+    /// Element-wise sum of the trace counters across shards, in
     /// [`Counter::ALL`] order.
     pub fn trace_counter_totals(&self) -> Vec<u64> {
         let mut totals = vec![0u64; Counter::COUNT];
@@ -185,6 +197,39 @@ impl ServiceStats {
             }
         }
         totals
+    }
+
+    /// Sums one trace counter across shards.
+    fn trace_total(&self, c: Counter) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.trace_counters[c as usize])
+            .sum()
+    }
+
+    /// Total faults injected by [`fp_core::FaultInjector`] wrappers.
+    pub fn faults_injected(&self) -> u64 {
+        self.trace_total(Counter::FaultsInjected)
+    }
+
+    /// Total retry attempts spent recovering from injected faults.
+    pub fn fault_retries(&self) -> u64 {
+        self.trace_total(Counter::FaultRetries)
+    }
+
+    /// Total injected latency spikes.
+    pub fn latency_spikes(&self) -> u64 {
+        self.trace_total(Counter::LatencySpikes)
+    }
+
+    /// Total shard deaths (each dead shard counts once).
+    pub fn shard_failovers(&self) -> u64 {
+        self.trace_total(Counter::ShardFailovers)
+    }
+
+    /// Shards currently reporting `health`.
+    pub fn shards_with_health(&self, health: ShardHealth) -> usize {
+        self.per_shard.iter().filter(|s| s.health == health).count()
     }
 
     /// Order-insensitive fingerprint of every shard's trace counters and
@@ -242,12 +287,29 @@ impl ServiceStats {
                 .map(|v| v.to_string()),
         );
 
+        let mut health = JsonObject::new();
+        health
+            .field_u64(
+                "healthy",
+                self.shards_with_health(ShardHealth::Healthy) as u64,
+            )
+            .field_u64(
+                "degraded",
+                self.shards_with_health(ShardHealth::Degraded) as u64,
+            )
+            .field_u64("dead", self.shards_with_health(ShardHealth::Dead) as u64)
+            .field_u64("faults_injected", self.faults_injected())
+            .field_u64("fault_retries", self.fault_retries())
+            .field_u64("latency_spikes", self.latency_spikes())
+            .field_u64("shard_failovers", self.shard_failovers());
+
         let mut o = JsonObject::new();
         o.field_u64("shards", self.shards as u64)
             .field_u64("queue_depth", self.queue_depth as u64)
             .field_raw("requests", &requests.finish())
             .field_raw("throughput", &throughput.finish())
             .field_raw("latency", &latency.finish())
+            .field_raw("health", &health.finish())
             .field_raw("trace_counter_totals", &counters)
             .field_raw(
                 "per_shard",
@@ -279,6 +341,8 @@ mod tests {
             queue_high_water: 3,
             latency,
             trace_counters: vec![shard as u64 + 1; Counter::COUNT],
+            health: ShardHealth::Healthy,
+            fault: None,
         }
     }
 
@@ -313,5 +377,24 @@ mod tests {
         json::validate(&s).unwrap();
         assert!(s.contains("\"sim_requests_per_sec\""));
         assert!(s.contains("\"per_shard\""));
+        assert!(s.contains("\"health\""));
+        assert!(s.contains("\"shard_failovers\""));
+    }
+
+    #[test]
+    fn health_counts_and_fault_fields_serialize() {
+        let mut sick = snapshot(1, 3, 2_000_000);
+        sick.health = ShardHealth::Dead;
+        sick.fault = Some("integrity violation at tree node 7".into());
+        let mut tired = snapshot(2, 4, 3_000_000);
+        tired.health = ShardHealth::Degraded;
+        let stats = ServiceStats::aggregate(3, 64, vec![snapshot(0, 5, 1_000_000), sick, tired], 1);
+        assert_eq!(stats.shards_with_health(ShardHealth::Healthy), 1);
+        assert_eq!(stats.shards_with_health(ShardHealth::Degraded), 1);
+        assert_eq!(stats.shards_with_health(ShardHealth::Dead), 1);
+        let s = stats.to_json();
+        json::validate(&s).unwrap();
+        assert!(s.contains("\"health\":\"dead\""));
+        assert!(s.contains("integrity violation"));
     }
 }

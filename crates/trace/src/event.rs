@@ -62,11 +62,20 @@ pub enum Counter {
     StashPushes,
     /// Blocks evicted or removed from the stash.
     StashEvicts,
+    /// Transient faults injected by a `FaultInjector` engine wrapper
+    /// (flipped MAC/ciphertext detections, forced overflows).
+    FaultsInjected,
+    /// Retries spent recovering from injected transient faults.
+    FaultRetries,
+    /// Completion-latency spikes injected by a `FaultInjector`.
+    LatencySpikes,
+    /// Shards declared dead by the serving layer's supervisor.
+    ShardFailovers,
 }
 
 impl Counter {
     /// All counters, in discriminant order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 31] = [
         Counter::RequestsSubmitted,
         Counter::RequestsScheduled,
         Counter::RequestsMerged,
@@ -94,6 +103,10 @@ impl Counter {
         Counter::DramRefsSkipped,
         Counter::StashPushes,
         Counter::StashEvicts,
+        Counter::FaultsInjected,
+        Counter::FaultRetries,
+        Counter::LatencySpikes,
+        Counter::ShardFailovers,
     ];
 
     /// Number of distinct counters (the counter array length).
@@ -129,6 +142,10 @@ impl Counter {
             Counter::DramRefsSkipped => "dram_refs_skipped",
             Counter::StashPushes => "stash_pushes",
             Counter::StashEvicts => "stash_evicts",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultRetries => "fault_retries",
+            Counter::LatencySpikes => "latency_spikes",
+            Counter::ShardFailovers => "shard_failovers",
         }
     }
 }

@@ -16,6 +16,7 @@ pub struct Log2Hist {
     bins: [u64; BINS],
     count: u64,
     sum: u64,
+    saturated: bool,
     min: u64,
     max: u64,
 }
@@ -26,6 +27,7 @@ impl Default for Log2Hist {
             bins: [0; BINS],
             count: 0,
             sum: 0,
+            saturated: false,
             min: u64::MAX,
             max: 0,
         }
@@ -43,7 +45,9 @@ impl Log2Hist {
         let bin = (u64::BITS - v.leading_zeros()) as usize;
         self.bins[bin] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(v);
+        let (sum, overflowed) = self.sum.overflowing_add(v);
+        self.sum = if overflowed { u64::MAX } else { sum };
+        self.saturated |= overflowed;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -53,9 +57,18 @@ impl Log2Hist {
         self.count
     }
 
-    /// Exact sum of all samples (saturating).
+    /// Sum of all samples. Exact unless [`Log2Hist::sum_saturated`] reports
+    /// overflow, in which case the sum pins at `u64::MAX` (and the mean is
+    /// a lower bound).
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// Whether the running sum ever overflowed `u64` and saturated. Set by
+    /// [`Log2Hist::add`] and [`Log2Hist::merge`]; once set it never clears
+    /// (except via [`Log2Hist::clear`]).
+    pub fn sum_saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Smallest sample, or 0 if empty.
@@ -97,7 +110,9 @@ impl Log2Hist {
             *b += o;
         }
         self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
+        let (sum, overflowed) = self.sum.overflowing_add(other.sum);
+        self.sum = if overflowed { u64::MAX } else { sum };
+        self.saturated |= overflowed || other.saturated;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -111,7 +126,7 @@ impl Log2Hist {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let rank = rank_for(q, self.count);
         let mut seen = 0u64;
         for (bin, &c) in self.bins.iter().enumerate() {
             seen += c;
@@ -141,12 +156,50 @@ impl Log2Hist {
         let mut o = JsonObject::new();
         o.field_u64("count", self.count)
             .field_u64("sum", self.sum)
+            .field_bool("sum_saturated", self.saturated)
             .field_u64("min", self.min())
             .field_u64("max", self.max)
             .field_f64("mean", self.mean())
             .field_raw("bins", &bins);
         o.finish()
     }
+}
+
+/// The 1-based rank of quantile `q` among `count` samples:
+/// `max(1, ceil(q * count))`, computed exactly in integer arithmetic.
+///
+/// The obvious `(q * count as f64).ceil()` loses exactness once `count`
+/// exceeds 2^53 (the f64 mantissa): the product rounds *before* the ceil,
+/// so merged multi-shard histograms at scale could report a rank off by
+/// several samples. Here `q` is decomposed into its exact mantissa/exponent
+/// form and the product is carried in `u128`, so the rank is exact for
+/// every `count` up to `u64::MAX`.
+fn rank_for(q: f64, count: u64) -> u64 {
+    if q.is_nan() || q <= 0.0 {
+        return 1;
+    }
+    if q >= 1.0 {
+        return count;
+    }
+    // q = mant * 2^exp exactly (q is finite, positive, < 1 here).
+    let bits = q.to_bits();
+    let exp_field = (bits >> 52) & 0x7ff;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mant, exp) = if exp_field == 0 {
+        (frac, -1074i32) // subnormal
+    } else {
+        (frac | (1u64 << 52), exp_field as i32 - 1075)
+    };
+    // q < 1 implies exp < 0: q * count = (mant * count) >> -exp.
+    let prod = mant as u128 * count as u128;
+    let shift = (-exp) as u32;
+    if shift >= 128 {
+        // q * count < 1 (prod < 2^128): ceil of a positive value below 1.
+        return 1;
+    }
+    let floor = (prod >> shift) as u64;
+    let rem_nonzero = prod & ((1u128 << shift) - 1) != 0;
+    (floor + u64::from(rem_nonzero)).clamp(1, count)
 }
 
 #[cfg(test)]
@@ -224,6 +277,49 @@ mod tests {
         assert_eq!(h.quantile(0.99), 100);
         assert_eq!(h.quantile(0.0), 1, "q=0 clamps to the minimum");
         assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn rank_is_exact_past_f64_mantissa() {
+        // (q * count as f64).ceil() rounds the product before the ceil:
+        // 0.5 * ((1<<53)+1) rounds to 2^52 exactly, losing the +1.
+        let count = (1u64 << 53) + 1;
+        assert_eq!(rank_for(0.5, count), (1u64 << 52) + 1);
+        assert_eq!(rank_for(0.5, u64::MAX), u64::MAX / 2 + 1);
+        // For exactly-representable q (power-of-two denominator) and small
+        // counts, the integer rank matches the naive f64 formula.
+        for count in 1..=40u64 {
+            for i in 0..=128u64 {
+                let q = i as f64 / 128.0;
+                let naive = ((q * count as f64).ceil() as u64).clamp(1, count);
+                assert_eq!(rank_for(q, count), naive, "q={q} count={count}");
+            }
+        }
+        // Degenerate inputs clamp instead of wrapping.
+        assert_eq!(rank_for(0.0, 10), 1);
+        assert_eq!(rank_for(-1.0, 10), 1);
+        assert_eq!(rank_for(f64::NAN, 10), 1);
+        assert_eq!(rank_for(1.0, 10), 10);
+        assert_eq!(rank_for(2.0, 10), 10);
+        assert_eq!(rank_for(f64::MIN_POSITIVE, u64::MAX), 1, "subnormal path");
+    }
+
+    #[test]
+    fn sum_saturates_and_flags_overflow() {
+        let mut h = Log2Hist::new();
+        h.add(u64::MAX);
+        assert!(!h.sum_saturated());
+        h.add(1);
+        assert!(h.sum_saturated());
+        assert_eq!(h.sum(), u64::MAX, "sum pins at the ceiling");
+        // Saturation propagates through merge, and the flag is exported.
+        let mut m = Log2Hist::new();
+        m.add(3);
+        m.merge(&h);
+        assert!(m.sum_saturated());
+        assert!(m.to_json().contains("\"sum_saturated\":true"));
+        m.clear();
+        assert!(!m.sum_saturated());
     }
 
     #[test]

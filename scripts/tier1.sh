@@ -39,4 +39,15 @@ tmp_svc_trad="$(mktemp)"
 cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --scheme traditional --out "$tmp_svc_trad" >/dev/null
 grep -q '"scheme":"traditional"' "$tmp_svc_trad"
 rm -f "$tmp_svc_trad"
+
+# Fault-injection smoke check: a degraded-mode run (transient integrity
+# faults at 0.1% per access, deep retry budget) must complete, emit valid
+# JSON, and actually have injected and retried faults — proving the
+# FaultInjector wrapper and the health/fault stats plumbing end to end.
+tmp_svc_fault="$(mktemp)"
+cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --fault-rate 0.01 --out "$tmp_svc_fault" >/dev/null
+grep -q '"bench":"service_bench"' "$tmp_svc_fault"
+grep -Eq '"faults_injected":[1-9]' "$tmp_svc_fault"
+grep -Eq '"fault_retries":[1-9]' "$tmp_svc_fault"
+rm -f "$tmp_svc_fault"
 echo "tier1 OK"

@@ -133,8 +133,9 @@ fn main() {
         .field_f64("wall_requests_per_sec", svc_wall_rps)
         .field_f64("sim_requests_per_sec", svc.sim_requests_per_sec())
         .field_u64("sim_finish_ps", svc.sim_finish_ps())
-        .field_u64("latency_p50_ps", svc.p50_ps())
-        .field_u64("latency_p99_ps", svc.p99_ps())
+        // `_le_` marks log2-bucket upper bounds, not exact picoseconds.
+        .field_u64("latency_p50_le_ps", svc.p50_le_ps())
+        .field_u64("latency_p99_le_ps", svc.p99_le_ps())
         .finish();
 
     let report = JsonObject::new()

@@ -13,7 +13,7 @@
 //!
 //! Usage: `service_bench [--smoke|--fast] [--shards 1,2,4,8]
 //!         [--requests <per-run>] [--seed <n>] [--scheme <name>]
-//!         [--fault-rate <f>] [--out <path>]`
+//!         [--fault-rate <f>] [--zipf] [--coalesce] [--out <path>]`
 //!
 //! * `--smoke` — tier-1 CI mode: a smaller tree and 10k total requests
 //!   across shard counts {1,2}; seconds of wall time.
@@ -27,6 +27,17 @@
 //!   degraded mode). The scaling invariant is skipped: retry penalties
 //!   perturb per-shard simulated time. `0.0` (the default) adds no
 //!   wrapper at all.
+//! * `--zipf` — replace the closed-loop Mix1 population with a seeded
+//!   Zipfian hotspot schedule (`fp_workloads::zipf::ZipfConfig::hot`:
+//!   θ = 1.2, 10% writes, 15 ns mean inter-arrival gaps) replayed
+//!   through the service's deterministic trace mode.
+//!   Skewed open-loop traffic keeps duplicate-address requests in flight
+//!   together — the workload cross-request coalescing exists for. The
+//!   scaling invariant is skipped (arrivals are fixed in time).
+//! * `--coalesce` — enable the per-shard coalescing index. Requires
+//!   `--zipf` (the closed-loop pools use disjoint per-client regions, so
+//!   they never produce coalescible traffic). The report gains
+//!   per-run `oram_accesses` and `accesses_saved`.
 //! * default — 262144 requests per shard count; over the default four
 //!   shard counts that is ≥1M requests total.
 //!
@@ -36,9 +47,10 @@
 
 use fp_bench::{by_name, registry};
 use fp_core::{FaultConfig, Scheme};
-use fp_service::{OramService, ServiceConfig, ServiceStats};
+use fp_path_oram::Op;
+use fp_service::{OramService, ServiceConfig, ServiceRequest, ServiceStats};
 use fp_stats::json::{self, JsonObject};
-use fp_workloads::mixes;
+use fp_workloads::{mixes, zipf};
 
 /// Fixed service seed (decorrelated from perf_gate's workload seed).
 const BENCH_SEED: u64 = 0x5E2F_1CE0;
@@ -53,6 +65,8 @@ struct Args {
     scheme_name: String,
     scheme: Scheme,
     fault_rate: f64,
+    zipf: bool,
+    coalesce: bool,
 }
 
 fn parse_args() -> Args {
@@ -102,6 +116,13 @@ fn parse_args() -> Args {
         let known: Vec<&str> = registry().into_iter().map(|(n, _)| n).collect();
         panic!("unknown scheme {scheme_name:?}; registry has {known:?}")
     });
+    let zipf = flag("--zipf");
+    let coalesce = flag("--coalesce");
+    assert!(
+        zipf || !coalesce,
+        "--coalesce requires --zipf: the closed-loop pools use disjoint \
+         per-client regions and never produce coalescible traffic"
+    );
     Args {
         shard_counts,
         requests_per_run,
@@ -112,6 +133,8 @@ fn parse_args() -> Args {
         scheme_name,
         scheme,
         fault_rate,
+        zipf,
+        coalesce,
     }
 }
 
@@ -131,7 +154,37 @@ fn config_for(args: &Args, shards: usize) -> ServiceConfig {
         fault.max_retries = 8;
         cfg.fault = Some(fault);
     }
+    cfg.coalesce = args.coalesce;
     cfg
+}
+
+/// The Zipfian hotspot schedule replayed by `--zipf` runs: identical for
+/// every shard count and coalescing setting at a given seed, so rows are
+/// directly comparable request-for-request.
+fn zipf_schedule(args: &Args, cfg: &ServiceConfig) -> Vec<ServiceRequest> {
+    let zc = zipf::ZipfConfig::hot(
+        cfg.oram.data_blocks,
+        args.requests_per_run,
+        cfg.oram.block_bytes,
+        args.seed ^ 0x21BF_21BF,
+    );
+    zipf::generate(&zc)
+        .into_iter()
+        .map(|r| {
+            let data = match r.op {
+                Op::Write => zipf::write_payload(r.addr, r.tag, cfg.oram.block_bytes),
+                Op::Read => Vec::new(),
+            };
+            ServiceRequest {
+                addr: r.addr,
+                op: r.op,
+                data,
+                arrival_ps: r.arrival_ps,
+                deadline_ps: None,
+                tag: r.tag,
+            }
+        })
+        .collect()
 }
 
 fn run_to_json(shards: usize, requests: u64, stats: &ServiceStats) -> String {
@@ -145,16 +198,19 @@ fn run_to_json(shards: usize, requests: u64, stats: &ServiceStats) -> String {
 fn main() {
     let args = parse_args();
     let mix = &mixes::all()[0];
+    let workload_name = if args.zipf { "zipf-hot" } else { mix.name };
 
     println!(
-        "== service_bench ({}, scheme={} \"{}\", fault_rate={}) ==",
+        "== service_bench ({}, scheme={} \"{}\", workload={}, fault_rate={}, coalesce={}) ==",
         args.mode,
         args.scheme_name,
         args.scheme.label(),
-        args.fault_rate
+        workload_name,
+        args.fault_rate,
+        args.coalesce
     );
     println!(
-        "{:<7} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>6}",
+        "{:<7} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10} {:>10} {:>6} {:>10} {:>8}",
         "shards",
         "requests",
         "wall_ms",
@@ -163,40 +219,65 @@ fn main() {
         "sim_req/s",
         "p50_us",
         "p99_us",
-        "late"
+        "late",
+        "accesses",
+        "saved"
     );
 
     let mut rows = Vec::new();
     let mut sim_curve: Vec<(usize, f64)> = Vec::new();
     for &shards in &args.shard_counts {
         let cfg = config_for(&args, shards);
-        let stats = OramService::run_closed_loop(cfg, &mix.programs, args.requests_per_run)
-            .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+        let stats = if args.zipf {
+            let schedule = zipf_schedule(&args, &cfg);
+            let (stats, _) = OramService::run_trace(cfg, schedule)
+                .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+            stats
+        } else {
+            OramService::run_closed_loop(cfg, &mix.programs, args.requests_per_run)
+                .unwrap_or_else(|e| panic!("shards={shards}: {e}"))
+        };
         assert_eq!(
             stats.completed(),
             args.requests_per_run,
-            "shards={shards}: closed loop must complete its full budget"
+            "shards={shards}: every scheduled request must be served"
         );
         println!(
-            "{:<7} {:>10} {:>10.1} {:>12.0} {:>10.2} {:>12.0} {:>10.1} {:>10.1} {:>6}",
+            "{:<7} {:>10} {:>10.1} {:>12.0} {:>10.2} {:>12.0} {:>10.1} {:>10.1} {:>6} {:>10} {:>8}",
             shards,
             stats.completed(),
             stats.wall_ns as f64 / 1e6,
             stats.wall_requests_per_sec(),
             stats.sim_finish_ps() as f64 / 1e9,
             stats.sim_requests_per_sec(),
-            stats.p50_ps() as f64 / 1e6,
-            stats.p99_ps() as f64 / 1e6,
+            stats.p50_le_ps() as f64 / 1e6,
+            stats.p99_le_ps() as f64 / 1e6,
             stats.completed_late(),
+            stats.oram_accesses(),
+            stats.coalesce_accesses_saved(),
         );
         sim_curve.push((shards, stats.sim_requests_per_sec()));
         rows.push(run_to_json(shards, args.requests_per_run, &stats));
+        if args.coalesce {
+            let saved = stats.coalesce_accesses_saved();
+            let pct = 100.0 * saved as f64 / stats.completed().max(1) as f64;
+            println!(
+                "        coalescing: {} reads + {} writes attached, {} flushes -> {} ORAM accesses saved ({:.1}% of requests)",
+                stats.coalesced_reads(),
+                stats.coalesced_writes(),
+                stats.coalesce_flushes(),
+                saved,
+                pct
+            );
+        }
     }
 
     // Scaling invariant: aggregate simulated throughput must not regress
     // as shards grow from 1 to 4 (8 shards may taper on a 2^16 tree).
-    // Skipped under fault injection: retry penalties perturb sim time.
-    let check_scaling = args.fault_rate == 0.0;
+    // Skipped under fault injection (retry penalties perturb sim time)
+    // and in zipf mode (open-loop arrivals are fixed in time, so the
+    // makespan is arrival-bound rather than service-bound).
+    let check_scaling = args.fault_rate == 0.0 && !args.zipf;
     let mut monotonic_1_to_4 = true;
     let mut prev = 0.0f64;
     for &(shards, rps) in sim_curve.iter().filter(|&&(s, _)| check_scaling && s <= 4) {
@@ -217,7 +298,9 @@ fn main() {
         .field_u64("seed", args.seed)
         .field_u64("requests_per_run", args.requests_per_run)
         .field_f64("fault_rate", args.fault_rate)
-        .field_str("workload", mix.name)
+        .field_str("workload", workload_name)
+        .field_bool("zipf", args.zipf)
+        .field_bool("coalesce", args.coalesce)
         .field_raw(
             "shard_counts",
             &json::array(args.shard_counts.iter().map(|s| s.to_string())),

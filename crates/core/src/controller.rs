@@ -285,18 +285,33 @@ impl ForkPathController {
         source: &mut S,
         not_before_ps: u64,
     ) -> Result<bool, ControllerError> {
-        self.flush_feedback(source)?;
-        self.pump()?;
-        let revealed = match self.current.take() {
-            Some(c) => Some(c),
-            None => self.pick_initial()?,
-        };
-        let Some(mut cur) = revealed else {
-            return Ok(false);
-        };
-        cur.ready_ps = cur.ready_ps.max(not_before_ps);
-        self.execute(cur, source)?;
-        Ok(true)
+        loop {
+            self.flush_feedback(source)?;
+            self.pump()?;
+            let revealed = match self.current.take() {
+                Some(c) => Some(c),
+                None => self.pick_initial()?,
+            };
+            match revealed {
+                Some(mut cur) => {
+                    cur.ready_ps = cur.ready_ps.max(not_before_ps);
+                    self.execute(cur, source)?;
+                    return Ok(true);
+                }
+                // No access to execute — but pump() may have completed
+                // requests straight from the stash (fast-path chain
+                // steps) after the flush above. Those completions must
+                // cross the feedback cursor before this call returns,
+                // or an idle-exiting caller's drain_completions would
+                // never surface them; and their feedback may submit new
+                // work, so loop rather than flush-and-return.
+                None => {
+                    if self.feedback_cursor == self.completions.len() {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
     }
 
     /// Runs until no real work remains; returns all completions.

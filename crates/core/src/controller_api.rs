@@ -23,11 +23,17 @@ impl ForkPathController {
     }
 
     /// Whether the controller still holds real work — queued, stalled, in
-    /// flight, or a revealed pending real access. External drivers (the
-    /// serving layer's shard workers) use this to decide between admitting
-    /// the next batch and processing what is already inside.
+    /// flight, a revealed pending real access, or a completion that has not
+    /// yet been routed through feedback (and so cannot be drained yet).
+    /// External drivers (the serving layer's shard workers) use this to
+    /// decide between admitting the next batch and processing what is
+    /// already inside; a request is not done until its completion can
+    /// surface, so undrained completions count as pending. One more
+    /// [`process_one`](ForkPathController::process_one) call flushes them.
     pub fn has_pending_work(&self) -> bool {
-        self.has_real_work() || self.current.as_ref().is_some_and(|c| !c.is_dummy())
+        self.has_real_work()
+            || self.current.as_ref().is_some_and(|c| !c.is_dummy())
+            || self.feedback_cursor < self.completions.len()
     }
 
     /// Routes every not-yet-fed completion through `source`, submitting any

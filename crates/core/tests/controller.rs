@@ -268,6 +268,60 @@ fn hazard_forwarding_and_cancellation_complete_requests() {
 }
 
 #[test]
+fn stash_fast_path_completions_survive_the_final_drain() {
+    // Same-address reads serialize in the address queue; when the first
+    // access completes, its block sits in the stash, so each follower is
+    // served by pump()'s fast path without an access of its own. Those
+    // completions are produced *between* feedback flushes — if the
+    // controller then goes idle, a drain must still surface every one of
+    // them (they used to strand behind the feedback cursor).
+    let mut ctl = fork(ForkConfig::default());
+    let mut ids = Vec::new();
+    for i in 0..4u64 {
+        ids.push(ctl.submit(42, Op::Read, vec![], i));
+    }
+    let done = ctl.run_to_idle();
+    assert!(!ctl.has_pending_work());
+    let mut done_ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+    done_ids.sort_unstable();
+    assert_eq!(
+        done_ids, ids,
+        "every same-address read must surface exactly once"
+    );
+    assert_eq!(ctl.drain_completions().len(), 0, "nothing may linger");
+    ctl.state().check_invariants().unwrap();
+}
+
+#[test]
+fn pending_work_covers_undrained_completions() {
+    // External drivers (the serving layer's shard workers) loop on
+    // `has_pending_work` and drain after each `process_one`. When the
+    // *final* process_one executes an access, its completion is pushed
+    // but not yet routed through feedback, so `drain_completions` cannot
+    // return it yet. `has_pending_work` must report true for that state,
+    // or the driver exits one completion short (requests silently lost
+    // at the tail of a trace replay).
+    use fp_core::NoFeedback;
+    let mut ctl = fork(ForkConfig::default());
+    let mut ids = Vec::new();
+    for i in 0..6u64 {
+        ids.push(ctl.submit(i * 7, Op::Read, vec![], i * 1_000));
+    }
+    let mut done = Vec::new();
+    while ctl.has_pending_work() {
+        let _ = ctl.process_one(&mut NoFeedback).unwrap();
+        done.extend(ctl.drain_completions());
+    }
+    let mut done_ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+    done_ids.sort_unstable();
+    assert_eq!(
+        done_ids, ids,
+        "driver-style loop must surface every request"
+    );
+    assert_eq!(ctl.drain_completions().len(), 0, "nothing may linger");
+}
+
+#[test]
 fn idle_gap_resets_merging_cleanly() {
     let mut ctl = fork(ForkConfig::default());
     ctl.submit(1, Op::Write, vec![7; 16], 0);

@@ -42,6 +42,15 @@ pub struct ServiceConfig {
     pub scheme: Scheme,
     /// Per-shard DRAM system (each shard gets its own instance).
     pub dram: DramConfig,
+    /// Enables the per-shard cross-request coalescing index: while an
+    /// access to an address is in flight, duplicate-address requests
+    /// attach as waiters and share its result instead of submitting a
+    /// second ORAM access (reads share data; writes absorb
+    /// last-writer-wins and flush once after the anchor completes).
+    /// Honored by the external-queue and trace-replay modes; the
+    /// closed-loop harness gives every client a disjoint address region,
+    /// so it never coalesces. See DESIGN.md for the obliviousness caveat.
+    pub coalesce: bool,
     /// Service seed; shard `i` seeds its controller and clients from it.
     pub seed: u64,
     /// Per-shard trace event-ring capacity (0 = exact counters only).
@@ -73,6 +82,7 @@ impl ServiceConfig {
             oram,
             scheme: Scheme::ForkDefault,
             dram: DramConfig::ddr3_1600(2),
+            coalesce: false,
             seed: 0x5EED,
             trace_capacity: 0,
             fault: None,

@@ -37,19 +37,33 @@
 //!   injection ([`fp_core::FaultInjector`], enabled via
 //!   [`ServiceConfig::fault`]) exercises these paths on demand; shards
 //!   that absorbed transient faults through retries report *degraded*.
+//! * **Cross-request coalescing** ([`ServiceConfig::coalesce`]) — each
+//!   shard can keep an in-flight index (address → pending entry) so a
+//!   duplicate-address request arriving while an access is outstanding
+//!   attaches as a *waiter* instead of submitting a second ORAM access;
+//!   the one result fans out to every waiter (reads share data, writes
+//!   absorb last-writer-wins and flush once). This extends the paper's
+//!   redundant-access removal across *concurrent* requests; see DESIGN.md
+//!   for the obliviousness caveat.
 //! * **Statistics** ([`ServiceStats`]) — per-shard fp-trace counters and
 //!   latency histograms fold into aggregate throughput (simulated and
-//!   wall-clock), p50/p99 latency, queue high-water marks, per-shard
-//!   health, fault counters, and JSON.
+//!   wall-clock, with *served* completions as the numerator — expired
+//!   requests are reported separately), p50/p99 latency upper bounds,
+//!   queue high-water marks, coalescing savings, per-shard health, fault
+//!   counters, and JSON.
 //!
-//! ## Two run modes
+//! ## Three run modes
 //!
 //! [`OramService::serve`] accepts external submissions through a
 //! [`ServiceHandle`] (concurrent, backpressured). For benchmarking,
 //! [`OramService::run_closed_loop`] embeds a deterministic client pool in
 //! each shard worker, driven by shard completions in *simulated* time — so
 //! its results are a pure function of the configuration and seed,
-//! independent of host thread interleaving.
+//! independent of host thread interleaving. [`OramService::run_trace`]
+//! replays a pre-generated request list (e.g. the Zipfian service
+//! workload from `fp-workloads`) deterministically per shard — the mode
+//! that exercises cross-request coalescing, since its duplicate-address
+//! requests genuinely overlap in flight.
 //!
 //! # Example
 //!

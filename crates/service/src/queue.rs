@@ -69,7 +69,12 @@ impl SubmissionQueue {
     /// Blocks until at least one request is available, then takes up to
     /// `max` of them. Returns `None` only once the queue is closed *and*
     /// empty — drain semantics: close() does not discard queued work.
+    ///
+    /// `max == 0` is a caller bug (it would ask for an empty batch while
+    /// claiming to want work) and trips a debug assertion; release builds
+    /// still take at least one request.
     pub fn pop_batch(&self, max: usize) -> Option<Vec<ServiceRequest>> {
+        debug_assert!(max > 0, "pop_batch(max = 0) would never make progress");
         let mut st = relock(&self.state);
         loop {
             if !st.items.is_empty() {
@@ -83,12 +88,23 @@ impl SubmissionQueue {
         }
     }
 
-    /// Non-blocking variant of [`SubmissionQueue::pop_batch`]: returns an
-    /// empty vector when no work is queued right now.
-    pub fn try_pop_batch(&self, max: usize) -> Vec<ServiceRequest> {
+    /// Non-blocking variant of [`SubmissionQueue::pop_batch`] with the
+    /// same termination contract: `Some(batch)` (possibly empty) while
+    /// the queue is open or still draining, `None` only once it is closed
+    /// *and* empty. Before this returned a bare `Vec`, "no work right
+    /// now" and "closed and drained" were indistinguishable, so a
+    /// non-blocking poller could never terminate.
+    ///
+    /// `max == 0` trips the same debug assertion as
+    /// [`SubmissionQueue::pop_batch`].
+    pub fn try_pop_batch(&self, max: usize) -> Option<Vec<ServiceRequest>> {
+        debug_assert!(max > 0, "try_pop_batch(max = 0) would never take work");
         let mut st = relock(&self.state);
+        if st.items.is_empty() && st.closed {
+            return None;
+        }
         let take = st.items.len().min(max.max(1));
-        st.items.drain(..take).collect()
+        Some(st.items.drain(..take).collect())
     }
 
     /// Closes the queue: subsequent pushes fail with
@@ -174,10 +190,23 @@ mod tests {
     #[test]
     fn try_pop_batch_never_blocks() {
         let q = SubmissionQueue::new(4);
-        assert!(q.try_pop_batch(8).is_empty());
+        assert!(q.try_pop_batch(8).unwrap().is_empty());
         q.try_push(req(1)).unwrap();
         q.try_push(req(2)).unwrap();
-        assert_eq!(q.try_pop_batch(1).len(), 1);
-        assert_eq!(q.try_pop_batch(8).len(), 1);
+        assert_eq!(q.try_pop_batch(1).unwrap().len(), 1);
+        assert_eq!(q.try_pop_batch(8).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn try_pop_batch_distinguishes_idle_from_drained() {
+        let q = SubmissionQueue::new(4);
+        // Open + empty: "no work right now", keep polling.
+        assert_eq!(q.try_pop_batch(8), Some(Vec::new()));
+        q.try_push(req(1)).unwrap();
+        q.close();
+        // Closed but not yet drained: queued work survives close.
+        assert_eq!(q.try_pop_batch(8).unwrap().len(), 1);
+        // Closed and drained: the stream has ended.
+        assert_eq!(q.try_pop_batch(8), None);
     }
 }

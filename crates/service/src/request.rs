@@ -83,7 +83,9 @@ pub struct ServiceCompletion {
     pub status: CompletionStatus,
     /// Simulated completion latency (`done - arrival`); 0 when expired.
     pub latency_ps: u64,
-    /// Data as read (empty for expired requests and cancelled writes).
+    /// Data as read for read requests. Writes acknowledge with empty
+    /// data (their payload echo is never meaningful), as do expired
+    /// requests, which were never served.
     pub data: Vec<u8>,
 }
 

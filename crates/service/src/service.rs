@@ -295,6 +295,85 @@ impl OramService {
         }
     }
 
+    /// Runs the deterministic trace-replay mode: `requests` (global
+    /// addresses) are partitioned across the shards up front, and each
+    /// shard worker replays its slice in arrival order through
+    /// [`ShardEngine::run_schedule`] — no queue backpressure or
+    /// host-thread timing effects, so the outcome is a pure function of
+    /// the request list and the configuration. This is the mode the
+    /// Zipfian service workload and the coalescing benchmarks use:
+    /// duplicate-address requests genuinely overlap in flight, which the
+    /// closed-loop harness (disjoint per-client regions) can never
+    /// produce. Returns the aggregate statistics and every completion,
+    /// with addresses mapped back to the global space.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for invalid configurations or a request
+    /// address outside the global space; [`ServeError::Shards`] when
+    /// workers died, carrying the partial statistics.
+    pub fn run_trace(
+        cfg: ServiceConfig,
+        requests: Vec<ServiceRequest>,
+    ) -> Result<(ServiceStats, Vec<ServiceCompletion>), ServeError> {
+        cfg.validate().map_err(ServeError::Config)?;
+        let mut per_shard: Vec<Vec<ServiceRequest>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        for mut req in requests {
+            if req.addr >= cfg.oram.data_blocks {
+                return Err(ServeError::Config(format!(
+                    "trace address {} outside the {}-block global space",
+                    req.addr, cfg.oram.data_blocks
+                )));
+            }
+            let shard = cfg.shard_of(req.addr);
+            req.addr = cfg.local_addr(req.addr);
+            per_shard[shard].push(req);
+        }
+        let (engines, shareds) = Self::build(&cfg);
+        let start = Instant::now();
+        let failures = std::thread::scope(|scope| {
+            let workers: Vec<_> = engines
+                .into_iter()
+                .zip(shareds.iter())
+                .zip(per_shard)
+                .map(|((engine, shared), schedule)| {
+                    let shared = Arc::clone(shared);
+                    scope.spawn(move || {
+                        match catch_unwind(AssertUnwindSafe(move || engine.run_schedule(schedule)))
+                        {
+                            Ok(Ok(())) => None,
+                            Ok(Err(e)) => Some((false, e.to_string())),
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                shared.mark_dead(&format!("worker panicked: {msg}"));
+                                Some((true, msg))
+                            }
+                        }
+                    })
+                })
+                .collect();
+            Self::collect_failures(workers)
+        });
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let stats = Self::snapshot(&cfg, &shareds, wall_ns);
+        let mut completions = Vec::new();
+        for (i, shared) in shareds.iter().enumerate() {
+            let mut done = relock(&shared.completions);
+            for mut c in done.drain(..) {
+                c.addr = cfg.global_addr(i, c.addr);
+                completions.push(c);
+            }
+        }
+        if failures.is_empty() {
+            Ok((stats, completions))
+        } else {
+            Err(ServeError::Shards {
+                failures,
+                stats: Box::new(stats),
+            })
+        }
+    }
+
     /// Runs the deterministic closed-loop mode: each shard gets a private
     /// client pool built from `profiles` over its own address slice, with
     /// `total_budget` requests split evenly across shards. Returns once
@@ -431,6 +510,34 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, addrs);
         assert!(done.iter().all(|c| c.status == CompletionStatus::Ok));
+    }
+
+    #[test]
+    fn trace_replay_completes_everything_and_restores_global_addresses() {
+        let mut cfg = ServiceConfig::fast_test(2);
+        cfg.coalesce = true;
+        let reqs: Vec<ServiceRequest> = (0..40u64)
+            .map(|i| ServiceRequest::read((i * 3) % 16, i * 1_000_000, i))
+            .collect();
+        let (stats, done) = OramService::run_trace(cfg.clone(), reqs.clone()).unwrap();
+        assert_eq!(stats.enqueued(), 40);
+        assert_eq!(stats.completed(), 40);
+        assert_eq!(done.len(), 40);
+        assert!(
+            done.iter().all(|c| c.addr < 16),
+            "addresses are global again"
+        );
+        // Pure function of (config, request list).
+        let (stats2, _) = OramService::run_trace(cfg, reqs).unwrap();
+        assert_eq!(stats.fingerprint(), stats2.fingerprint());
+    }
+
+    #[test]
+    fn trace_replay_rejects_out_of_range_addresses() {
+        let cfg = ServiceConfig::fast_test(1);
+        let blocks = cfg.oram.data_blocks;
+        let err = OramService::run_trace(cfg, vec![ServiceRequest::read(blocks, 0, 0)]);
+        assert!(matches!(err, Err(ServeError::Config(_))));
     }
 
     #[test]

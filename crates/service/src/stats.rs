@@ -65,6 +65,22 @@ impl ShardSnapshot {
             .field_u64(
                 "oram_accesses",
                 self.trace_counter(Counter::FullReads) + self.trace_counter(Counter::MergedReads),
+            )
+            .field_u64(
+                "coalesced_reads",
+                self.trace_counter(Counter::CoalescedReads),
+            )
+            .field_u64(
+                "coalesced_writes",
+                self.trace_counter(Counter::CoalescedWrites),
+            )
+            .field_u64(
+                "coalesce_flushes",
+                self.trace_counter(Counter::CoalesceFlushes),
+            )
+            .field_u64(
+                "coalesce_index_high_water",
+                self.trace_counter(Counter::CoalesceIndexHighWater),
             );
         if let Some(fault) = &self.fault {
             o.field_str("fault", fault);
@@ -128,17 +144,23 @@ impl ServiceStats {
         self.total(|c| c.rejected_busy)
     }
 
-    /// Total requests admitted into controllers.
+    /// Total client requests accepted past admission control (engine
+    /// submissions plus coalesced waiters; never internal flushes).
     pub fn admitted(&self) -> u64 {
         self.total(|c| c.admitted)
     }
 
-    /// Total requests expired at admission.
+    /// Total requests expired at admission. Disjoint from
+    /// [`ServiceStats::completed`]: an expired request was never served.
     pub fn expired(&self) -> u64 {
         self.total(|c| c.expired)
     }
 
-    /// Total completions (including expirations).
+    /// Total client requests *served* to completion (`Ok` + `Late`).
+    /// Excludes expirations — they never executed — so this is the
+    /// correct numerator for every throughput rate. (An earlier version
+    /// also counted expirations here, inflating reported req/s exactly
+    /// when the service was shedding load.)
     pub fn completed(&self) -> u64 {
         self.total(|c| c.completed)
     }
@@ -160,7 +182,9 @@ impl ServiceStats {
     }
 
     /// Aggregate throughput on the simulated clock, requests per second.
-    /// Deterministic per seed — the headline scaling metric.
+    /// Deterministic per seed — the headline scaling metric. The numerator
+    /// is *served* completions only ([`ServiceStats::completed`]); expired
+    /// requests are reported separately and never inflate this rate.
     pub fn sim_requests_per_sec(&self) -> f64 {
         let ps = self.sim_finish_ps();
         if ps == 0 {
@@ -169,7 +193,8 @@ impl ServiceStats {
         self.completed() as f64 * 1e12 / ps as f64
     }
 
-    /// Host wall-clock throughput, requests per second.
+    /// Host wall-clock throughput, requests per second. Same served-only
+    /// numerator as [`ServiceStats::sim_requests_per_sec`].
     pub fn wall_requests_per_sec(&self) -> f64 {
         if self.wall_ns == 0 {
             return 0.0;
@@ -177,13 +202,16 @@ impl ServiceStats {
         self.completed() as f64 * 1e9 / self.wall_ns as f64
     }
 
-    /// Median completion latency, picoseconds (log2-bucket resolution).
-    pub fn p50_ps(&self) -> u64 {
+    /// Median completion latency *upper bound*, picoseconds: the
+    /// histogram stores log2 buckets, so this is the top of the bucket
+    /// holding the median (a `2^k - 1` value), not an exact sample.
+    pub fn p50_le_ps(&self) -> u64 {
         self.latency.quantile(0.50)
     }
 
-    /// 99th-percentile completion latency, picoseconds.
-    pub fn p99_ps(&self) -> u64 {
+    /// 99th-percentile completion latency upper bound, picoseconds
+    /// (log2-bucket top, like [`ServiceStats::p50_le_ps`]).
+    pub fn p99_le_ps(&self) -> u64 {
         self.latency.quantile(0.99)
     }
 
@@ -225,6 +253,32 @@ impl ServiceStats {
     /// Total shard deaths (each dead shard counts once).
     pub fn shard_failovers(&self) -> u64 {
         self.trace_total(Counter::ShardFailovers)
+    }
+
+    /// Total ORAM tree accesses actually executed (full + merged reads).
+    pub fn oram_accesses(&self) -> u64 {
+        self.trace_total(Counter::FullReads) + self.trace_total(Counter::MergedReads)
+    }
+
+    /// Reads answered by attaching to an in-flight access.
+    pub fn coalesced_reads(&self) -> u64 {
+        self.trace_total(Counter::CoalescedReads)
+    }
+
+    /// Writes absorbed by the coalescing index (last-writer-wins).
+    pub fn coalesced_writes(&self) -> u64 {
+        self.trace_total(Counter::CoalescedWrites)
+    }
+
+    /// Write-back accesses issued to flush coalesced write data.
+    pub fn coalesce_flushes(&self) -> u64 {
+        self.trace_total(Counter::CoalesceFlushes)
+    }
+
+    /// Net ORAM accesses avoided by coalescing: every coalesced request
+    /// skipped one access, minus the flush write-backs the layer issued.
+    pub fn coalesce_accesses_saved(&self) -> u64 {
+        (self.coalesced_reads() + self.coalesced_writes()).saturating_sub(self.coalesce_flushes())
     }
 
     /// Shards currently reporting `health`.
@@ -273,13 +327,23 @@ impl ServiceStats {
             .field_f64("sim_ms", self.sim_finish_ps() as f64 / 1e9)
             .field_f64("sim_requests_per_sec", self.sim_requests_per_sec());
 
+        // Quantiles carry a `_le_` infix: log2-bucket upper bounds
+        // (2^k - 1 values), not exact samples.
         let mut latency = JsonObject::new();
         latency
             .field_f64("mean_ps", self.latency.mean())
-            .field_u64("p50_ps", self.p50_ps())
-            .field_u64("p99_ps", self.p99_ps())
+            .field_u64("p50_le_ps", self.p50_le_ps())
+            .field_u64("p99_le_ps", self.p99_le_ps())
             .field_u64("max_ps", self.latency.max())
             .field_u64("count", self.latency.count());
+
+        let mut coalescing = JsonObject::new();
+        coalescing
+            .field_u64("coalesced_reads", self.coalesced_reads())
+            .field_u64("coalesced_writes", self.coalesced_writes())
+            .field_u64("coalesce_flushes", self.coalesce_flushes())
+            .field_u64("oram_accesses", self.oram_accesses())
+            .field_u64("accesses_saved", self.coalesce_accesses_saved());
 
         let counters = json::array(
             self.trace_counter_totals()
@@ -309,6 +373,7 @@ impl ServiceStats {
             .field_raw("requests", &requests.finish())
             .field_raw("throughput", &throughput.finish())
             .field_raw("latency", &latency.finish())
+            .field_raw("coalescing", &coalescing.finish())
             .field_raw("health", &health.finish())
             .field_raw("trace_counter_totals", &counters)
             .field_raw(
@@ -379,6 +444,37 @@ mod tests {
         assert!(s.contains("\"per_shard\""));
         assert!(s.contains("\"health\""));
         assert!(s.contains("\"shard_failovers\""));
+        assert!(s.contains("\"coalescing\""));
+        assert!(s.contains("\"accesses_saved\""));
+        // Quantile keys carry the upper-bound marker, not exact values.
+        assert!(s.contains("\"p50_le_ps\""));
+        assert!(s.contains("\"p99_le_ps\""));
+        assert!(!s.contains("\"p50_ps\""));
+    }
+
+    #[test]
+    fn expired_requests_lower_reported_throughput() {
+        // Two runs over the same simulated makespan and enqueue volume;
+        // the second expired half its requests at admission. With the
+        // corrected accounting (expired requests are not completions) it
+        // must report *lower* req/s, not equal.
+        let healthy = snapshot(0, 100, 1_000_000);
+        let mut shedding = snapshot(0, 50, 1_000_000);
+        shedding.counters.enqueued = 100;
+        shedding.counters.admitted = 50;
+        shedding.counters.expired = 50;
+        let full = ServiceStats::aggregate(1, 64, vec![healthy], 1_000);
+        let shed = ServiceStats::aggregate(1, 64, vec![shedding], 1_000);
+        assert_eq!(full.enqueued(), shed.enqueued());
+        assert_eq!(shed.completed() + shed.expired(), shed.enqueued());
+        assert!(
+            shed.sim_requests_per_sec() < full.sim_requests_per_sec(),
+            "dropped requests must not inflate simulated throughput"
+        );
+        assert!(
+            shed.wall_requests_per_sec() < full.wall_requests_per_sec(),
+            "dropped requests must not inflate wall throughput"
+        );
     }
 
     #[test]

@@ -71,11 +71,23 @@ pub enum Counter {
     LatencySpikes,
     /// Shards declared dead by the serving layer's supervisor.
     ShardFailovers,
+    /// Duplicate-address reads attached as waiters to an in-flight
+    /// access by the serving layer's coalescing index (no ORAM access).
+    CoalescedReads,
+    /// Duplicate-address writes absorbed by the coalescing index
+    /// (last-writer-wins; no immediate ORAM access).
+    CoalescedWrites,
+    /// Write-back accesses issued to flush coalesced-write data after
+    /// the anchor access completed.
+    CoalesceFlushes,
+    /// High-water mark of the per-shard coalescing index (distinct
+    /// in-flight addresses). Monotonic-max, not a sum.
+    CoalesceIndexHighWater,
 }
 
 impl Counter {
     /// All counters, in discriminant order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 35] = [
         Counter::RequestsSubmitted,
         Counter::RequestsScheduled,
         Counter::RequestsMerged,
@@ -107,6 +119,10 @@ impl Counter {
         Counter::FaultRetries,
         Counter::LatencySpikes,
         Counter::ShardFailovers,
+        Counter::CoalescedReads,
+        Counter::CoalescedWrites,
+        Counter::CoalesceFlushes,
+        Counter::CoalesceIndexHighWater,
     ];
 
     /// Number of distinct counters (the counter array length).
@@ -146,6 +162,10 @@ impl Counter {
             Counter::FaultRetries => "fault_retries",
             Counter::LatencySpikes => "latency_spikes",
             Counter::ShardFailovers => "shard_failovers",
+            Counter::CoalescedReads => "coalesced_reads",
+            Counter::CoalescedWrites => "coalesced_writes",
+            Counter::CoalesceFlushes => "coalesce_flushes",
+            Counter::CoalesceIndexHighWater => "coalesce_index_high_water",
         }
     }
 }

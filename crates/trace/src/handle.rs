@@ -109,6 +109,15 @@ impl TraceHandle {
         self.add(c, 1);
     }
 
+    /// Raises a counter to `v` if `v` is larger (monotonic high-water
+    /// mark; no event is recorded). Unlike [`TraceHandle::add`], calling
+    /// this repeatedly with the same value is idempotent.
+    pub fn raise(&self, c: Counter, v: u64) {
+        let mut g = self.lock();
+        let slot = &mut g.counters[c as usize];
+        *slot = (*slot).max(v);
+    }
+
     /// Current value of a counter.
     pub fn counter(&self, c: Counter) -> u64 {
         self.lock().counters[c as usize]
@@ -254,6 +263,17 @@ mod tests {
         t.set_now(99);
         t.record_now(EventKind::StashEvict { addr: 5 });
         assert_eq!(t.events()[0].t_ps, 99);
+    }
+
+    #[test]
+    fn raise_is_a_monotonic_max() {
+        let t = TraceHandle::default();
+        t.raise(Counter::CoalesceIndexHighWater, 4);
+        t.raise(Counter::CoalesceIndexHighWater, 2);
+        assert_eq!(t.counter(Counter::CoalesceIndexHighWater), 4);
+        t.raise(Counter::CoalesceIndexHighWater, 9);
+        t.raise(Counter::CoalesceIndexHighWater, 9);
+        assert_eq!(t.counter(Counter::CoalesceIndexHighWater), 9);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`service`] — [`service::ServiceClientPool`]: closed-loop tenant
 //!   clients for the sharded serving layer (`fp-service`), deterministic
 //!   per `(seed, shard)` in simulated time.
+//! * [`zipf`] — seeded Zipfian hotspot schedules (open-loop, global
+//!   addresses) for the serving layer's trace-replay mode; the skewed
+//!   duplicate-address traffic that exercises cross-request coalescing.
 //!
 //! # Example
 //!
@@ -47,5 +50,6 @@ mod profile;
 pub mod service;
 pub mod spec;
 pub mod trace;
+pub mod zipf;
 
 pub use profile::{BenchmarkProfile, OverheadGroup};

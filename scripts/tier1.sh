@@ -50,4 +50,26 @@ grep -q '"bench":"service_bench"' "$tmp_svc_fault"
 grep -Eq '"faults_injected":[1-9]' "$tmp_svc_fault"
 grep -Eq '"fault_retries":[1-9]' "$tmp_svc_fault"
 rm -f "$tmp_svc_fault"
+
+# Cross-request coalescing smoke check: replay the same seeded Zipfian
+# hotspot schedule with and without the per-shard coalescing index. The
+# coalesced run must actually coalesce (nonzero coalesced_reads) and
+# execute strictly fewer ORAM accesses while serving exactly as many
+# requests. Per-request data equivalence and the accounting ledger are
+# property-tested in tests/service_level.rs; this gates the end-to-end
+# win through the real binary. First grep match = the aggregate object
+# (per_shard rows come later in the report).
+tmp_zipf_plain="$(mktemp)"
+tmp_zipf_coal="$(mktemp)"
+cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --zipf --shards 4 --out "$tmp_zipf_plain" >/dev/null
+cargo run --release --offline -q -p fp-bench --bin service_bench -- --smoke --zipf --coalesce --shards 4 --out "$tmp_zipf_coal" >/dev/null
+grep -q '"workload":"zipf-hot"' "$tmp_zipf_plain"
+grep -Eq '"coalesced_reads":[1-9]' "$tmp_zipf_coal"
+acc_plain="$(grep -o '"oram_accesses":[0-9]*' "$tmp_zipf_plain" | head -1 | cut -d: -f2)"
+acc_coal="$(grep -o '"oram_accesses":[0-9]*' "$tmp_zipf_coal" | head -1 | cut -d: -f2)"
+done_plain="$(grep -o '"completed":[0-9]*' "$tmp_zipf_plain" | head -1 | cut -d: -f2)"
+done_coal="$(grep -o '"completed":[0-9]*' "$tmp_zipf_coal" | head -1 | cut -d: -f2)"
+[ "$done_plain" -gt 0 ] && [ "$done_plain" -eq "$done_coal" ]
+[ "$acc_coal" -lt "$acc_plain" ]
+rm -f "$tmp_zipf_plain" "$tmp_zipf_coal"
 echo "tier1 OK"

@@ -3,14 +3,17 @@
 //! scaling, and the cross-rerun determinism property the closed-loop mode
 //! guarantees.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fork_path_oram::core::Scheme;
+use fork_path_oram::path_oram::Op;
 use fork_path_oram::propcheck::{run_cases, Gen};
 use fork_path_oram::service::{
     CompletionStatus, OramService, ServiceConfig, ServiceRequest, SubmitError,
 };
-use fork_path_oram::workloads::mixes;
+use fork_path_oram::trace::Counter;
+use fork_path_oram::workloads::{mixes, zipf};
 
 /// A small config for tests: the fast-test geometry shrunk further so each
 /// case stays in tens of milliseconds.
@@ -150,8 +153,13 @@ fn deadlines_classify_expired_and_late() {
     assert_eq!(stats.completed_late(), 1);
     assert_eq!(
         stats.completed(),
-        3,
-        "expired + late + ok all produce completions"
+        2,
+        "only served requests count as completed; the expired one does not"
+    );
+    assert_eq!(
+        stats.enqueued(),
+        stats.admitted() + stats.expired(),
+        "every accepted request is either admitted or shed"
     );
 }
 
@@ -169,6 +177,57 @@ fn default_relative_deadline_applies() {
     assert_eq!(stats.completed(), 4);
     assert_eq!(stats.completed_late(), 4);
     assert_eq!(stats.expired(), 0);
+}
+
+/// The accounting ledger balances on randomized runs mixing normal and
+/// already-expired requests: every accepted request is either admitted to
+/// the ORAM or shed at admission (`enqueued == admitted + expired`), and at
+/// drain everything admitted has been served (`completed == admitted`).
+/// This is the invariant behind every req/s figure the service reports —
+/// expired requests must never inflate the served count.
+#[test]
+fn accounting_ledger_balances_under_random_expirations() {
+    run_cases("service-accounting-ledger", 4, |g: &mut Gen| {
+        let shards = 1usize << g.range(0, 2); // 1, 2, or 4
+        let total = g.range(48, 160);
+        let expired_target = g.range(1, total / 2);
+        let cfg = small_cfg(shards);
+        let (stats, done) = OramService::serve(cfg, |h| {
+            for i in 0..total {
+                let mut req = ServiceRequest::read((i * 131) % 4096, 1_000, i);
+                if i < expired_target {
+                    // Deadline already passed at the 1000 ps arrival:
+                    // shed at admission, never served.
+                    req.deadline_ps = Some(1);
+                }
+                while h.submit(req.clone()) == Err(SubmitError::Busy) {
+                    std::thread::yield_now();
+                }
+            }
+            h.clone()
+        })
+        .map(|(stats, h)| (stats, h.drain_completions()))
+        .unwrap();
+        assert_eq!(stats.enqueued(), total, "nothing accepted may vanish");
+        assert_eq!(stats.expired(), expired_target);
+        assert_eq!(
+            stats.enqueued(),
+            stats.admitted() + stats.expired(),
+            "admission ledger must balance"
+        );
+        assert_eq!(
+            stats.completed(),
+            stats.admitted(),
+            "at drain, everything admitted has been served"
+        );
+        // The completion stream agrees with the counters, status by status.
+        let expired = done
+            .iter()
+            .filter(|c| c.status == CompletionStatus::Expired)
+            .count() as u64;
+        assert_eq!(expired, stats.expired());
+        assert_eq!(done.len() as u64, stats.completed() + stats.expired());
+    });
 }
 
 // ---------- drain / shutdown ----------------------------------------
@@ -266,4 +325,104 @@ fn completions_carry_global_addresses_and_tags() {
         assert_eq!(c.status, CompletionStatus::Ok);
         assert!(c.latency_ps > 0);
     }
+}
+
+// ---------- coalescing ------------------------------------------------
+
+/// Runs one Zipf schedule through trace replay and indexes the
+/// completions by tag.
+fn replay(
+    mut cfg: ServiceConfig,
+    schedule: &[zipf::ScheduledRequest],
+    coalesce: bool,
+) -> (
+    fork_path_oram::service::ServiceStats,
+    BTreeMap<u64, (CompletionStatus, Vec<u8>)>,
+) {
+    cfg.coalesce = coalesce;
+    let block_bytes = cfg.oram.block_bytes;
+    let requests: Vec<ServiceRequest> = schedule
+        .iter()
+        .map(|r| {
+            let data = match r.op {
+                Op::Write => zipf::write_payload(r.addr, r.tag, block_bytes),
+                Op::Read => Vec::new(),
+            };
+            ServiceRequest {
+                addr: r.addr,
+                op: r.op,
+                data,
+                arrival_ps: r.arrival_ps,
+                deadline_ps: None,
+                tag: r.tag,
+            }
+        })
+        .collect();
+    let (stats, done) = OramService::run_trace(cfg, requests).expect("trace replay must not fail");
+    let by_tag = done
+        .into_iter()
+        .map(|c| (c.tag, (c.status, c.data)))
+        .collect();
+    (stats, by_tag)
+}
+
+/// Coalescing is invisible to clients: under randomized hot Zipf
+/// schedules, a coalesced and a non-coalesced replay of the *same*
+/// schedule serve every request with an identical status and identical
+/// data, tag by tag — while the coalesced run submits strictly fewer
+/// requests to the ORAM engines. This is the data-equivalence property
+/// that makes the `--coalesce` flag safe to enable: attaching a request
+/// as a waiter instead of running its own access never changes what the
+/// client observes (the engine's per-address hazard rules already
+/// serialize same-address operations in arrival order; the coalescing
+/// index preserves that order among waiters).
+#[test]
+fn coalescing_preserves_per_request_results() {
+    run_cases("service-coalescing-equivalence", 4, |g: &mut Gen| {
+        let cfg = small_cfg(4);
+        let mut zc = zipf::ZipfConfig::hot(
+            cfg.oram.data_blocks,
+            g.range(300, 700),
+            cfg.oram.block_bytes,
+            g.below(u64::MAX),
+        );
+        // Wander around the hot default so the property is not tied to
+        // one operating point.
+        zc.theta = 0.9 + g.range(0, 60) as f64 / 100.0;
+        zc.write_fraction = g.range(0, 30) as f64 / 100.0;
+        let schedule = zipf::generate(&zc);
+        let (plain, plain_tags) = replay(cfg.clone(), &schedule, false);
+        let (coal, coal_tags) = replay(cfg, &schedule, true);
+
+        // Same served count, same tags, same observable result per tag.
+        assert_eq!(plain.completed(), schedule.len() as u64);
+        assert_eq!(coal.completed(), plain.completed());
+        assert_eq!(plain_tags.len(), coal_tags.len());
+        for (tag, (status, data)) in &plain_tags {
+            let (c_status, c_data) = &coal_tags[tag];
+            assert_eq!(status, c_status, "tag {tag}: status diverged");
+            assert_eq!(data, c_data, "tag {tag}: data diverged");
+        }
+
+        // The whole point: waiters never reach the engines. Submissions
+        // include coalesce write-back flushes, so the saving is net.
+        let submitted = |s: &fork_path_oram::service::ServiceStats| {
+            s.trace_counter_totals()[Counter::RequestsSubmitted as usize]
+        };
+        let attached = coal.coalesced_reads() + coal.coalesced_writes();
+        assert!(
+            attached > 0,
+            "a hot Zipf schedule (theta={:.2}) must coalesce something",
+            zc.theta
+        );
+        assert_eq!(
+            submitted(&coal) + attached - coal.coalesce_flushes(),
+            submitted(&plain),
+            "every request either reaches an engine or attaches as a waiter"
+        );
+        assert!(
+            submitted(&coal) < submitted(&plain),
+            "coalescing must shrink engine traffic net of flushes"
+        );
+    });
 }

@@ -118,14 +118,26 @@ impl AddressQueue {
     }
 
     /// Pops the head request if it is transformable at `now_ps`: it has
-    /// arrived, and (for writes) no older read to the same address is still
-    /// in flight (Read-before-Write).
+    /// arrived, and (for writes) no older read *or write* to the same
+    /// address is still in flight (Read-before-Write, Write-after-Write).
+    ///
+    /// The write-after-write stall matters for correctness, not just
+    /// timing: two concurrent chains to the same address can finish out
+    /// of order (the younger one may shortcut through the PLB or stash
+    /// while the older walks its full posmap chain), and whichever
+    /// `apply_op` runs last wins — a lost update. Queued write pairs are
+    /// already collapsed by cancellation at submit; this closes the
+    /// popped-but-not-yet-complete window, so same-address writes apply
+    /// in program order under any arrival pacing.
     pub fn pop_ready(&mut self, now_ps: u64) -> Option<LlcRequest> {
         let head = self.queue.front()?;
         if head.arrival_ps > now_ps {
             return None;
         }
-        if head.op == Op::Write && self.inflight_reads.contains(&head.addr) {
+        if head.op == Op::Write
+            && (self.inflight_reads.contains(&head.addr)
+                || self.inflight_writes.iter().any(|(a, _)| *a == head.addr))
+        {
             return None;
         }
         let req = self.queue.pop_front().expect("front exists");
@@ -192,6 +204,24 @@ mod tests {
         assert_eq!(aq.submit(read(1, 5, 0)), SubmitEffect::Queued);
         assert_eq!(aq.submit(read(2, 5, 1)), SubmitEffect::Queued);
         assert_eq!(aq.len(), 2);
+    }
+
+    #[test]
+    fn write_stalls_behind_inflight_same_address_write() {
+        let mut aq = AddressQueue::new();
+        aq.submit(write(1, 5, 0xAA, 0));
+        let first = aq.pop_ready(10).expect("first write pops");
+        assert_eq!(first.id, 1);
+        // A second write to the same address arrives after the first was
+        // transformed (so queue-level cancellation cannot collapse them).
+        aq.submit(write(2, 5, 0xBB, 1));
+        assert!(
+            aq.pop_ready(10).is_none(),
+            "same-address write must wait for the in-flight write"
+        );
+        aq.complete(5, Op::Write);
+        let second = aq.pop_ready(10).expect("unblocked after completion");
+        assert_eq!(second.id, 2);
     }
 
     #[test]

@@ -34,6 +34,12 @@ mod controller_api;
 pub(crate) const CTRL_PHASE_LATENCY_PS: u64 = 20_000; // 20 ns
 /// Latency of answering a request on chip (forwarding / hazard shortcut).
 pub(crate) const ONCHIP_ANSWER_PS: u64 = 5_000; // 5 ns
+/// How far ahead of the refill a queued real request may be and still get
+/// the gap bridged with back-to-back dummy accesses (keeping the merged
+/// stream warm). Beyond this the controller goes idle and the clock jumps
+/// to the next arrival instead — a handful of access times, so burst-
+/// internal bubbles stay merged while open-loop idle gaps cost nothing.
+pub(crate) const DUMMY_BRIDGE_HORIZON_PS: u64 = 10_000_000; // 10 us
 
 /// Disjoint mutable borrows of the facade fields a chain step may touch.
 macro_rules! step_ctx {
@@ -419,12 +425,28 @@ impl ForkPathController {
         self.pump()?;
 
         let selected = self.sched.select_pending(levels, leaf, sel_time);
-        let has_real_work = self.has_real_work();
+        // Bridge scheduling bubbles with dummies only while real work is
+        // *imminent* — queued work whose ready time is within a few access
+        // times of now. Work further out (open-loop schedules can stamp
+        // arrivals milliseconds of simulated time apart) must not be
+        // bridged: back-to-back dummies would advance the clock one access
+        // latency at a time, doing work proportional to the idle gap.
+        // Going idle instead lets `pick_initial` jump the clock straight
+        // to the next arrival, at the cost of one merge reset (the next
+        // read is a full path). Fixed-rate protection still pads every
+        // slot; `enforce_fixed_rate` owns that cadence.
+        let next_real_ready = self
+            .sched
+            .earliest_real_ready()
+            .or_else(|| self.aq.head_arrival());
+        let work_imminent = self.has_real_work()
+            && next_real_ready
+                .is_some_and(|r| r <= sel_time.saturating_add(DUMMY_BRIDGE_HORIZON_PS));
         let fixed_rate = self.fixed_rate;
         let state = &mut self.state;
         let mut pending =
             self.dummy
-                .finalize(selected, has_real_work, fixed_rate, sel_time, || {
+                .finalize(selected, work_imminent, fixed_rate, sel_time, || {
                     state.random_label()
                 });
 

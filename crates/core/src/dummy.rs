@@ -64,24 +64,26 @@ impl DummyReplacer {
 
     /// Post-selection fixup of the pending request (§3.2 step 6):
     ///
-    /// * a selected padding dummy is dropped when no real work remains and
-    ///   fixed-rate protection is off, so finite workloads terminate;
-    /// * when nothing was selected but work (or fixed-rate mode) demands a
-    ///   pending request, padding is materialized as a dummy with a fresh
-    ///   uniform label, ready at `sel_time_ps`.
+    /// * a selected padding dummy is dropped when no *imminent* real work
+    ///   remains and fixed-rate protection is off, so finite workloads
+    ///   terminate and long idle gaps are not bridged one dummy access at
+    ///   a time (the controller goes idle and jumps the clock instead);
+    /// * when nothing was selected but imminent work (or fixed-rate mode)
+    ///   demands a pending request, padding is materialized as a dummy
+    ///   with a fresh uniform label, ready at `sel_time_ps`.
     pub fn finalize(
         &mut self,
         mut pending: Option<Entry>,
-        has_real_work: bool,
+        work_imminent: bool,
         fixed_rate: bool,
         sel_time_ps: u64,
         fresh_label: impl FnOnce() -> u64,
     ) -> Option<Entry> {
-        if pending.as_ref().is_some_and(Entry::is_dummy) && !has_real_work && !fixed_rate {
+        if pending.as_ref().is_some_and(Entry::is_dummy) && !work_imminent && !fixed_rate {
             pending = None;
             self.trace.bump(Counter::DummiesTrailingDiscarded);
         }
-        if pending.is_none() && (has_real_work || fixed_rate) {
+        if pending.is_none() && (work_imminent || fixed_rate) {
             self.trace.bump(Counter::DummiesMaterialized);
             pending = Some(Entry::dummy(fresh_label(), sel_time_ps));
         }

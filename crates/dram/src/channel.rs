@@ -101,10 +101,16 @@ impl Channel {
         let earliest = {
             let rank = &mut self.ranks[loc.rank];
             let mut earliest = earliest;
-            while rank.next_refresh_due + t.t_rfc <= earliest {
-                rank.next_refresh_due += t.t_refi;
-                stats.refreshes_skipped += 1;
-                trace.bump(Counter::DramRefsSkipped);
+            if rank.next_refresh_due + t.t_rfc <= earliest {
+                // Skip all idle refreshes in one step: after a long idle
+                // gap (open-loop serving can stamp arrivals seconds of
+                // simulated time apart) the interval count is huge, and
+                // advancing one tREFI per iteration made access cost
+                // proportional to idle time.
+                let skipped = 1 + (earliest - rank.next_refresh_due - t.t_rfc) / t.t_refi;
+                rank.next_refresh_due += skipped * t.t_refi;
+                stats.refreshes_skipped += skipped;
+                trace.add(Counter::DramRefsSkipped, skipped);
             }
             if earliest >= rank.next_refresh_due {
                 let due = rank.next_refresh_due;

@@ -1,0 +1,717 @@
+//! The threaded TCP front end over [`OramService`].
+//!
+//! [`NetServer::start`] binds a loopback listener and runs the sharded
+//! service in external-submission mode, with the serve driver acting as
+//! the network plane:
+//!
+//! * an **acceptor** admits connections up to
+//!   [`NetConfig::max_connections`] (excess connections are dropped and
+//!   counted as [`Counter::NetBusyRejections`]);
+//! * each connection gets a **reader** thread (handshake, decode,
+//!   validate, submit) and a **writer** thread (serialize responses from
+//!   an unbounded channel) — responses go out **in completion order**,
+//!   so a fast request on one shard overtakes a slow one on another and
+//!   the wire stays fully pipelined;
+//! * one **dispatcher** thread drains service completions and routes each
+//!   back to its connection by the server-allocated service tag, mapping
+//!   it to the client's own tag.
+//!
+//! ## Deadline mapping
+//!
+//! The service runs on a *simulated* clock; the wire carries *wall-clock*
+//! relative deadlines. The server maps one into the other by stamping
+//! each request's arrival as the wall nanoseconds since the server
+//! started, scaled 1 wall ns = 1 simulated ns. A request with
+//! `deadline_rel_ns = d > 0` therefore gets the absolute simulated
+//! deadline `arrival + d`. The two clocks advance at very different
+//! rates (the simulation is much faster than the hardware it models), so
+//! wire deadlines are a *load-shedding knob*, not a real-time guarantee —
+//! see DESIGN.md.
+//!
+//! ## Failure containment
+//!
+//! Submission failures ([`SubmitError::Busy`], [`SubmitError::ShardDown`])
+//! become per-request wire statuses on a healthy connection, never
+//! connection teardowns. A shard that dies with requests in flight would
+//! strand their waiters: the dispatcher sweeps pending entries owned by a
+//! shard it has observed dead for several consecutive iterations and
+//! answers them [`WireStatus::ShardDown`].
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fp_path_oram::Op;
+use fp_service::{
+    OramService, ServeError, ServiceConfig, ServiceHandle, ServiceRequest, ServiceStats,
+    ShardFailure, ShardHealth, SubmitError,
+};
+use fp_stats::json::JsonObject;
+use fp_trace::{Counter, TraceHandle};
+
+use crate::wire::{
+    read_frame, write_frame, Frame, WireError, WireHealth, WireRequest, WireResponse, WireStatus,
+    VERSION,
+};
+
+/// The network-plane counters, in the order they appear in
+/// [`NetReport::net`] and the stats JSON.
+pub const NET_COUNTERS: [Counter; 8] = [
+    Counter::NetConnectionsOpened,
+    Counter::NetConnectionsClosed,
+    Counter::NetFramesIn,
+    Counter::NetFramesOut,
+    Counter::NetWireBytesIn,
+    Counter::NetWireBytesOut,
+    Counter::NetProtocolErrors,
+    Counter::NetBusyRejections,
+];
+
+/// Configuration of the network front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// The sharded service behind the listener.
+    pub service: ServiceConfig,
+    /// Loopback port to bind (`0` picks an ephemeral port; read it back
+    /// with [`NetServer::local_addr`]). The listener always binds
+    /// `127.0.0.1` — this front end is a loopback harness, not an
+    /// internet-facing daemon.
+    pub port: u16,
+    /// Maximum simultaneous connections; excess connections are dropped
+    /// at accept.
+    pub max_connections: usize,
+    /// Maximum requests one connection may have in flight; requests over
+    /// the window are answered [`WireStatus::Busy`].
+    pub max_inflight_per_conn: usize,
+    /// How long a graceful shutdown waits for in-flight requests to
+    /// complete before force-closing connections.
+    pub drain_wait_ms: u64,
+}
+
+impl NetConfig {
+    /// A small, fast configuration for tests: the service fast-test
+    /// geometry, an ephemeral port, and generous windows.
+    pub fn fast_test(shards: usize) -> Self {
+        Self {
+            service: ServiceConfig::fast_test(shards),
+            port: 0,
+            max_connections: 64,
+            max_inflight_per_conn: 64,
+            drain_wait_ms: 2_000,
+        }
+    }
+
+    /// Validates the configuration (including the embedded service
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.service.validate()?;
+        if self.max_connections == 0 {
+            return Err("max_connections must be at least 1".into());
+        }
+        if self.max_inflight_per_conn == 0 {
+            return Err("max_inflight_per_conn must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Why a network server or client operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The configuration failed validation; nothing was bound or spawned.
+    Config(String),
+    /// Socket-level I/O failed.
+    Io(String),
+    /// A frame could not be read, decoded, or written.
+    Wire(WireError),
+    /// The peer violated the protocol (wrong frame at the wrong time).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Config(e) => write!(f, "invalid net config: {e}"),
+            NetError::Io(e) => write!(f, "net i/o: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => NetError::Io(io),
+            other => NetError::Wire(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(format!("{}: {e}", e.kind()))
+    }
+}
+
+/// Everything a finished server run reports.
+#[derive(Debug)]
+pub struct NetReport {
+    /// Aggregate service statistics (partial when shards died).
+    pub stats: ServiceStats,
+    /// Abnormal shard exits (empty on a clean run).
+    pub failures: Vec<ShardFailure>,
+    /// Final network-plane counter values, indexed like [`NET_COUNTERS`].
+    pub net: Vec<u64>,
+}
+
+impl NetReport {
+    /// Final value of one network-plane counter.
+    pub fn net_counter(&self, c: Counter) -> u64 {
+        NET_COUNTERS
+            .iter()
+            .position(|&n| n == c)
+            .map_or(0, |i| self.net[i])
+    }
+
+    /// The network-plane counters as a JSON object keyed by counter name.
+    pub fn net_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (c, v) in NET_COUNTERS.iter().zip(&self.net) {
+            o.field_u64(c.name(), *v);
+        }
+        o.finish()
+    }
+}
+
+/// One network request awaiting its service completion.
+struct PendingEntry {
+    conn: u64,
+    client_tag: u64,
+    shard: usize,
+    /// Write acks carry no payload: the service echoes the pre-write block
+    /// image in write completions, which depends on how in-flight writes
+    /// interleave — a simulator observable, not a protocol one.
+    is_write: bool,
+}
+
+/// Per-connection state shared between the acceptor, its reader, and the
+/// dispatcher.
+struct ConnSlot {
+    /// Response channel into the connection's writer thread.
+    tx: mpsc::Sender<Frame>,
+    /// Requests submitted but not yet answered on this connection.
+    inflight: Arc<AtomicUsize>,
+    /// Socket clone kept so shutdown can force-close the connection and
+    /// unblock its reader.
+    sock: TcpStream,
+}
+
+/// The shared network plane handed to every connection thread.
+struct NetShared {
+    cfg: NetConfig,
+    trace: TraceHandle,
+    draining: AtomicBool,
+    next_tag: AtomicU64,
+    pending: Mutex<HashMap<u64, PendingEntry>>,
+    conns: Mutex<HashMap<u64, ConnSlot>>,
+    start: Instant,
+    local: SocketAddr,
+}
+
+impl NetShared {
+    /// Wall nanoseconds since the server started, as simulated
+    /// picoseconds (1 wall ns = 1 simulated ns).
+    fn arrival_ps(&self) -> u64 {
+        (self.start.elapsed().as_nanos() as u64).saturating_mul(1_000)
+    }
+
+    /// Begins the drain and unblocks the acceptor (which sits in
+    /// `accept()`) with a self-connection.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        // The accepted stream is dropped immediately; its only job is to
+        // wake the acceptor so it re-checks the draining flag.
+        let _ = TcpStream::connect(self.local);
+    }
+}
+
+/// The TCP front end. Start it, talk to [`NetServer::local_addr`] with a
+/// [`crate::NetClient`], then [`NetServer::shutdown`] and
+/// [`NetServer::join`] for the final [`NetReport`].
+pub struct NetServer {
+    local: SocketAddr,
+    shared: Arc<NetShared>,
+    worker: std::thread::JoinHandle<Result<NetReport, NetError>>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the service and network threads.
+    /// Returns once the socket is accepting, so a client may connect
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Config`] for invalid configurations, [`NetError::Io`]
+    /// when the bind fails.
+    pub fn start(cfg: NetConfig) -> Result<Self, NetError> {
+        cfg.validate().map_err(NetError::Config)?;
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            cfg,
+            trace: TraceHandle::default(),
+            draining: AtomicBool::new(false),
+            next_tag: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            start: Instant::now(),
+            local,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || run_server(listener, worker_shared));
+        Ok(Self {
+            local,
+            shared,
+            worker,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Begins a graceful shutdown: stop accepting, answer what is in
+    /// flight (bounded by [`NetConfig::drain_wait_ms`]), then close.
+    /// Idempotent; [`NetServer::join`] collects the result.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Waits for the server to finish and returns the final report. A
+    /// run in which shards died still returns `Ok` — the failures are in
+    /// [`NetReport::failures`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Config`] if the service rejected the configuration
+    /// after start (never for a validated [`NetConfig`]).
+    pub fn join(self) -> Result<NetReport, NetError> {
+        match self.worker.join() {
+            Ok(r) => r,
+            Err(_) => Err(NetError::Protocol("server worker panicked".into())),
+        }
+    }
+}
+
+/// The server worker: runs the sharded service with the network plane as
+/// its driver and folds the outcome into a [`NetReport`].
+fn run_server(listener: TcpListener, shared: Arc<NetShared>) -> Result<NetReport, NetError> {
+    let service_cfg = shared.cfg.service.clone();
+    let net = |trace: &TraceHandle| NET_COUNTERS.iter().map(|&c| trace.counter(c)).collect();
+    let drive_shared = Arc::clone(&shared);
+    match OramService::serve(service_cfg, move |handle| {
+        drive(&listener, handle, &drive_shared);
+    }) {
+        Ok((stats, ())) => Ok(NetReport {
+            stats,
+            failures: Vec::new(),
+            net: net(&shared.trace),
+        }),
+        Err(ServeError::Shards { failures, stats }) => Ok(NetReport {
+            stats: *stats,
+            failures,
+            net: net(&shared.trace),
+        }),
+        Err(ServeError::Config(e)) => Err(NetError::Config(e)),
+    }
+}
+
+/// The network plane: acceptor + dispatcher + per-connection threads,
+/// all scoped so the service's drain cannot begin until every socket
+/// thread has exited.
+fn drive(listener: &TcpListener, handle: &ServiceHandle, shared: &Arc<NetShared>) {
+    let stop_dispatcher = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| dispatch_completions(handle, shared, &stop_dispatcher));
+        let mut next_conn = 0u64;
+        loop {
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            if shared.draining.load(Ordering::Acquire) {
+                break;
+            }
+            if shared.conns.lock().expect("conns lock").len() >= shared.cfg.max_connections {
+                shared.trace.bump(Counter::NetBusyRejections);
+                drop(stream);
+                continue;
+            }
+            let (reader, writer, keeper) = match (stream.try_clone(), stream.try_clone()) {
+                (Ok(w), Ok(k)) => (stream, w, k),
+                _ => continue,
+            };
+            let _ = reader.set_nodelay(true);
+            next_conn += 1;
+            let conn_id = next_conn;
+            let (tx, rx) = mpsc::channel::<Frame>();
+            let inflight = Arc::new(AtomicUsize::new(0));
+            shared.conns.lock().expect("conns lock").insert(
+                conn_id,
+                ConnSlot {
+                    tx: tx.clone(),
+                    inflight: Arc::clone(&inflight),
+                    sock: keeper,
+                },
+            );
+            shared.trace.bump(Counter::NetConnectionsOpened);
+            scope.spawn(move || write_responses(writer, rx, shared));
+            scope.spawn(move || serve_connection(reader, conn_id, tx, inflight, handle, shared));
+        }
+        // Drain: give in-flight requests a bounded chance to complete.
+        let deadline = Instant::now() + Duration::from_millis(shared.cfg.drain_wait_ms);
+        while Instant::now() < deadline && !shared.pending.lock().expect("pending lock").is_empty()
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop_dispatcher.store(true, Ordering::Release);
+        // Force-close every connection so blocked readers exit; their
+        // writers follow once the channel senders drop.
+        for (_, slot) in shared.conns.lock().expect("conns lock").drain() {
+            let _ = slot.sock.shutdown(Shutdown::Both);
+        }
+    });
+}
+
+/// Writer thread of one connection: serializes frames from the channel
+/// until every sender is gone or the socket dies.
+fn write_responses(mut sock: TcpStream, rx: mpsc::Receiver<Frame>, shared: &NetShared) {
+    for frame in rx {
+        match write_frame(&mut sock, &frame) {
+            Ok(n) => {
+                shared.trace.bump(Counter::NetFramesOut);
+                shared.trace.add(Counter::NetWireBytesOut, n as u64);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reader thread of one connection: handshake, then decode/validate/
+/// submit until EOF, a protocol error, or shutdown.
+fn serve_connection(
+    mut sock: TcpStream,
+    conn_id: u64,
+    tx: mpsc::Sender<Frame>,
+    inflight: Arc<AtomicUsize>,
+    handle: &ServiceHandle,
+    shared: &NetShared,
+) {
+    if handshake(&mut sock, &tx, handle, shared).is_ok() {
+        read_requests(&mut sock, conn_id, &tx, &inflight, handle, shared);
+    }
+    // Cleanup: unregister the connection and forget its in-flight
+    // requests — the client is gone, nobody can receive their answers.
+    shared.conns.lock().expect("conns lock").remove(&conn_id);
+    shared
+        .pending
+        .lock()
+        .expect("pending lock")
+        .retain(|_, p| p.conn != conn_id);
+    shared.trace.bump(Counter::NetConnectionsClosed);
+    let _ = sock.shutdown(Shutdown::Both);
+}
+
+/// Expects a `Hello` with the right magic and version, answers with the
+/// service geometry.
+fn handshake(
+    sock: &mut TcpStream,
+    tx: &mpsc::Sender<Frame>,
+    handle: &ServiceHandle,
+    shared: &NetShared,
+) -> Result<(), ()> {
+    match read_frame(sock) {
+        Ok(Some((Frame::Hello { version }, n))) => {
+            shared.trace.bump(Counter::NetFramesIn);
+            shared.trace.add(Counter::NetWireBytesIn, n as u64);
+            if version != VERSION {
+                shared.trace.bump(Counter::NetProtocolErrors);
+                return Err(());
+            }
+            let cfg = handle.config();
+            let _ = tx.send(Frame::HelloAck {
+                version: VERSION,
+                data_blocks: cfg.oram.data_blocks,
+                block_bytes: cfg.oram.block_bytes as u32,
+                shards: cfg.shards as u32,
+            });
+            Ok(())
+        }
+        Ok(None) => Err(()), // connected and left without a word
+        _ => {
+            shared.trace.bump(Counter::NetProtocolErrors);
+            Err(())
+        }
+    }
+}
+
+/// The post-handshake read loop.
+fn read_requests(
+    sock: &mut TcpStream,
+    conn_id: u64,
+    tx: &mpsc::Sender<Frame>,
+    inflight: &Arc<AtomicUsize>,
+    handle: &ServiceHandle,
+    shared: &NetShared,
+) {
+    loop {
+        let (frame, n) = match read_frame(sock) {
+            Ok(Some(got)) => got,
+            Ok(None) => return, // clean EOF
+            Err(WireError::Io(_)) | Err(WireError::Closed) => return,
+            Err(_) => {
+                // Malformed bytes: framing is unrecoverable, drop the
+                // connection.
+                shared.trace.bump(Counter::NetProtocolErrors);
+                return;
+            }
+        };
+        shared.trace.bump(Counter::NetFramesIn);
+        shared.trace.add(Counter::NetWireBytesIn, n as u64);
+        match frame {
+            Frame::Request(req) => {
+                handle_request(req, conn_id, tx, inflight, handle, shared);
+            }
+            Frame::StatsReq => {
+                let mut o = JsonObject::new();
+                let mut net = JsonObject::new();
+                for &c in &NET_COUNTERS {
+                    net.field_u64(c.name(), shared.trace.counter(c));
+                }
+                o.field_raw("net", &net.finish())
+                    .field_raw("service", &handle.stats().to_json());
+                let _ = tx.send(Frame::StatsResp { json: o.finish() });
+            }
+            Frame::HealthReq => {
+                let shards = (0..handle.shards())
+                    .map(|s| match handle.shard_health(s) {
+                        Some(ShardHealth::Healthy) => WireHealth::Healthy,
+                        Some(ShardHealth::Degraded) => WireHealth::Degraded,
+                        // An unknown shard cannot serve; report it dead.
+                        Some(ShardHealth::Dead) | None => WireHealth::Dead,
+                    })
+                    .collect();
+                let _ = tx.send(Frame::HealthResp { shards });
+            }
+            Frame::Shutdown => {
+                shared.begin_drain();
+            }
+            _ => {
+                // Clients must not send server-only frames.
+                shared.trace.bump(Counter::NetProtocolErrors);
+                return;
+            }
+        }
+    }
+}
+
+/// Validates, windows, and submits one wire request; every path answers
+/// the client exactly once (here, or later via the dispatcher).
+fn handle_request(
+    req: WireRequest,
+    conn_id: u64,
+    tx: &mpsc::Sender<Frame>,
+    inflight: &Arc<AtomicUsize>,
+    handle: &ServiceHandle,
+    shared: &NetShared,
+) {
+    let refuse = |status: WireStatus| {
+        let _ = tx.send(Frame::Response(WireResponse {
+            tag: req.tag,
+            status,
+            latency_ps: 0,
+            data: Vec::new(),
+        }));
+    };
+    let cfg = handle.config();
+    if req.addr >= cfg.oram.data_blocks {
+        refuse(WireStatus::OutOfRange);
+        return;
+    }
+    let payload_ok = match req.op {
+        crate::wire::WireOp::Read => req.payload.is_empty(),
+        crate::wire::WireOp::Write => req.payload.len() == cfg.oram.block_bytes,
+    };
+    if !payload_ok {
+        shared.trace.bump(Counter::NetProtocolErrors);
+        refuse(WireStatus::BadRequest);
+        return;
+    }
+    if shared.draining.load(Ordering::Acquire) {
+        refuse(WireStatus::Shutdown);
+        return;
+    }
+    if inflight.load(Ordering::Acquire) >= shared.cfg.max_inflight_per_conn {
+        shared.trace.bump(Counter::NetBusyRejections);
+        refuse(WireStatus::Busy);
+        return;
+    }
+    let service_tag = shared.next_tag.fetch_add(1, Ordering::Relaxed);
+    let arrival_ps = shared.arrival_ps();
+    let deadline_ps = (req.deadline_rel_ns > 0)
+        .then(|| arrival_ps.saturating_add(req.deadline_rel_ns.saturating_mul(1_000)));
+    let is_write = req.op == crate::wire::WireOp::Write;
+    // Register the pending entry AND charge the window slot before
+    // submitting: the completion may be published — and the dispatcher may
+    // release the slot — before submit() even returns, so adding to
+    // `inflight` afterwards would race an underflow.
+    shared.pending.lock().expect("pending lock").insert(
+        service_tag,
+        PendingEntry {
+            conn: conn_id,
+            client_tag: req.tag,
+            shard: cfg.shard_of(req.addr),
+            is_write,
+        },
+    );
+    inflight.fetch_add(1, Ordering::AcqRel);
+    let service_req = ServiceRequest {
+        addr: req.addr,
+        op: if is_write { Op::Write } else { Op::Read },
+        data: req.payload,
+        arrival_ps,
+        deadline_ps,
+        tag: service_tag,
+    };
+    match handle.submit(service_req) {
+        Ok(_) => {}
+        Err(e) => {
+            shared
+                .pending
+                .lock()
+                .expect("pending lock")
+                .remove(&service_tag);
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            let status = match e {
+                SubmitError::Busy => {
+                    shared.trace.bump(Counter::NetBusyRejections);
+                    WireStatus::Busy
+                }
+                SubmitError::ShardDown => WireStatus::ShardDown,
+                SubmitError::Shutdown => WireStatus::Shutdown,
+                SubmitError::OutOfRange => WireStatus::OutOfRange,
+            };
+            refuse(status);
+        }
+    }
+}
+
+/// Dispatcher iterations a shard must be observed dead before its
+/// stranded pending entries are answered [`WireStatus::ShardDown`]. The
+/// delay lets a dying shard's final completion batch (published just
+/// before it marks itself dead) drain normally first.
+const DEAD_SHARD_STRIKES: u32 = 10;
+
+/// The dispatcher: routes service completions back to their connections
+/// and sweeps requests stranded on dead shards.
+fn dispatch_completions(handle: &ServiceHandle, shared: &NetShared, stop: &AtomicBool) {
+    let mut strikes = vec![0u32; handle.shards()];
+    loop {
+        let completions = handle.drain_completions();
+        let idle = completions.is_empty();
+        for c in completions {
+            // Tag 0 marks engine-internal work (coalescing flush
+            // write-backs); no client is waiting on it.
+            if c.tag == 0 {
+                continue;
+            }
+            let Some(p) = shared.pending.lock().expect("pending lock").remove(&c.tag) else {
+                continue; // its connection closed while it was in flight
+            };
+            answer(
+                shared,
+                &p,
+                completion_status(c.status),
+                c.latency_ps,
+                c.data,
+            );
+        }
+        for (shard, strike) in strikes.iter_mut().enumerate() {
+            if handle.shard_health(shard) == Some(ShardHealth::Dead) {
+                *strike += 1;
+                if *strike == DEAD_SHARD_STRIKES {
+                    sweep_dead_shard(shared, shard);
+                }
+            } else {
+                *strike = 0;
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        if idle {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+fn completion_status(s: fp_service::CompletionStatus) -> WireStatus {
+    match s {
+        fp_service::CompletionStatus::Ok => WireStatus::Ok,
+        fp_service::CompletionStatus::Late => WireStatus::Late,
+        fp_service::CompletionStatus::Expired => WireStatus::Expired,
+    }
+}
+
+/// Sends one response to a pending entry's connection and releases its
+/// window slot.
+fn answer(
+    shared: &NetShared,
+    p: &PendingEntry,
+    status: WireStatus,
+    latency_ps: u64,
+    data: Vec<u8>,
+) {
+    let conns = shared.conns.lock().expect("conns lock");
+    if let Some(slot) = conns.get(&p.conn) {
+        slot.inflight.fetch_sub(1, Ordering::AcqRel);
+        let _ = slot.tx.send(Frame::Response(WireResponse {
+            tag: p.client_tag,
+            status,
+            latency_ps,
+            // See `PendingEntry::is_write`: write acks are payload-free.
+            data: if p.is_write { Vec::new() } else { data },
+        }));
+    }
+}
+
+/// Answers every pending request owned by a dead shard with
+/// [`WireStatus::ShardDown`] — their completions will never come.
+fn sweep_dead_shard(shared: &NetShared, shard: usize) {
+    let stranded: Vec<PendingEntry> = {
+        let mut pending = shared.pending.lock().expect("pending lock");
+        let tags: Vec<u64> = pending
+            .iter()
+            .filter(|(_, p)| p.shard == shard)
+            .map(|(&t, _)| t)
+            .collect();
+        tags.into_iter()
+            .filter_map(|t| pending.remove(&t))
+            .collect()
+    };
+    for p in stranded {
+        answer(shared, &p, WireStatus::ShardDown, 0, Vec::new());
+    }
+}

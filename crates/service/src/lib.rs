@@ -85,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coalesce;
 mod config;
 mod queue;
 mod request;

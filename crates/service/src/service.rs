@@ -166,14 +166,30 @@ impl ServiceHandle {
         OramService::snapshot(&self.cfg, &self.shards, 0)
     }
 
-    /// Occupancy of shard `shard`'s queue.
-    pub fn queue_len(&self, shard: usize) -> usize {
-        self.shards[shard].queue.len()
+    /// Occupancy of shard `shard`'s queue, or `None` for an out-of-range
+    /// shard index. Probing must never be able to crash the process — a
+    /// network front end forwards shard indices that originate from
+    /// untrusted clients.
+    pub fn queue_len(&self, shard: usize) -> Option<usize> {
+        self.shards.get(shard).map(|s| s.queue.len())
     }
 
-    /// Current liveness of shard `shard`.
-    pub fn shard_health(&self, shard: usize) -> ShardHealth {
-        self.shards[shard].health()
+    /// Current liveness of shard `shard`, or `None` for an out-of-range
+    /// shard index (same non-panicking contract as
+    /// [`ServiceHandle::queue_len`]).
+    pub fn shard_health(&self, shard: usize) -> Option<ShardHealth> {
+        self.shards.get(shard).map(|s| s.health())
+    }
+
+    /// Number of shards this service runs.
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The service configuration (global geometry, scheme, limits) —
+    /// read-only, for front ends that advertise it to clients.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
     }
 }
 
@@ -530,6 +546,22 @@ mod tests {
         // Pure function of (config, request list).
         let (stats2, _) = OramService::run_trace(cfg, reqs).unwrap();
         assert_eq!(stats.fingerprint(), stats2.fingerprint());
+    }
+
+    #[test]
+    fn probes_tolerate_out_of_range_shards() {
+        let cfg = ServiceConfig::fast_test(2);
+        OramService::serve(cfg, |h| {
+            assert_eq!(h.shards(), 2);
+            assert_eq!(h.queue_len(0), Some(0));
+            assert_eq!(h.shard_health(1), Some(ShardHealth::Healthy));
+            // Out-of-range probes return None instead of panicking: the
+            // network front end probes shards on behalf of clients.
+            assert_eq!(h.queue_len(2), None);
+            assert_eq!(h.shard_health(99), None);
+            assert_eq!(h.config().shards, 2);
+        })
+        .unwrap();
     }
 
     #[test]

@@ -37,6 +37,7 @@ use fp_path_oram::{Completion, Op};
 use fp_trace::{Counter, TraceHandle};
 use fp_workloads::service::ServiceClientPool;
 
+use crate::coalesce::{CoalesceIndex, Waiter, WaiterAnswer};
 use crate::config::ServiceConfig;
 use crate::queue::SubmissionQueue;
 use crate::request::{CompletionStatus, ServiceCompletion, ServiceRequest};
@@ -211,25 +212,6 @@ enum ReqMeta {
     Flush,
 }
 
-/// A duplicate-address request parked on an in-flight access.
-struct Waiter {
-    tag: u64,
-    write: bool,
-    data: Vec<u8>,
-    arrival_ps: u64,
-    deadline_ps: Option<u64>,
-}
-
-/// One in-flight address in the coalescing index.
-struct CoalesceEntry {
-    /// Payload the in-flight access itself writes (anchor write or
-    /// flush), consulted before the data-as-read when resolving waiter
-    /// reads — a read behind a write must observe the written value.
-    anchor_write: Option<Vec<u8>>,
-    /// Parked duplicates, in arrival order.
-    waiters: Vec<Waiter>,
-}
-
 /// One shard's worker: a scheme-agnostic ORAM engine plus in-flight
 /// request metadata. Defaults to the boxed engine [`ServiceConfig::scheme`]
 /// builds; tests can instantiate it with a concrete engine type.
@@ -242,8 +224,10 @@ pub struct ShardEngine<E: OramEngine = Box<dyn OramEngine + Send>> {
     block_bytes: usize,
     meta: HashMap<u64, ReqMeta>,
     /// Cross-request coalescing index (`Some` iff
-    /// [`ServiceConfig::coalesce`] is set): address → in-flight entry.
-    coalesce: Option<HashMap<u64, CoalesceEntry>>,
+    /// [`ServiceConfig::coalesce`] is set). The pure bookkeeping lives in
+    /// [`crate::coalesce`]; this worker wires its results to completions,
+    /// trace counters, and flush submissions.
+    coalesce: Option<CoalesceIndex>,
 }
 
 impl ShardEngine {
@@ -279,7 +263,7 @@ impl ShardEngine {
                 default_deadline_ps: cfg.deadline_ps,
                 block_bytes,
                 meta: HashMap::new(),
-                coalesce: cfg.coalesce.then(HashMap::new),
+                coalesce: cfg.coalesce.then(CoalesceIndex::new),
             },
             shared,
         )
@@ -385,37 +369,40 @@ impl<E: OramEngine> ShardEngine<E> {
                 continue;
             }
             let write = req.op == Op::Write;
+            let mut data = req.data;
             if let Some(index) = self.coalesce.as_mut() {
-                if let Some(entry) = index.get_mut(&req.addr) {
-                    // An access to this address is already in flight:
-                    // park the request on it instead of submitting a
-                    // second ORAM access.
-                    entry.waiters.push(Waiter {
+                match index.try_attach(
+                    req.addr,
+                    Waiter {
                         tag: req.tag,
                         write,
-                        data: req.data,
+                        data,
                         arrival_ps: req.arrival_ps,
                         deadline_ps: deadline,
-                    });
-                    self.shared.trace.bump(if write {
-                        Counter::CoalescedWrites
-                    } else {
-                        Counter::CoalescedReads
-                    });
-                    coalesced += 1;
-                    continue;
-                }
-                index.insert(
-                    req.addr,
-                    CoalesceEntry {
-                        anchor_write: write.then(|| req.data.clone()),
-                        waiters: Vec::new(),
                     },
-                );
-                let occupancy = index.len() as u64;
-                self.shared
-                    .trace
-                    .raise(Counter::CoalesceIndexHighWater, occupancy);
+                ) {
+                    // An access to this address is already in flight:
+                    // the request parked on it instead of submitting a
+                    // second ORAM access.
+                    Ok(()) => {
+                        self.shared.trace.bump(if write {
+                            Counter::CoalescedWrites
+                        } else {
+                            Counter::CoalescedReads
+                        });
+                        coalesced += 1;
+                        continue;
+                    }
+                    // No in-flight access: this request becomes the
+                    // anchor others can coalesce onto.
+                    Err(w) => {
+                        data = w.data;
+                        let occupancy = index.insert_anchor(req.addr, write.then(|| data.clone()));
+                        self.shared
+                            .trace
+                            .raise(Counter::CoalesceIndexHighWater, occupancy);
+                    }
+                }
             }
             metas.push(ReqMeta::Client {
                 tag: req.tag,
@@ -425,7 +412,7 @@ impl<E: OramEngine> ShardEngine<E> {
             live.push(NewRequest {
                 addr: req.addr,
                 op: req.op,
-                data: req.data,
+                data,
                 arrival_ps: req.arrival_ps,
                 tag: req.tag,
             });
@@ -512,12 +499,14 @@ impl<E: OramEngine> ShardEngine<E> {
                     });
                 }
             }
-            let Some(entry) = self.coalesce.as_mut().and_then(|ix| ix.remove(&c.addr)) else {
+            let Some(res) = self
+                .coalesce
+                .as_mut()
+                .and_then(|ix| ix.resolve(c.addr, c.data))
+            else {
                 continue;
             };
-            let mut current = entry.anchor_write.unwrap_or(c.data);
-            let mut dirty = false;
-            for w in entry.waiters {
+            for WaiterAnswer { waiter: w, data } in res.answers {
                 let status = if w.deadline_ps.is_some_and(|d| c.done_ps > d) {
                     late += 1;
                     CompletionStatus::Late
@@ -528,13 +517,6 @@ impl<E: OramEngine> ShardEngine<E> {
                 // Waiters bypass the engine, so their latency samples are
                 // recorded here instead of by the controller.
                 self.shared.trace.record_latency(latency_ps);
-                let data = if w.write {
-                    dirty = true;
-                    current = w.data;
-                    Vec::new()
-                } else {
-                    current.clone()
-                };
                 out.push(ServiceCompletion {
                     tag: w.tag,
                     shard: self.shard,
@@ -544,21 +526,14 @@ impl<E: OramEngine> ShardEngine<E> {
                     data,
                 });
             }
-            if dirty {
-                // Re-arm the index entry so requests arriving while the
-                // flush is in flight keep coalescing onto it.
-                self.coalesce.as_mut().expect("index checked above").insert(
-                    c.addr,
-                    CoalesceEntry {
-                        anchor_write: Some(current.clone()),
-                        waiters: Vec::new(),
-                    },
-                );
+            if let Some(final_data) = res.flush {
+                // The index already re-armed the entry so requests
+                // arriving while the flush is in flight coalesce onto it.
                 self.shared.trace.bump(Counter::CoalesceFlushes);
                 flushes.push(NewRequest {
                     addr: c.addr,
                     op: Op::Write,
-                    data: current,
+                    data: final_data,
                     arrival_ps: c.done_ps,
                     tag: 0,
                 });

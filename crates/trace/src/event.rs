@@ -83,11 +83,31 @@ pub enum Counter {
     /// High-water mark of the per-shard coalescing index (distinct
     /// in-flight addresses). Monotonic-max, not a sum.
     CoalesceIndexHighWater,
+    /// TCP connections accepted by the network front end.
+    NetConnectionsOpened,
+    /// TCP connections that finished (client EOF, protocol error, or
+    /// server shutdown).
+    NetConnectionsClosed,
+    /// Wire frames decoded from clients (handshakes, requests, control).
+    NetFramesIn,
+    /// Wire frames encoded to clients (responses, control replies).
+    NetFramesOut,
+    /// Bytes received on the wire, including length prefixes.
+    NetWireBytesIn,
+    /// Bytes sent on the wire, including length prefixes.
+    NetWireBytesOut,
+    /// Malformed or out-of-protocol frames (bad magic, version mismatch,
+    /// truncation, oversize, unknown kinds); each closes its connection.
+    NetProtocolErrors,
+    /// Requests rejected with a `Busy` status frame: the per-connection
+    /// in-flight window, the global connection limit, or the owning
+    /// shard's bounded queue was full.
+    NetBusyRejections,
 }
 
 impl Counter {
     /// All counters, in discriminant order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 43] = [
         Counter::RequestsSubmitted,
         Counter::RequestsScheduled,
         Counter::RequestsMerged,
@@ -123,6 +143,14 @@ impl Counter {
         Counter::CoalescedWrites,
         Counter::CoalesceFlushes,
         Counter::CoalesceIndexHighWater,
+        Counter::NetConnectionsOpened,
+        Counter::NetConnectionsClosed,
+        Counter::NetFramesIn,
+        Counter::NetFramesOut,
+        Counter::NetWireBytesIn,
+        Counter::NetWireBytesOut,
+        Counter::NetProtocolErrors,
+        Counter::NetBusyRejections,
     ];
 
     /// Number of distinct counters (the counter array length).
@@ -166,6 +194,14 @@ impl Counter {
             Counter::CoalescedWrites => "coalesced_writes",
             Counter::CoalesceFlushes => "coalesce_flushes",
             Counter::CoalesceIndexHighWater => "coalesce_index_high_water",
+            Counter::NetConnectionsOpened => "net_connections_opened",
+            Counter::NetConnectionsClosed => "net_connections_closed",
+            Counter::NetFramesIn => "net_frames_in",
+            Counter::NetFramesOut => "net_frames_out",
+            Counter::NetWireBytesIn => "net_wire_bytes_in",
+            Counter::NetWireBytesOut => "net_wire_bytes_out",
+            Counter::NetProtocolErrors => "net_protocol_errors",
+            Counter::NetBusyRejections => "net_busy_rejections",
         }
     }
 }

@@ -78,6 +78,17 @@ impl ZipfConfig {
         }
     }
 
+    /// A uniform (θ = 0) schedule with the same write mix and pacing as
+    /// [`ZipfConfig::hot`] — the no-redundancy baseline: duplicate
+    /// in-flight addresses are rare, so coalescing has nothing to remove
+    /// and the schedule measures the serving path itself.
+    pub fn uniform(blocks: u64, requests: u64, block_bytes: usize, seed: u64) -> Self {
+        Self {
+            theta: 0.0,
+            ..Self::hot(blocks, requests, block_bytes, seed)
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -72,4 +72,18 @@ done_coal="$(grep -o '"completed":[0-9]*' "$tmp_zipf_coal" | head -1 | cut -d: -
 [ "$done_plain" -gt 0 ] && [ "$done_plain" -eq "$done_coal" ]
 [ "$acc_coal" -lt "$acc_plain" ]
 rm -f "$tmp_zipf_plain" "$tmp_zipf_coal"
+
+# Network front end smoke check: replay 2x2k requests over a real
+# loopback socket (2 shards, 4 pipelined connections) and verify per-tag
+# {status, data} equality against the in-process trace replay (--smoke
+# implies --verify; the binary panics on any divergence, non-ok status,
+# or open ledger). The greps guard the report shape: verified rows and
+# live wire counters with zero protocol errors.
+tmp_net="$(mktemp)"
+cargo run --release --offline -q -p fp-bench --bin net_bench -- --smoke --out "$tmp_net" >/dev/null
+grep -q '"bench":"net_bench"' "$tmp_net"
+grep -q '"verified_against_trace":true' "$tmp_net"
+grep -Eq '"net_frames_in":[1-9]' "$tmp_net"
+grep -q '"net_protocol_errors":0' "$tmp_net"
+rm -f "$tmp_net"
 echo "tier1 OK"

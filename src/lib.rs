@@ -13,6 +13,8 @@
 //! * [`workloads`] — synthetic SPEC/PARSEC stand-ins and the CPU frontend.
 //! * [`service`] — sharded concurrent serving layer: bounded queues with
 //!   backpressure, deadlines, drain/shutdown, aggregate service stats.
+//! * [`net`] — network front end: framed wire protocol, threaded TCP
+//!   server over the service, pipelined client.
 //! * [`sim`] — full-system simulation, metrics, and energy accounting.
 //! * [`stats`] — the statistical tests behind the security audit.
 //! * [`trace`] — the shared tracing/metrics spine (counters, histograms,
@@ -30,6 +32,7 @@ pub mod propcheck;
 pub use fp_core as core;
 pub use fp_crypto as crypto;
 pub use fp_dram as dram;
+pub use fp_net as net;
 pub use fp_path_oram as path_oram;
 pub use fp_service as service;
 pub use fp_sim as sim;

@@ -1,0 +1,260 @@
+//! Loopback integration tests for the network front end (`fp-net`): real
+//! sockets, pipelined clients, and the sharded service behind them.
+//!
+//! The headline property mirrors `net_bench --verify`: the socket
+//! boundary must be semantically invisible. Every request answered over
+//! the wire must carry the same `{status, data}` the in-process
+//! [`OramService::run_trace`] replay produces for the same tag — reads
+//! byte-for-byte (same-address operations apply in program order, so
+//! read data is pacing-independent), writes as payload-free acks.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use fork_path_oram::core::FaultConfig;
+use fork_path_oram::net::{
+    NetClient, NetConfig, NetServer, WireHealth, WireOp, WireRequest, WireStatus,
+};
+use fork_path_oram::path_oram::Op;
+use fork_path_oram::propcheck::{run_cases, Gen};
+use fork_path_oram::service::{OramService, ServiceConfig, ServiceRequest};
+use fork_path_oram::workloads::zipf::{self, ScheduledRequest, ZipfConfig};
+
+/// The shrunken geometry the service-level suites use: small enough that
+/// a few hundred requests finish in tens of milliseconds per shard.
+fn small_cfg(shards: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::fast_test(shards);
+    cfg.oram.data_blocks = 1 << 12;
+    cfg.oram.levels = 11;
+    cfg.oram.onchip_posmap_entries = 1 << 6;
+    cfg
+}
+
+fn wire_request(r: &ScheduledRequest, block_bytes: usize) -> WireRequest {
+    let (op, payload) = match r.op {
+        Op::Read => (WireOp::Read, Vec::new()),
+        Op::Write => (
+            WireOp::Write,
+            zipf::write_payload(r.addr, r.tag, block_bytes),
+        ),
+    };
+    WireRequest {
+        tag: r.tag,
+        op,
+        addr: r.addr,
+        deadline_rel_ns: 0,
+        payload,
+    }
+}
+
+/// Replays `slice` through one pipelined connection and returns
+/// tag -> (status, data) for every response.
+fn run_client(
+    addr: std::net::SocketAddr,
+    window: usize,
+    slice: &[ScheduledRequest],
+    block_bytes: usize,
+) -> HashMap<u64, (WireStatus, Vec<u8>)> {
+    let mut client = NetClient::connect(addr, window).expect("client connect");
+    let mut out = HashMap::with_capacity(slice.len());
+    for r in slice {
+        client.submit(wire_request(r, block_bytes)).expect("submit");
+        while client.ready() > 0 {
+            let resp = client.recv().expect("recv");
+            out.insert(resp.tag, (resp.status, resp.data));
+        }
+    }
+    for resp in client.drain().expect("drain") {
+        out.insert(resp.tag, (resp.status, resp.data));
+    }
+    out
+}
+
+// ---------- wire/in-process equivalence ------------------------------
+
+/// N pipelined clients against a 4-shard server over loopback: the wire
+/// run's per-tag `{status, data}` must match the in-process trace replay
+/// of the same schedule. The schedule is a Zipfian hotspot, so hot
+/// addresses carry long read/write dependency chains — exactly the case
+/// where a reordering or stale-forwarding bug in the network plane would
+/// surface as divergent read data.
+#[test]
+fn wire_responses_match_in_process_replay() {
+    run_cases("net-loopback-equivalence", 2, |g: &mut Gen| {
+        let conns = 1 << g.range(1, 2); // 2 or 4 clients
+        let window = g.range_usize(4, 16);
+        let service = small_cfg(4);
+        let block_bytes = service.oram.block_bytes;
+        let zc = ZipfConfig::hot(
+            service.oram.data_blocks,
+            600,
+            block_bytes,
+            g.below(u64::MAX),
+        );
+        let sched = zipf::generate(&zc);
+
+        let cfg = NetConfig {
+            service: service.clone(),
+            port: 0,
+            max_connections: conns + 1,
+            max_inflight_per_conn: window,
+            // Busy must be structurally impossible: every connection's
+            // full window fits in each shard queue simultaneously.
+            drain_wait_ms: 5_000,
+        };
+        assert!(cfg.service.queue_depth >= conns * window, "test sizing");
+
+        let server = NetServer::start(cfg).expect("server start");
+        let addr = server.local_addr();
+
+        // Partition by address so each address is owned by exactly one
+        // connection and per-address program order survives the fan-out.
+        let slices: Vec<Vec<ScheduledRequest>> = (0..conns as u64)
+            .map(|c| {
+                sched
+                    .iter()
+                    .filter(|r| r.addr % conns as u64 == c)
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        let wire: HashMap<u64, (WireStatus, Vec<u8>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .iter()
+                .map(|slice| scope.spawn(|| run_client(addr, window, slice, block_bytes)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+
+        server.shutdown();
+        let report = server.join().expect("server join");
+        assert!(
+            report.failures.is_empty(),
+            "shards died: {:?}",
+            report.failures
+        );
+        assert_eq!(wire.len(), sched.len(), "every request must be answered");
+
+        // The in-process replay of the same schedule.
+        let requests: Vec<ServiceRequest> = sched
+            .iter()
+            .map(|r| ServiceRequest {
+                addr: r.addr,
+                op: r.op,
+                data: match r.op {
+                    Op::Write => zipf::write_payload(r.addr, r.tag, block_bytes),
+                    Op::Read => Vec::new(),
+                },
+                arrival_ps: r.arrival_ps,
+                deadline_ps: None,
+                tag: r.tag,
+            })
+            .collect();
+        let (_, completions) = OramService::run_trace(service, requests).expect("replay");
+        assert_eq!(
+            completions.len(),
+            wire.len(),
+            "completion counts must agree"
+        );
+        for c in completions {
+            let (status, data) = &wire[&c.tag];
+            assert_eq!(c.status.name(), "ok", "replay tag {} not ok", c.tag);
+            assert_eq!(*status, WireStatus::Ok, "wire tag {} not ok", c.tag);
+            match sched
+                .iter()
+                .find(|r| r.tag == c.tag)
+                .expect("tag in schedule")
+                .op
+            {
+                Op::Read => assert_eq!(data, &c.data, "tag {}: wire read data diverges", c.tag),
+                Op::Write => assert!(
+                    data.is_empty(),
+                    "tag {}: write ack must be payload-free",
+                    c.tag
+                ),
+            }
+        }
+    });
+}
+
+// ---------- fault containment ----------------------------------------
+
+/// A shard killed by deterministic fault injection must not take the
+/// server down: requests routed to the dead shard are answered
+/// [`WireStatus::ShardDown`] (at submit, or via the dispatcher's sweep
+/// for those stranded in flight), the surviving shard keeps serving
+/// `Ok`, the health endpoint reports the death, and the final report
+/// carries the shard failure.
+#[test]
+fn dead_shard_answers_shard_down_while_survivors_serve() {
+    let mut service = small_cfg(2);
+    service.fault = Some(FaultConfig {
+        // Kill shard 0 on its third processed access.
+        fail_at_access: Some(2),
+        ..FaultConfig::default()
+    });
+    service.fault_shard = Some(0);
+    let cfg = NetConfig {
+        service,
+        port: 0,
+        max_connections: 2,
+        max_inflight_per_conn: 8,
+        drain_wait_ms: 2_000,
+    };
+    let server = NetServer::start(cfg).expect("server start");
+    let mut client = NetClient::connect(server.local_addr(), 8).expect("client connect");
+
+    // With 2 shards, even addresses route to shard 0 (the doomed one)
+    // and odd addresses to shard 1 (the survivor).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut tag = 0u64;
+    let mut saw_shard_down = false;
+    let mut survivor_ok_after_death = 0u64;
+    while Instant::now() < deadline && survivor_ok_after_death < 8 {
+        for addr in [0u64, 1] {
+            client
+                .submit(WireRequest {
+                    tag,
+                    op: WireOp::Read,
+                    addr,
+                    deadline_rel_ns: 0,
+                    payload: Vec::new(),
+                })
+                .expect("submit");
+            tag += 1;
+        }
+        for resp in client.drain().expect("drain") {
+            match resp.status {
+                WireStatus::ShardDown => saw_shard_down = true,
+                // resp.tag parity == address parity (one request per
+                // address per round): odd tags went to the survivor.
+                WireStatus::Ok if saw_shard_down && resp.tag % 2 == 1 => {
+                    survivor_ok_after_death += 1;
+                }
+                WireStatus::Ok | WireStatus::Busy => {}
+                other => panic!("unexpected status {}", other.name()),
+            }
+        }
+    }
+    assert!(saw_shard_down, "the dead shard must answer ShardDown");
+    assert!(
+        survivor_ok_after_death >= 8,
+        "the surviving shard must keep serving after the death"
+    );
+    let health = client.health().expect("health");
+    assert_eq!(health[0], WireHealth::Dead, "shard 0 must report dead");
+    assert_eq!(health[1], WireHealth::Healthy, "shard 1 must stay healthy");
+
+    server.shutdown();
+    let report = server.join().expect("server join");
+    assert_eq!(
+        report.failures.len(),
+        1,
+        "exactly one shard failure: {:?}",
+        report.failures
+    );
+    assert_eq!(report.failures[0].shard, 0);
+}

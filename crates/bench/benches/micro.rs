@@ -8,6 +8,8 @@
 //! `cargo bench -p fp-bench --bench micro` (append `-- --fast` for a
 //! quick pass).
 
+#![allow(clippy::disallowed_methods)] // wall-clock measurement is this harness's purpose
+
 use std::time::{Duration, Instant};
 
 use fp_core::{ForkConfig, ForkPathController, MergingAwareCache, PosMapLookasideBuffer};

@@ -29,6 +29,8 @@
 //! being written (default `results/BENCH_net.json`). See EXPERIMENTS.md
 //! ("Network front end") for the schema.
 
+#![allow(clippy::disallowed_methods)] // wall-clock measurement is this harness's purpose
+
 use std::collections::HashMap;
 use std::time::Instant;
 

@@ -17,6 +17,8 @@
 //! it is written; the binary exits nonzero on any validation failure. See
 //! EXPERIMENTS.md ("Performance tracking") for the schema.
 
+#![allow(clippy::disallowed_methods)] // wall-clock measurement is this harness's purpose
+
 use std::time::Instant;
 
 use fp_bench::by_name;

@@ -83,6 +83,7 @@ impl PosMapLookasideBuffer {
 
     /// Records a use of `addr`, inserting it; returns the evicted address
     /// (to be unpinned) if the buffer overflowed.
+    // fp-lint: hot-path
     pub fn touch(&mut self, addr: u64) -> Option<u64> {
         if self.capacity == 0 {
             return None;

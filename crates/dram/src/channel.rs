@@ -80,6 +80,7 @@ impl Channel {
     }
 
     /// Schedules a single burst at or after `earliest`, updating all state.
+    // fp-lint: hot-path
     pub(crate) fn schedule(
         &mut self,
         cfg: &DramConfig,

@@ -1,0 +1,166 @@
+//! The `fp-lint` binary: lint the workspace, print or write the report,
+//! exit nonzero on unallowed findings.
+//!
+//! ```text
+//! fp-lint [--root <dir>] [--format text|json] [--out <path>]
+//!         [--baseline <path>] [--write-baseline]
+//! ```
+//!
+//! Defaults: root = current directory, format = text, baseline =
+//! `<root>/LINT_BASELINE.txt`. `--out` writes the report to a file
+//! (creating parent directories) in addition to the gate verdict on
+//! stderr. `--write-baseline` regenerates the baseline from the current
+//! findings instead of checking, and always exits 0.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fp_lint::report::Baseline;
+use fp_lint::{workspace, RULES};
+
+/// Parsed command line.
+struct Args {
+    root: PathBuf,
+    format: Format,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        out: None,
+        baseline: None,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => args.write_baseline = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("LINT_BASELINE.txt"));
+
+    if args.write_baseline {
+        return match workspace::baseline_keys(&args.root) {
+            Ok(keys) => {
+                let text = Baseline::render(&keys);
+                if let Err(e) = fs::write(&baseline_path, text) {
+                    eprintln!("fp-lint: writing {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "fp-lint: wrote {} entr{} to {}",
+                    keys.len(),
+                    if keys.len() == 1 { "y" } else { "ies" },
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fp-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match workspace::lint_workspace(&args.root, &baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = match args.format {
+        Format::Text => report.to_text(&RULES),
+        Format::Json => {
+            let json = report.to_json(&RULES);
+            if let Err(e) = fp_stats::json::validate(&json) {
+                eprintln!("fp-lint: internal error: emitted invalid JSON: {e}");
+                return ExitCode::from(2);
+            }
+            json
+        }
+    };
+    match &args.out {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = fs::create_dir_all(parent) {
+                        eprintln!("fp-lint: creating {}: {e}", parent.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let mut payload = rendered;
+            if !payload.ends_with('\n') {
+                payload.push('\n');
+            }
+            if let Err(e) = fs::write(path, payload) {
+                eprintln!("fp-lint: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => println!("{}", rendered.trim_end()),
+    }
+
+    let unallowed = report.unallowed().count();
+    if report.is_clean() {
+        eprintln!(
+            "fp-lint: clean ({} files, {} rules)",
+            report.files_scanned,
+            RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in report.unallowed() {
+            if args.out.is_some() || args.format == Format::Json {
+                let loc = if f.line == 0 {
+                    f.path.clone()
+                } else {
+                    format!("{}:{}", f.path, f.line)
+                };
+                eprintln!("{loc}: {}: {}", f.rule, f.message);
+            }
+        }
+        eprintln!("fp-lint: {unallowed} unallowed finding(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,595 @@
+//! Cross-file registry rules.
+//!
+//! Two invariants span files and so cannot be checked per-file:
+//!
+//! * `trace-registry` — the `Counter` enum, `Counter::ALL`, the declared
+//!   array length, the `name()` table, the counter-registry block in
+//!   EXPERIMENTS.md, and every "N fp-trace counters" phrase in the docs
+//!   must all describe the same set of counters. New counters are added
+//!   in five places; forgetting one silently drops a JSON key or leaves
+//!   the docs describing a schema that no longer exists.
+//! * `wire-exhaustiveness` — every `Frame` variant in `fp_net::wire`
+//!   must appear in `kind()`, `kind_name()`, `encode()`, and `decode()`,
+//!   and the decode arms must accept exactly the codes `kind()` emits.
+//!   A wildcard arm would compile while quietly un-wiring a frame.
+
+use crate::lexer::SourceFile;
+use crate::report::Finding;
+
+/// The markers delimiting the counter-name registry in EXPERIMENTS.md.
+pub const REGISTRY_BEGIN: &str = "<!-- fp-lint: counter-registry begin -->";
+/// Closing marker of the EXPERIMENTS.md counter registry.
+pub const REGISTRY_END: &str = "<!-- fp-lint: counter-registry end -->";
+
+/// Runs the `trace-registry` rule.
+///
+/// * `event` — parsed `crates/trace/src/event.rs`.
+/// * `experiments` — `(path, raw text)` of EXPERIMENTS.md, when present.
+/// * `prose` — `(path, raw text)` of every doc scanned for the
+///   "N fp-trace counters" phrase.
+pub fn check_trace_registry(
+    event: &SourceFile,
+    experiments: Option<(&str, &str)>,
+    prose: &[(&str, &str)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let text = event.stripped();
+
+    let Some(variants) = enum_variants(text, "Counter") else {
+        findings.push(Finding::new(
+            "trace-registry",
+            event.path(),
+            0,
+            "cannot find `enum Counter` — the counter registry is unparseable".to_string(),
+        ));
+        return findings;
+    };
+
+    match declared_all_len(text) {
+        Some(n) if n != variants.len() => findings.push(Finding::new(
+            "trace-registry",
+            event.path(),
+            0,
+            format!(
+                "`Counter::ALL` is declared `[Counter; {n}]` but the enum has {} variants",
+                variants.len()
+            ),
+        )),
+        Some(_) => {}
+        None => findings.push(Finding::new(
+            "trace-registry",
+            event.path(),
+            0,
+            "cannot find the `ALL: [Counter; N]` declaration".to_string(),
+        )),
+    }
+
+    let all = all_entries(text);
+    if all != variants {
+        findings.push(Finding::new(
+            "trace-registry",
+            event.path(),
+            0,
+            format!(
+                "`Counter::ALL` ({} entries) does not list the enum variants in order: {}",
+                all.len(),
+                first_diff(&variants, &all),
+            ),
+        ));
+    }
+
+    let names = name_arms(event);
+    let named: Vec<String> = names.iter().map(|(v, _)| v.clone()).collect();
+    if named != variants {
+        findings.push(Finding::new(
+            "trace-registry",
+            event.path(),
+            0,
+            format!(
+                "`Counter::name()` has {} arms for {} variants — a wildcard or stray arm \
+                 is hiding part of the registry: {}",
+                named.len(),
+                variants.len(),
+                first_diff(&variants, &named),
+            ),
+        ));
+    }
+    for (i, (v, n)) in names.iter().enumerate() {
+        if n.is_empty()
+            || !n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            findings.push(Finding::new(
+                "trace-registry",
+                event.path(),
+                0,
+                format!("counter `{v}` has non-snake_case JSON name `{n}`"),
+            ));
+        }
+        if names[..i].iter().any(|(_, m)| m == n) {
+            findings.push(Finding::new(
+                "trace-registry",
+                event.path(),
+                0,
+                format!("JSON name `{n}` is used by more than one counter"),
+            ));
+        }
+    }
+
+    if let Some((path, doc)) = experiments {
+        let json_names: Vec<&str> = names.iter().map(|(_, n)| n.as_str()).collect();
+        findings.extend(check_experiments_block(path, doc, &json_names));
+    }
+    for (path, doc) in prose {
+        findings.extend(check_prose_count(path, doc, variants.len()));
+    }
+    findings
+}
+
+/// Checks the backticked names in the EXPERIMENTS.md registry block
+/// against the `name()` table.
+fn check_experiments_block(path: &str, doc: &str, json_names: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (Some(begin), Some(end)) = (doc.find(REGISTRY_BEGIN), doc.find(REGISTRY_END)) else {
+        findings.push(Finding::new(
+            "trace-registry",
+            path,
+            0,
+            format!("missing the counter-registry block (`{REGISTRY_BEGIN}` … `{REGISTRY_END}`)"),
+        ));
+        return findings;
+    };
+    if end < begin {
+        findings.push(Finding::new(
+            "trace-registry",
+            path,
+            0,
+            "counter-registry end marker precedes the begin marker".to_string(),
+        ));
+        return findings;
+    }
+    let block = &doc[begin..end];
+    let listed = backticked(block);
+    for name in json_names {
+        if !listed.iter().any(|l| l == name) {
+            findings.push(Finding::new(
+                "trace-registry",
+                path,
+                0,
+                format!("counter `{name}` is missing from the counter-registry block"),
+            ));
+        }
+    }
+    for l in &listed {
+        if !json_names.contains(&l.as_str()) {
+            findings.push(Finding::new(
+                "trace-registry",
+                path,
+                0,
+                format!("counter-registry block lists `{l}`, which is not a counter"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Flags every "N fp-trace counters" phrase where N is stale.
+fn check_prose_count(path: &str, doc: &str, count: usize) -> Vec<Finding> {
+    const PHRASE: &str = " fp-trace counters";
+    let mut findings = Vec::new();
+    let mut from = 0;
+    while let Some(at) = doc[from..].find(PHRASE) {
+        let at = from + at;
+        from = at + PHRASE.len();
+        let digits: String = doc[..at]
+            .chars()
+            .rev()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let Ok(n) = digits.chars().rev().collect::<String>().parse::<usize>() else {
+            continue; // "the fp-trace counters" — no number, nothing to check
+        };
+        if n != count {
+            let line = doc[..at].lines().count();
+            findings.push(Finding::new(
+                "trace-registry",
+                path,
+                line,
+                format!("says \"{n} fp-trace counters\" but the registry has {count}"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Runs the `wire-exhaustiveness` rule on parsed `fp_net::wire` source.
+pub fn check_wire(wire: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let text = wire.stripped();
+
+    let Some(variants) = enum_variants(text, "Frame") else {
+        findings.push(Finding::new(
+            "wire-exhaustiveness",
+            wire.path(),
+            0,
+            "cannot find `enum Frame` — the wire protocol is unparseable".to_string(),
+        ));
+        return findings;
+    };
+
+    let kind_pairs = kind_arms(text);
+    let mut decode_codes = Vec::new();
+    let mut decode_variants = Vec::new();
+    if let Some(body) = fn_body(text, "decode") {
+        decode_codes = numeric_arms(body);
+        decode_variants = idents_after(body, "Frame::");
+    } else {
+        findings.push(Finding::new(
+            "wire-exhaustiveness",
+            wire.path(),
+            0,
+            "cannot find `fn decode`".to_string(),
+        ));
+    }
+    let encode_variants = fn_body(text, "encode").map(|b| idents_after(b, "Frame::"));
+    let name_variants = fn_body(text, "kind_name").map(|b| idents_after(b, "Frame::"));
+
+    for v in &variants {
+        if !kind_pairs.iter().any(|(kv, _)| kv == v) {
+            findings.push(Finding::new(
+                "wire-exhaustiveness",
+                wire.path(),
+                0,
+                format!("frame `{v}` has no `kind()` arm"),
+            ));
+        }
+        if let Some(named) = &name_variants {
+            if !named.contains(v) {
+                findings.push(Finding::new(
+                    "wire-exhaustiveness",
+                    wire.path(),
+                    0,
+                    format!("frame `{v}` has no `kind_name()` arm"),
+                ));
+            }
+        }
+        if let Some(encoded) = &encode_variants {
+            if !encoded.contains(v) {
+                findings.push(Finding::new(
+                    "wire-exhaustiveness",
+                    wire.path(),
+                    0,
+                    format!("frame `{v}` has no `encode()` arm"),
+                ));
+            }
+        }
+        if !decode_variants.is_empty() && !decode_variants.contains(v) {
+            findings.push(Finding::new(
+                "wire-exhaustiveness",
+                wire.path(),
+                0,
+                format!("frame `{v}` is never produced by `decode()`"),
+            ));
+        }
+    }
+    if encode_variants.is_none() {
+        findings.push(Finding::new(
+            "wire-exhaustiveness",
+            wire.path(),
+            0,
+            "cannot find `fn encode`".to_string(),
+        ));
+    }
+    if name_variants.is_none() {
+        findings.push(Finding::new(
+            "wire-exhaustiveness",
+            wire.path(),
+            0,
+            "cannot find `fn kind_name`".to_string(),
+        ));
+    }
+
+    // Wire codes: unique in kind(), and decode() must accept exactly them.
+    for (i, (v, code)) in kind_pairs.iter().enumerate() {
+        if kind_pairs[..i].iter().any(|(_, c)| c == code) {
+            findings.push(Finding::new(
+                "wire-exhaustiveness",
+                wire.path(),
+                0,
+                format!("wire code {code} is assigned to more than one frame (`{v}`)"),
+            ));
+        }
+        if !decode_codes.is_empty() && !decode_codes.contains(code) {
+            findings.push(Finding::new(
+                "wire-exhaustiveness",
+                wire.path(),
+                0,
+                format!("wire code {code} (`{v}`) has no `decode()` arm"),
+            ));
+        }
+    }
+    for code in &decode_codes {
+        if !kind_pairs.iter().any(|(_, c)| c == code) {
+            findings.push(Finding::new(
+                "wire-exhaustiveness",
+                wire.path(),
+                0,
+                format!("`decode()` accepts wire code {code}, which `kind()` never emits"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Top-level variant names of `pub enum <name>`, in declaration order.
+/// `None` when the enum is absent. Works on stripped text: at nesting
+/// depth 1 inside the enum body, the only identifiers are variant names.
+fn enum_variants(text: &str, name: &str) -> Option<Vec<String>> {
+    let decl = format!("enum {name}");
+    let mut at = 0;
+    let start = loop {
+        let hit = at + text[at..].find(&decl)?;
+        at = hit + decl.len();
+        // Reject prefixes like `enum FrameKind` when looking for `Frame`.
+        if text[at..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+        {
+            break hit;
+        }
+    };
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    let mut variants = Vec::new();
+    let mut ident = String::new();
+    for c in text[open..].chars() {
+        match c {
+            '{' | '(' | '[' => {
+                // `Request(WireRequest)` — the name directly abuts the
+                // bracket, so flush before descending.
+                flush_variant(&mut ident, depth, &mut variants);
+                depth += 1;
+            }
+            '}' | ')' | ']' => {
+                flush_variant(&mut ident, depth, &mut variants);
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(variants);
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => ident.push(c),
+            _ => flush_variant(&mut ident, depth, &mut variants),
+        }
+    }
+    None
+}
+
+/// Records `ident` as a variant when it was read at enum-body depth.
+fn flush_variant(ident: &mut String, depth: usize, variants: &mut Vec<String>) {
+    if depth == 1 && ident.chars().next().is_some_and(char::is_uppercase) {
+        variants.push(std::mem::take(ident));
+    }
+    ident.clear();
+}
+
+/// The `N` in `ALL: [Counter; N]`.
+fn declared_all_len(text: &str) -> Option<usize> {
+    let at = text.find("ALL:")?;
+    let rest = &text[at..];
+    let semi = rest.find(';')?;
+    rest[semi + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// The `Counter::X` entries of the `ALL` array literal, in order.
+fn all_entries(text: &str) -> Vec<String> {
+    let Some(at) = text.find("ALL:") else {
+        return Vec::new();
+    };
+    let Some(eq) = text[at..].find('=') else {
+        return Vec::new();
+    };
+    let from = at + eq;
+    let Some(open) = text[from..].find('[') else {
+        return Vec::new();
+    };
+    let open = from + open;
+    let end = match text[open..].find(']') {
+        Some(e) => open + e,
+        None => text.len(),
+    };
+    idents_after(&text[open..end], "Counter::")
+}
+
+/// `(variant, json name)` pairs from the arms of `Counter::name()`,
+/// in arm order. Reads the quoted name from the raw line because string
+/// contents are blanked in stripped text.
+fn name_arms(file: &SourceFile) -> Vec<(String, String)> {
+    let text = file.stripped();
+    let Some(body) = fn_body(text, "name") else {
+        return Vec::new();
+    };
+    let body_start = body.as_ptr() as usize - text.as_ptr() as usize;
+    let mut arms = Vec::new();
+    let mut from = 0;
+    while let Some(at) = body[from..].find("Counter::") {
+        let at = from + at;
+        from = at + "Counter::".len();
+        let variant: String = body[from..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if variant.is_empty() {
+            continue;
+        }
+        let line = file.line_of(body_start + at);
+        let raw = file.line_raw(line);
+        let Some(q1) = raw.find('"') else { continue };
+        let Some(q2) = raw[q1 + 1..].find('"') else {
+            continue;
+        };
+        arms.push((variant, raw[q1 + 1..q1 + 1 + q2].to_string()));
+    }
+    arms
+}
+
+/// `(variant, wire code)` pairs from the arms of `Frame::kind()`.
+fn kind_arms(text: &str) -> Vec<(String, u8)> {
+    let Some(body) = fn_body(text, "kind") else {
+        return Vec::new();
+    };
+    let mut arms = Vec::new();
+    let mut from = 0;
+    while let Some(at) = body[from..].find("Frame::") {
+        let at = from + at;
+        from = at + "Frame::".len();
+        let variant: String = body[from..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let Some(arrow) = body[from..].find("=>") else {
+            continue;
+        };
+        let code: String = body[from + arrow + 2..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(code) = code.parse() {
+            arms.push((variant, code));
+        }
+    }
+    arms
+}
+
+/// Numeric match-arm codes (`N => …`) inside a function body.
+fn numeric_arms(body: &str) -> Vec<u8> {
+    let mut codes = Vec::new();
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let prev_ident =
+                i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if !prev_ident && body[i..].trim_start().starts_with("=>") {
+                if let Ok(code) = body[start..i].parse() {
+                    codes.push(code);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    codes
+}
+
+/// The body text (between the braces) of `fn <name>(`, or `None`.
+fn fn_body<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let decl = format!("fn {name}(");
+    let at = text.find(&decl)?;
+    let open = at + text[at..].find('{')?;
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[open + 1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Identifiers immediately following `prefix` (e.g. `Frame::`), in order
+/// of appearance, duplicates retained.
+fn idents_after(text: &str, prefix: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find(prefix) {
+        from += at + prefix.len();
+        let ident: String = text[from..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            out.push(ident);
+        }
+    }
+    out
+}
+
+/// Backticked tokens in a markdown block.
+fn backticked(block: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = block;
+    while let Some(open) = rest.find('`') {
+        let Some(close) = rest[open + 1..].find('`') else {
+            break;
+        };
+        let token = &rest[open + 1..open + 1 + close];
+        if !token.is_empty() && !token.contains(char::is_whitespace) {
+            out.push(token.to_string());
+        }
+        rest = &rest[open + 1 + close + 1..];
+    }
+    out
+}
+
+/// A human description of the first mismatch between two name lists.
+fn first_diff(expect: &[String], got: &[String]) -> String {
+    for (i, e) in expect.iter().enumerate() {
+        match got.get(i) {
+            Some(g) if g == e => continue,
+            Some(g) => return format!("entry {i} is `{g}`, expected `{e}`"),
+            None => return format!("`{e}` is missing"),
+        }
+    }
+    match got.get(expect.len()) {
+        Some(g) => format!("unexpected extra entry `{g}`"),
+        None => "lists match".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_variants_handles_payloads_and_prefix_names() {
+        let src = "pub enum FrameKind { A, }\n\
+                   pub enum Frame { Hello { version: u16 }, Request(WireRequest), StatsReq, }\n";
+        let v = enum_variants(src, "Frame").unwrap();
+        assert_eq!(v, ["Hello", "Request", "StatsReq"]);
+    }
+
+    #[test]
+    fn numeric_arms_skips_non_arm_numbers() {
+        let body = "let x = 42; match k { 0 => a, 7 => b, other => c }";
+        assert_eq!(numeric_arms(body), [0, 7]);
+    }
+
+    #[test]
+    fn prose_count_flags_stale_numbers_only() {
+        let doc = "exports the 35 fp-trace counters\nand the fp-trace counters generally\n";
+        let f = check_prose_count("D.md", doc, 43);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(check_prose_count("D.md", "all 43 fp-trace counters\n", 43).is_empty());
+    }
+}

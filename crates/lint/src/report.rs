@@ -1,0 +1,296 @@
+//! Findings, suppression accounting, the baseline, and the two output
+//! formats (human text, machine JSON via `fp_stats::json`).
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use fp_stats::json::{array, escape, JsonObject};
+
+/// One rule violation at one site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired (one of [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative, forward-slash path.
+    pub path: String,
+    /// 1-based line, or 0 for file/registry-level findings.
+    pub line: usize,
+    /// What is wrong and what the fix direction is.
+    pub message: String,
+    /// The pragma reason, when an `allow` pragma suppressed this finding.
+    pub allowed: Option<String>,
+    /// Whether the checked-in baseline suppressed this finding.
+    pub baselined: bool,
+}
+
+impl Finding {
+    /// A fresh, unsuppressed finding.
+    pub fn new(rule: &'static str, path: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            allowed: None,
+            baselined: false,
+        }
+    }
+
+    /// Whether the finding counts against the gate (neither pragma- nor
+    /// baseline-suppressed).
+    pub fn is_unallowed(&self) -> bool {
+        self.allowed.is_none() && !self.baselined
+    }
+
+    /// Line-number-independent identity used by the baseline, so a
+    /// baselined finding survives unrelated edits above it. `snippet` is
+    /// the trimmed source line for line findings and the message for
+    /// file-level ones.
+    pub fn key(&self, snippet: &str) -> String {
+        let what = if self.line == 0 {
+            &self.message
+        } else {
+            snippet
+        };
+        format!("{}|{}|{}", self.rule, self.path, what.trim())
+    }
+}
+
+/// The checked-in suppression budget: one [`Finding::key`] per line.
+/// Kept deliberately dumb (text, sorted, commented) so diffs to it are
+/// obvious in review.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    keys: HashSet<String>,
+}
+
+impl Baseline {
+    /// Parses baseline text: `#` comments and blank lines are ignored,
+    /// every other line is one suppression key.
+    pub fn parse(text: &str) -> Baseline {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Baseline { keys }
+    }
+
+    /// Whether the baseline suppresses this key.
+    pub fn contains(&self, key: &str) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Number of suppression entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Renders baseline text for the given keys (sorted, deduplicated,
+    /// with the explanatory header) — the `--write-baseline` output.
+    pub fn render(keys: &[String]) -> String {
+        let mut sorted: Vec<&String> = keys.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        let mut out = String::from(
+            "# fp-lint baseline: known findings exempted from the gate.\n\
+             # One `rule|path|snippet` key per line; regenerate with\n\
+             # `cargo run -p fp-lint -- --write-baseline`. Every entry is a\n\
+             # debt item — prefer fixing the site or adding an inline\n\
+             # `fp-lint: allow(...) reason=...` pragma next to it.\n",
+        );
+        for k in sorted {
+            out.push_str(k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A complete lint run: every finding (suppressed or not) plus scan
+/// metadata, with deterministic ordering.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule, message).
+    pub findings: Vec<Finding>,
+    /// Rust files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+        });
+    }
+
+    /// Findings that count against the gate.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_unallowed())
+    }
+
+    /// Gate verdict: `true` when nothing unallowed was found.
+    pub fn is_clean(&self) -> bool {
+        self.unallowed().next().is_none()
+    }
+
+    /// Per-rule suppression counts (pragma + baseline) — the visible
+    /// "allow budget" documented in DESIGN.md §12.
+    pub fn allow_budget(&self) -> BTreeMap<&'static str, u64> {
+        let mut budget = BTreeMap::new();
+        for f in &self.findings {
+            if !f.is_unallowed() {
+                *budget.entry(f.rule).or_insert(0) += 1;
+            }
+        }
+        budget
+    }
+
+    /// The human report: one line per unallowed finding, then a summary.
+    pub fn to_text(&self, rules: &[&str]) -> String {
+        let mut out = String::new();
+        for f in self.unallowed() {
+            let loc = if f.line == 0 {
+                f.path.clone()
+            } else {
+                format!("{}:{}", f.path, f.line)
+            };
+            out.push_str(&format!("{loc}: {}: {}\n", f.rule, f.message));
+        }
+        let unallowed = self.unallowed().count();
+        let allowed = self.findings.iter().filter(|f| f.allowed.is_some()).count();
+        let baselined = self.findings.iter().filter(|f| f.baselined).count();
+        out.push_str(&format!(
+            "fp-lint: {} file(s), {} rule(s): {unallowed} finding(s), \
+             {allowed} allowed by pragma, {baselined} baselined\n",
+            self.files_scanned,
+            rules.len(),
+        ));
+        out
+    }
+
+    /// The machine report (`results/LINT.json` schema; see
+    /// EXPERIMENTS.md). `findings` is the *unallowed* count — the number
+    /// the tier-1 gate requires to be zero.
+    pub fn to_json(&self, rules: &[&str]) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("tool", "fp-lint");
+        o.field_raw(
+            "rules",
+            &array(rules.iter().map(|r| format!("\"{}\"", escape(r)))),
+        );
+        o.field_u64("files_scanned", self.files_scanned as u64);
+        o.field_u64("findings", self.unallowed().count() as u64);
+        o.field_u64(
+            "allowed",
+            self.findings.iter().filter(|f| f.allowed.is_some()).count() as u64,
+        );
+        o.field_u64(
+            "baselined",
+            self.findings.iter().filter(|f| f.baselined).count() as u64,
+        );
+        let mut budget = JsonObject::new();
+        for (rule, n) in self.allow_budget() {
+            budget.field_u64(rule, n);
+        }
+        o.field_raw("allow_budget", &budget.finish());
+        o.field_raw(
+            "unallowed",
+            &array(self.unallowed().map(|f| {
+                let mut e = JsonObject::new();
+                e.field_str("rule", f.rule)
+                    .field_str("path", &f.path)
+                    .field_u64("line", f.line as u64)
+                    .field_str("message", &f.message);
+                e.finish()
+            })),
+        );
+        o.field_raw(
+            "suppressed",
+            &array(self.findings.iter().filter(|f| !f.is_unallowed()).map(|f| {
+                let mut e = JsonObject::new();
+                e.field_str("rule", f.rule)
+                    .field_str("path", &f.path)
+                    .field_u64("line", f.line as u64);
+                match &f.allowed {
+                    Some(reason) => e.field_str("reason", reason),
+                    None => e.field_str("reason", "baseline"),
+                };
+                e.finish()
+            })),
+        );
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut allowed = Finding::new("stdout-in-library", "b.rs", 2, "println".into());
+        allowed.allowed = Some("operator warning".into());
+        let mut baselined = Finding::new("wall-clock-in-sim", "c.rs", 3, "Instant".into());
+        baselined.baselined = true;
+        Report {
+            findings: vec![
+                Finding::new("wall-clock-in-sim", "a.rs", 7, "Instant".into()),
+                allowed,
+                baselined,
+            ],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn accounting_splits_three_ways() {
+        let r = sample();
+        assert_eq!(r.unallowed().count(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.allow_budget().values().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn json_is_valid_and_counts_unallowed_only() {
+        let r = sample();
+        let s = r.to_json(&["wall-clock-in-sim", "stdout-in-library"]);
+        fp_stats::json::validate(&s).expect("valid JSON");
+        assert!(s.contains("\"findings\":1"));
+        assert!(s.contains("\"allowed\":1"));
+        assert!(s.contains("\"baselined\":1"));
+        assert!(s.contains("\"reason\":\"operator warning\""));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let keys = vec![
+            "rule|b.rs|let y = 2;".to_string(),
+            "rule|a.rs|let x = 1;".to_string(),
+            "rule|a.rs|let x = 1;".to_string(),
+        ];
+        let text = Baseline::render(&keys);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 2, "sorted + deduplicated");
+        assert!(b.contains("rule|a.rs|let x = 1;"));
+        assert!(!b.contains("rule|c.rs|other"));
+        // Idempotent: rendering what we parsed yields the same text.
+        let mut back: Vec<String> = keys.clone();
+        back.sort();
+        back.dedup();
+        assert_eq!(Baseline::render(&back), text);
+    }
+
+    #[test]
+    fn empty_baseline_is_clean() {
+        let b = Baseline::parse("# only comments\n\n");
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

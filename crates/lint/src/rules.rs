@@ -1,0 +1,334 @@
+//! The rule engine and the per-file rules.
+//!
+//! Each rule guards an invariant the compiler cannot see (the registry
+//! rules live in [`crate::registry`]):
+//!
+//! | Rule | Invariant |
+//! |---|---|
+//! | `wall-clock-in-sim` | Simulated results are a pure function of the seed: no `Instant`/`SystemTime` outside the wall-clock harness crates (`fp-bench`, `fp-net`) |
+//! | `poisonable-lock` | Supervised-thread crates (`fp-service`, `fp-net`) never panic on a poisoned mutex: `.lock().unwrap()`/`.expect(..)` must route through `fp_service::sync::relock` |
+//! | `stdout-in-library` | Library crates report through JSON/return values, never `println!`/`eprintln!`/`dbg!` |
+//! | `hot-path-alloc` | Functions marked `// fp-lint: hot-path` stay allocation-free (`.clone()`, `.to_vec()`, `format!`, `Vec::new`, `vec!`) |
+//! | `bad-pragma` | Suppressions parse, name a real rule, and carry a reason |
+//! | `unused-allow` | Suppressions that stop suppressing anything are removed |
+
+use crate::lexer::SourceFile;
+use crate::pragma::{self, PlacedPragma, Pragma};
+use crate::report::Finding;
+
+/// Every rule name, in documentation order. Pragmas may only name these.
+pub const RULES: [&str; 8] = [
+    "wall-clock-in-sim",
+    "poisonable-lock",
+    "stdout-in-library",
+    "hot-path-alloc",
+    "trace-registry",
+    "wire-exhaustiveness",
+    "bad-pragma",
+    "unused-allow",
+];
+
+/// Lints one file: runs every file-scope rule, applies `allow` pragmas,
+/// and reports malformed or unused pragmas. Registry rules run
+/// separately (they span files); see [`crate::registry`].
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let (pragmas, mut findings) = pragma::collect(file, &RULES);
+    findings.extend(wall_clock_in_sim(file));
+    findings.extend(poisonable_lock(file));
+    findings.extend(stdout_in_library(file));
+    findings.extend(hot_path_alloc(file, &pragmas));
+    apply_allows(file, &pragmas, &mut findings);
+    findings
+}
+
+/// Matches `allow` pragmas against findings on their target lines; every
+/// suppressed finding records its reason, every pragma that suppressed
+/// nothing becomes an `unused-allow` finding.
+fn apply_allows(file: &SourceFile, pragmas: &[PlacedPragma], findings: &mut Vec<Finding>) {
+    for p in pragmas {
+        let Pragma::Allow { rule, reason } = &p.pragma else {
+            continue;
+        };
+        let mut used = false;
+        for f in findings.iter_mut() {
+            // `bad-pragma`/`unused-allow` are meta-findings about the
+            // suppression mechanism itself; they cannot be suppressed.
+            if f.rule == rule.as_str()
+                && f.line == p.target_line
+                && f.rule != "bad-pragma"
+                && f.rule != "unused-allow"
+            {
+                f.allowed = Some(reason.clone());
+                used = true;
+            }
+        }
+        if !used {
+            findings.push(Finding::new(
+                "unused-allow",
+                file.path(),
+                p.line,
+                format!("allow({rule}) suppresses nothing on line {}", p.target_line),
+            ));
+        }
+    }
+}
+
+/// Crates whose entire purpose is wall-clock measurement or wall-clock
+/// protocol deadlines; `Instant`/`SystemTime` are legitimate anywhere in
+/// them (and still surface in editors via clippy `disallowed-methods`,
+/// `#[allow]`ed at each site).
+const WALL_CLOCK_CRATES: [&str; 2] = ["crates/bench/", "crates/net/"];
+
+/// `wall-clock-in-sim`: simulated-path code must not read host time —
+/// the equivalence propchecks and the `net_bench --verify` gate all rely
+/// on same-seed ⇒ byte-identical results.
+fn wall_clock_in_sim(file: &SourceFile) -> Vec<Finding> {
+    if WALL_CLOCK_CRATES.iter().any(|c| file.path().starts_with(c)) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for token in ["Instant", "SystemTime"] {
+        for line in match_lines(file.stripped(), token, file) {
+            findings.push(Finding::new(
+                "wall-clock-in-sim",
+                file.path(),
+                line,
+                format!(
+                    "`{token}` in simulated-path code — wall time breaks same-seed determinism; \
+                     use the simulated clock, or justify with an allow pragma"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Crates whose worker threads run under panic supervision: a poisoned
+/// mutex must degrade, not cascade.
+const SUPERVISED_CRATES: [&str; 2] = ["crates/service/src/", "crates/net/src/"];
+
+/// `poisonable-lock`: in supervised-thread crates, `.lock().unwrap()` /
+/// `.lock().expect(..)` turns one panicking worker into a panic cascade
+/// through supervisor, dispatcher, and stats paths. Route through
+/// `fp_service::sync::relock`, which recovers the guard.
+fn poisonable_lock(file: &SourceFile) -> Vec<Finding> {
+    if !SUPERVISED_CRATES.iter().any(|c| file.path().starts_with(c)) {
+        return Vec::new();
+    }
+    let text = file.stripped();
+    let mut findings = Vec::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find(".lock()") {
+        let at = from + at;
+        from = at + ".lock()".len();
+        let rest = text[from..].trim_start();
+        if rest.starts_with(".unwrap()") || rest.starts_with(".expect(") {
+            let line = file.line_of(at);
+            if !file.in_test(line) {
+                findings.push(Finding::new(
+                    "poisonable-lock",
+                    file.path(),
+                    line,
+                    "poisonable `.lock().unwrap()/.expect(..)` in a supervised-thread crate — \
+                     use `fp_service::sync::relock` so a panicked holder degrades instead of \
+                     cascading"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// `stdout-in-library`: library crates communicate through return values
+/// and validated JSON, never the process streams. Binaries, examples,
+/// benches, and tests are exempt; so is `fp-bench` (a reporting crate).
+fn stdout_in_library(file: &SourceFile) -> Vec<Finding> {
+    if !is_library_source(file.path()) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for token in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+        for line in match_lines(file.stripped(), token, file) {
+            if file.in_test(line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                "stdout-in-library",
+                file.path(),
+                line,
+                format!(
+                    "`{token}` in a library crate — report through JSON or return values, \
+                     or justify with an allow pragma"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Whether a path is library (non-binary, non-test, non-example) source.
+fn is_library_source(path: &str) -> bool {
+    let in_lib_tree = (path.starts_with("crates/") && !path.starts_with("crates/bench/"))
+        || path.starts_with("src/");
+    in_lib_tree
+        && (path.contains("/src/") || path.starts_with("src/"))
+        && !path.contains("/bin/")
+        && !path.ends_with("/main.rs")
+        && !path.contains("/examples/")
+        && !path.contains("/benches/")
+        && !path.contains("/tests/")
+}
+
+/// Allocation patterns audited inside `// fp-lint: hot-path` functions.
+const ALLOC_PATTERNS: [&str; 5] = [".clone()", ".to_vec()", "format!", "Vec::new", "vec!"];
+
+/// `hot-path-alloc`: the per-access loops that PR 3 made allocation-free
+/// (PLB touch, MAC probe, FR-FCFS pick, shard pump) are annotated; any
+/// allocation pattern reappearing inside them is flagged so the win
+/// cannot silently regress.
+fn hot_path_alloc(file: &SourceFile, pragmas: &[PlacedPragma]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for p in pragmas {
+        if p.pragma != Pragma::HotPath {
+            continue;
+        }
+        let Some((start, end)) = fn_body_span(file, p.target_line) else {
+            findings.push(Finding::new(
+                "bad-pragma",
+                file.path(),
+                p.line,
+                "hot-path pragma is not followed by a function body".to_string(),
+            ));
+            continue;
+        };
+        let body = &file.stripped()[start..end];
+        for pat in ALLOC_PATTERNS {
+            let mut from = 0;
+            let mut last_line = 0;
+            while let Some(at) = body[from..].find(pat) {
+                let at = from + at;
+                from = at + pat.len();
+                // Patterns starting with `.` carry their own boundary;
+                // the rest must not extend an identifier to the left
+                // (e.g. `my_format!`).
+                if !pat.starts_with('.') && !boundary_before(body, at) {
+                    continue;
+                }
+                let line = file.line_of(start + at);
+                if line == last_line {
+                    continue;
+                }
+                last_line = line;
+                findings.push(Finding::new(
+                    "hot-path-alloc",
+                    file.path(),
+                    line,
+                    format!(
+                        "`{pat}` inside a `fp-lint: hot-path` function — this loop is \
+                             allocation-free by contract (see DESIGN.md §12)"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Byte span of the function body starting at or after `line`: from the
+/// first `{` on/after the first line containing `fn `, to its matching
+/// close brace.
+fn fn_body_span(file: &SourceFile, line: usize) -> Option<(usize, usize)> {
+    let text = file.stripped();
+    let mut search = file.line_offset(line);
+    // Find the `fn ` keyword first so attributes between the pragma and
+    // the signature are skipped.
+    loop {
+        let at = search + text[search..].find("fn ")?;
+        if boundary_before(text, at) {
+            search = at;
+            break;
+        }
+        search = at + 3;
+    }
+    let open = search + text[search..].find('{')?;
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Lines (1-based, deduplicated) where `token` occurs with identifier
+/// boundaries on both sides.
+fn match_lines(text: &str, token: &str, file: &SourceFile) -> Vec<usize> {
+    let mut lines = Vec::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find(token) {
+        let at = from + at;
+        from = at + token.len();
+        if !boundary_before(text, at) || !boundary_after(text, at + token.len()) {
+            continue;
+        }
+        let line = file.line_of(at);
+        if lines.last() != Some(&line) {
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+/// Whether the character before byte `at` ends an identifier boundary.
+fn boundary_before(text: &str, at: usize) -> bool {
+    text[..at]
+        .chars()
+        .next_back()
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+}
+
+/// Whether the character at byte `at` starts an identifier boundary.
+fn boundary_after(text: &str, at: usize) -> bool {
+    text[at..]
+        .chars()
+        .next()
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(&SourceFile::parse(path, src))
+    }
+
+    fn unallowed<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+        findings
+            .iter()
+            .filter(|f| f.rule == rule && f.is_unallowed())
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_boundary_rejects_substrings() {
+        let f = lint("crates/sim/src/x.rs", "let x = MyInstantaneous::new();\n");
+        assert!(unallowed(&f, "wall-clock-in-sim").is_empty());
+    }
+
+    #[test]
+    fn hot_path_skips_non_boundary_matches() {
+        let src = "// fp-lint: hot-path\nfn f(&mut self) { self.evec!(); }\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert!(unallowed(&f, "hot-path-alloc").is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Meta-tests: the workspace must lint clean with the committed
+//! baseline, and the baseline mechanism must round-trip through the
+//! real filesystem driver.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fp_lint::report::Baseline;
+use fp_lint::{workspace, RULES};
+
+/// The repository root (two levels above this crate's manifest).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// The linter must report zero unallowed findings on its own repository
+/// with the committed baseline — the same verdict `scripts/tier1.sh`
+/// gates on.
+#[test]
+fn workspace_is_clean_with_committed_baseline() {
+    let root = repo_root();
+    let report = workspace::lint_workspace(&root, &root.join("LINT_BASELINE.txt"))
+        .expect("lint the workspace");
+    let offenders: Vec<String> = report
+        .unallowed()
+        .map(|f| format!("{}:{}: {}: {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "unallowed findings:\n{}",
+        offenders.join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "walker must see the whole workspace"
+    );
+
+    let json = report.to_json(&RULES);
+    fp_stats::json::validate(&json).expect("report JSON is valid");
+    assert!(
+        json.contains("\"findings\":0"),
+        "the tier-1 grep must match"
+    );
+    assert!(json.contains("\"tool\":\"fp-lint\""));
+}
+
+/// The suppression budget stays visible: the run must record the
+/// pragma-allowed sites (wall-clock harness code, operator stderr
+/// output, hot-path scratch warm-up), not silently skip them.
+#[test]
+fn allow_budget_accounts_for_known_exemptions() {
+    let root = repo_root();
+    let report = workspace::lint_workspace(&root, &root.join("LINT_BASELINE.txt"))
+        .expect("lint the workspace");
+    let budget = report.allow_budget();
+    assert!(budget.get("wall-clock-in-sim").copied().unwrap_or(0) >= 10);
+    assert!(budget.get("stdout-in-library").copied().unwrap_or(0) >= 3);
+    assert!(budget.get("hot-path-alloc").copied().unwrap_or(0) >= 2);
+}
+
+/// Baseline round-trip through the filesystem driver: a finding in a
+/// scratch workspace gates, `--write-baseline`'s keys suppress it, and
+/// editing lines above it does not invalidate the entry.
+#[test]
+fn baseline_round_trips_through_the_driver() {
+    let root = std::env::temp_dir().join(format!("fp-lint-baseline-{}", std::process::id()));
+    let src_dir = root.join("crates").join("sim").join("src");
+    fs::create_dir_all(&src_dir).expect("scratch workspace");
+    let file = src_dir.join("lib.rs");
+    fs::write(&file, "fn f() { let _ = std::time::Instant::now(); }\n").expect("fixture");
+    let baseline_path = root.join("LINT_BASELINE.txt");
+
+    // 1. Unbaselined: the finding gates.
+    let report = workspace::lint_workspace(&root, &baseline_path).expect("lint");
+    assert_eq!(report.unallowed().count(), 1);
+
+    // 2. Write the baseline; the same run is now clean but accounted.
+    let keys = workspace::baseline_keys(&root).expect("derive keys");
+    assert_eq!(keys.len(), 1);
+    fs::write(&baseline_path, Baseline::render(&keys)).expect("write baseline");
+    let report = workspace::lint_workspace(&root, &baseline_path).expect("lint");
+    assert!(report.is_clean());
+    assert_eq!(report.findings.iter().filter(|f| f.baselined).count(), 1);
+
+    // 3. The key is line-number independent: prepend code above the
+    //    finding and the baseline entry still matches.
+    fs::write(
+        &file,
+        "fn unrelated() {}\n\nfn f() { let _ = std::time::Instant::now(); }\n",
+    )
+    .expect("edit fixture");
+    let report = workspace::lint_workspace(&root, &baseline_path).expect("lint");
+    assert!(
+        report.is_clean(),
+        "baseline must survive unrelated edits above the site"
+    );
+
+    // 4. A *new* finding is not covered by the stale baseline.
+    fs::write(
+        &file,
+        "fn unrelated() { println!(\"new\"); }\n\nfn f() { let _ = std::time::Instant::now(); }\n",
+    )
+    .expect("edit fixture");
+    let report = workspace::lint_workspace(&root, &baseline_path).expect("lint");
+    assert_eq!(
+        report.unallowed().count(),
+        1,
+        "only the new stdout finding gates"
+    );
+
+    fs::remove_dir_all(&root).ok();
+}

@@ -37,6 +37,11 @@
 //! shard it has observed dead for several consecutive iterations and
 //! answers them [`WireStatus::ShardDown`].
 
+// This file is the wall-clock boundary: it maps wire deadlines onto the
+// simulated clock (see module docs), so the workspace-wide clippy
+// disallowed-methods ban on wall-clock reads does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -45,6 +50,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fp_path_oram::Op;
+use fp_service::sync::relock;
 use fp_service::{
     OramService, ServeError, ServiceConfig, ServiceHandle, ServiceRequest, ServiceStats,
     ShardFailure, ShardHealth, SubmitError,
@@ -354,7 +360,7 @@ fn drive(listener: &TcpListener, handle: &ServiceHandle, shared: &Arc<NetShared>
             if shared.draining.load(Ordering::Acquire) {
                 break;
             }
-            if shared.conns.lock().expect("conns lock").len() >= shared.cfg.max_connections {
+            if relock(&shared.conns).len() >= shared.cfg.max_connections {
                 shared.trace.bump(Counter::NetBusyRejections);
                 drop(stream);
                 continue;
@@ -368,7 +374,7 @@ fn drive(listener: &TcpListener, handle: &ServiceHandle, shared: &Arc<NetShared>
             let conn_id = next_conn;
             let (tx, rx) = mpsc::channel::<Frame>();
             let inflight = Arc::new(AtomicUsize::new(0));
-            shared.conns.lock().expect("conns lock").insert(
+            relock(&shared.conns).insert(
                 conn_id,
                 ConnSlot {
                     tx: tx.clone(),
@@ -382,14 +388,13 @@ fn drive(listener: &TcpListener, handle: &ServiceHandle, shared: &Arc<NetShared>
         }
         // Drain: give in-flight requests a bounded chance to complete.
         let deadline = Instant::now() + Duration::from_millis(shared.cfg.drain_wait_ms);
-        while Instant::now() < deadline && !shared.pending.lock().expect("pending lock").is_empty()
-        {
+        while Instant::now() < deadline && !relock(&shared.pending).is_empty() {
             std::thread::sleep(Duration::from_millis(1));
         }
         stop_dispatcher.store(true, Ordering::Release);
         // Force-close every connection so blocked readers exit; their
         // writers follow once the channel senders drop.
-        for (_, slot) in shared.conns.lock().expect("conns lock").drain() {
+        for (_, slot) in relock(&shared.conns).drain() {
             let _ = slot.sock.shutdown(Shutdown::Both);
         }
     });
@@ -424,12 +429,8 @@ fn serve_connection(
     }
     // Cleanup: unregister the connection and forget its in-flight
     // requests — the client is gone, nobody can receive their answers.
-    shared.conns.lock().expect("conns lock").remove(&conn_id);
-    shared
-        .pending
-        .lock()
-        .expect("pending lock")
-        .retain(|_, p| p.conn != conn_id);
+    relock(&shared.conns).remove(&conn_id);
+    relock(&shared.pending).retain(|_, p| p.conn != conn_id);
     shared.trace.bump(Counter::NetConnectionsClosed);
     let _ = sock.shutdown(Shutdown::Both);
 }
@@ -577,7 +578,7 @@ fn handle_request(
     // submitting: the completion may be published — and the dispatcher may
     // release the slot — before submit() even returns, so adding to
     // `inflight` afterwards would race an underflow.
-    shared.pending.lock().expect("pending lock").insert(
+    relock(&shared.pending).insert(
         service_tag,
         PendingEntry {
             conn: conn_id,
@@ -598,11 +599,7 @@ fn handle_request(
     match handle.submit(service_req) {
         Ok(_) => {}
         Err(e) => {
-            shared
-                .pending
-                .lock()
-                .expect("pending lock")
-                .remove(&service_tag);
+            relock(&shared.pending).remove(&service_tag);
             inflight.fetch_sub(1, Ordering::AcqRel);
             let status = match e {
                 SubmitError::Busy => {
@@ -637,7 +634,7 @@ fn dispatch_completions(handle: &ServiceHandle, shared: &NetShared, stop: &Atomi
             if c.tag == 0 {
                 continue;
             }
-            let Some(p) = shared.pending.lock().expect("pending lock").remove(&c.tag) else {
+            let Some(p) = relock(&shared.pending).remove(&c.tag) else {
                 continue; // its connection closed while it was in flight
             };
             answer(
@@ -684,7 +681,7 @@ fn answer(
     latency_ps: u64,
     data: Vec<u8>,
 ) {
-    let conns = shared.conns.lock().expect("conns lock");
+    let conns = relock(&shared.conns);
     if let Some(slot) = conns.get(&p.conn) {
         slot.inflight.fetch_sub(1, Ordering::AcqRel);
         let _ = slot.tx.send(Frame::Response(WireResponse {
@@ -701,7 +698,7 @@ fn answer(
 /// [`WireStatus::ShardDown`] — their completions will never come.
 fn sweep_dead_shard(shared: &NetShared, shard: usize) {
     let stranded: Vec<PendingEntry> = {
-        let mut pending = shared.pending.lock().expect("pending lock");
+        let mut pending = relock(&shared.pending);
         let tags: Vec<u64> = pending
             .iter()
             .filter(|(_, p)| p.shard == shard)
@@ -713,5 +710,74 @@ fn sweep_dead_shard(shared: &NetShared, shard: usize) {
     };
     for p in stranded {
         answer(shared, &p, WireStatus::ShardDown, 0, Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the poisonable-lock fix: a worker that panicked
+    /// while holding `pending` or `conns` must not stop the dispatcher
+    /// from sweeping a dead shard and answering its stranded requests.
+    /// Before `relock`, the first map access after the panic would
+    /// itself panic, taking the dispatcher (and the final report) down.
+    #[test]
+    fn sweep_survives_poisoned_maps() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let local = listener.local_addr().expect("local addr");
+        let sock = TcpStream::connect(local).expect("connect");
+        let shared = Arc::new(NetShared {
+            cfg: NetConfig::fast_test(1),
+            trace: TraceHandle::default(),
+            draining: AtomicBool::new(false),
+            next_tag: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            start: Instant::now(),
+            local,
+        });
+        let (tx, rx) = mpsc::channel();
+        let inflight = Arc::new(AtomicUsize::new(1));
+        relock(&shared.conns).insert(
+            7,
+            ConnSlot {
+                tx,
+                inflight: Arc::clone(&inflight),
+                sock,
+            },
+        );
+        relock(&shared.pending).insert(
+            99,
+            PendingEntry {
+                conn: 7,
+                client_tag: 3,
+                shard: 0,
+                is_write: false,
+            },
+        );
+
+        // Poison both maps: a thread panics while holding each lock.
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _pending = poisoner.pending.lock().unwrap();
+            let _conns = poisoner.conns.lock().unwrap();
+            panic!("poison both maps");
+        })
+        .join();
+        assert!(shared.pending.lock().is_err(), "pending must be poisoned");
+        assert!(shared.conns.lock().is_err(), "conns must be poisoned");
+
+        sweep_dead_shard(&shared, 0);
+
+        match rx.try_recv().expect("stranded request must be answered") {
+            Frame::Response(r) => {
+                assert_eq!(r.tag, 3, "answered with the client's tag");
+                assert_eq!(r.status, WireStatus::ShardDown);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        assert_eq!(inflight.load(Ordering::Acquire), 0);
+        assert!(relock(&shared.pending).is_empty());
     }
 }

@@ -92,7 +92,7 @@ mod request;
 mod service;
 mod shard;
 mod stats;
-mod sync;
+pub mod sync;
 
 pub use config::ServiceConfig;
 pub use queue::SubmissionQueue;

@@ -22,6 +22,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+// fp-lint: allow(wall-clock-in-sim) reason=wall_requests_per_sec measures real serving throughput; simulated results never depend on it
 use std::time::Instant;
 
 use fp_workloads::service::ServiceClientPool;
@@ -271,6 +272,8 @@ impl OramService {
             cfg: Arc::clone(&cfg),
             shards: Arc::clone(&shards),
         };
+        #[allow(clippy::disallowed_methods)]
+        // fp-lint: allow(wall-clock-in-sim) reason=wall-clock throughput measurement only; does not feed back into the simulation
         let start = Instant::now();
         let (driver_out, failures) = std::thread::scope(|scope| {
             let workers: Vec<_> = engines
@@ -346,6 +349,8 @@ impl OramService {
             per_shard[shard].push(req);
         }
         let (engines, shareds) = Self::build(&cfg);
+        #[allow(clippy::disallowed_methods)]
+        // fp-lint: allow(wall-clock-in-sim) reason=wall-clock throughput measurement only; does not feed back into the simulation
         let start = Instant::now();
         let failures = std::thread::scope(|scope| {
             let workers: Vec<_> = engines
@@ -414,6 +419,8 @@ impl OramService {
         }
         let (engines, shareds) = Self::build(&cfg);
         let n = cfg.shards as u64;
+        #[allow(clippy::disallowed_methods)]
+        // fp-lint: allow(wall-clock-in-sim) reason=wall-clock throughput measurement only; does not feed back into the simulation
         let start = Instant::now();
         let failures = std::thread::scope(|scope| {
             let workers: Vec<_> = engines

@@ -293,6 +293,7 @@ impl<E: OramEngine> ShardEngine<E> {
         result
     }
 
+    // fp-lint: hot-path
     fn run_external_inner(&mut self) -> Result<(), ControllerError> {
         loop {
             let batch = if self.ctl.has_pending_work() {

@@ -1,6 +1,9 @@
+#![allow(clippy::disallowed_methods)] // example: reports its own wall-clock runtime
+
 use fp_sim::experiment::{mix_workload, run_mix, trace_path_from_args, MissBudget};
 use fp_sim::{run_workload_traced, Scheme, SystemConfig};
 use fp_workloads::mixes;
+// fp-lint: allow(wall-clock-in-sim) reason=example prints its own wall-clock runtime for the operator
 use std::time::Instant;
 
 fn main() {
@@ -17,6 +20,7 @@ fn main() {
             Scheme::ForkDefault,
             Scheme::Fork(fp_core::ForkConfig::paper_best()),
         ] {
+            // fp-lint: allow(wall-clock-in-sim) reason=wall-clock runtime shown to the operator; not a simulated quantity
             let t0 = Instant::now();
             let r = run_mix(&cfg, &scheme, &mix, MissBudget::Fast);
             if r.scheme == "insecure" {

@@ -147,6 +147,7 @@ pub fn run_mixes_reported(
                         .map(String::as_str)
                         .or_else(|| panic.downcast_ref::<&str>().copied())
                         .unwrap_or("unknown panic");
+                    // fp-lint: allow(stdout-in-library) reason=operator warning; the failure is also recorded in MixFailure for the JSON report
                     eprintln!("warning: mix {name} failed: {msg}; continuing with remaining mixes");
                     outcome.failures.push(MixFailure {
                         mix: name.to_string(),

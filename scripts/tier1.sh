@@ -8,6 +8,16 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --offline --workspace -- -D warnings
 cargo build --release --offline
+
+# In-repo static analysis gate (fp-lint): determinism, poison-tolerance,
+# and registry invariants (rule catalog in DESIGN.md §12). The binary
+# exits nonzero on any unallowed finding; the greps guard the machine
+# report's shape and the zero-findings verdict. Runs before the test
+# suite and the smoke gates so invariant violations fail fast.
+cargo run --release --offline -q -p fp-lint -- --format json --out results/LINT.json
+grep -q '"tool":"fp-lint"' results/LINT.json
+grep -q '"findings":0' results/LINT.json
+
 cargo test -q --offline
 
 # Documentation gate: every public item is documented (workspace crates set
